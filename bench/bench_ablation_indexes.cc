@@ -1,0 +1,149 @@
+// Ablation (Appendix B, Examples B.3/B.7/B.8 and Figures 12-14): the box
+// certificate — and therefore Tetris-Reloaded's work — depends on *which*
+// indexes exist, not just on the data.
+//
+// Instance: the bowtie query Q = R(A) ⋈ S(A,B) ⋈ T(B) where S only has
+// A-values in the low half of the domain, R only in the high half, and
+// the join is empty. An S-index that can be read A-first (the (A,B)
+// B-tree, the quad-tree, the kd-tree) certifies emptiness with O(1) band
+// gaps; the (B,A)-ordered B-tree must emit one A-band *per B-value* —
+// Ω(min(N, dom)) gap boxes. We sweep N and report loaded boxes and
+// resolutions per index configuration.
+
+#include <cinttypes>
+#include <memory>
+
+#include "bench_util.h"
+#include "engine/join_runner.h"
+#include "index/dyadic_index.h"
+#include "index/kdtree_index.h"
+#include "index/multi_index.h"
+#include "index/rtree_index.h"
+#include "index/sorted_index.h"
+#include "util/rng.h"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace {
+
+// S(A,B): A in the even half-blocks, B arbitrary. R(A): odd half-block
+// values only. T(B): everything. Join empty because R ∩ π_A(S) = ∅ — one
+// band gap on A certifies it *if* A can be read first.
+struct Instance {
+  Relation r, s, t;
+  Instance(size_t n, int d, uint64_t seed)
+      : r("R", {"A"}), s("S", {"A", "B"}), t("T", {"B"}) {
+    Rng rng(seed);
+    const uint64_t dom = uint64_t{1} << d;
+    const uint64_t half = dom / 2;
+    for (size_t i = 0; i < n; ++i) {
+      s.Add({rng.Below(half), rng.Below(dom)});    // A < half
+      r.Add({half + rng.Below(half)});             // A >= half
+      t.Add({rng.Below(dom)});
+    }
+    r.Canonicalize();
+    s.Canonicalize();
+    t.Canonicalize();
+  }
+};
+
+struct Config {
+  const char* name;
+  std::vector<std::unique_ptr<Index>> (*make)(const Instance&, int d);
+};
+
+std::vector<std::unique_ptr<Index>> MakeAB(const Instance& in, int d) {
+  std::vector<std::unique_ptr<Index>> v;
+  v.push_back(std::make_unique<SortedIndex>(in.r, d));
+  v.push_back(std::make_unique<SortedIndex>(in.s, std::vector<int>{0, 1}, d));
+  v.push_back(std::make_unique<SortedIndex>(in.t, d));
+  return v;
+}
+
+std::vector<std::unique_ptr<Index>> MakeBA(const Instance& in, int d) {
+  std::vector<std::unique_ptr<Index>> v;
+  v.push_back(std::make_unique<SortedIndex>(in.r, d));
+  v.push_back(std::make_unique<SortedIndex>(in.s, std::vector<int>{1, 0}, d));
+  v.push_back(std::make_unique<SortedIndex>(in.t, d));
+  return v;
+}
+
+std::vector<std::unique_ptr<Index>> MakeBoth(const Instance& in, int d) {
+  std::vector<std::unique_ptr<Index>> v;
+  v.push_back(std::make_unique<SortedIndex>(in.r, d));
+  std::vector<std::unique_ptr<Index>> s_parts;
+  s_parts.push_back(
+      std::make_unique<SortedIndex>(in.s, std::vector<int>{0, 1}, d));
+  s_parts.push_back(
+      std::make_unique<SortedIndex>(in.s, std::vector<int>{1, 0}, d));
+  v.push_back(std::make_unique<MultiIndex>(std::move(s_parts)));
+  v.push_back(std::make_unique<SortedIndex>(in.t, d));
+  return v;
+}
+
+std::vector<std::unique_ptr<Index>> MakeQuad(const Instance& in, int d) {
+  std::vector<std::unique_ptr<Index>> v;
+  v.push_back(std::make_unique<SortedIndex>(in.r, d));
+  v.push_back(std::make_unique<DyadicTreeIndex>(in.s, d));
+  v.push_back(std::make_unique<SortedIndex>(in.t, d));
+  return v;
+}
+
+std::vector<std::unique_ptr<Index>> MakeKd(const Instance& in, int d) {
+  std::vector<std::unique_ptr<Index>> v;
+  v.push_back(std::make_unique<SortedIndex>(in.r, d));
+  v.push_back(std::make_unique<KdTreeIndex>(in.s, d, 4));
+  v.push_back(std::make_unique<SortedIndex>(in.t, d));
+  return v;
+}
+
+std::vector<std::unique_ptr<Index>> MakeRTree(const Instance& in, int d) {
+  std::vector<std::unique_ptr<Index>> v;
+  v.push_back(std::make_unique<SortedIndex>(in.r, d));
+  v.push_back(std::make_unique<RTreeIndex>(in.s, d, 8));
+  v.push_back(std::make_unique<SortedIndex>(in.t, d));
+  return v;
+}
+
+}  // namespace
+
+int main() {
+  Header("Appendix B ablation: certificate size depends on the indexes");
+  const Config configs[] = {
+      {"btree S(A,B) only", MakeAB},   {"btree S(B,A) only", MakeBA},
+      {"both btrees on S", MakeBoth},  {"quad-tree on S", MakeQuad},
+      {"kd-tree on S", MakeKd},        {"r-tree on S", MakeRTree},
+  };
+  const int d = 12;
+  std::printf("%-20s %10s %10s %10s %10s\n", "index config", "N", "loaded",
+              "resolns", "ms");
+  for (const Config& cfg : configs) {
+    std::vector<std::pair<double, double>> fit;
+    for (size_t n : {2000u, 8000u, 32000u}) {
+      Instance in(n, d, n);
+      JoinQuery q = JoinQuery::Build({&in.r, &in.s, &in.t});
+      auto owned = cfg.make(in, d);
+      // SAO = (A, B): the bowtie eliminates B then A, width 1.
+      Timer t;
+      auto res = RunTetrisJoin(q, IndexPtrs(owned), d,
+                               JoinAlgorithm::kTetrisReloaded, {0, 1});
+      double ms = t.Ms();
+      std::printf("%-20s %10zu %10" PRId64 " %10" PRId64 " %10.2f\n",
+                  cfg.name, in.s.size(), res.stats.boxes_loaded,
+                  res.stats.resolutions, ms);
+      if (!res.tuples.empty()) {
+        std::printf("!! EXPECTED EMPTY JOIN\n");
+        return 1;
+      }
+      fit.emplace_back(static_cast<double>(in.s.size()),
+                       static_cast<double>(res.stats.boxes_loaded + 1));
+    }
+    Note("  -> loaded-boxes growth exponent vs N: %.2f", FitExponent(fit));
+  }
+  Note("\nOnly the (B,A)-ordered B-tree grows with the data: it can only"
+       "\ndescribe S's missing A-half one B-value at a time. Every"
+       "\nconfiguration that exposes A first — including the"
+       "\nmultidimensional indexes — keeps the certificate O(1).");
+  return 0;
+}

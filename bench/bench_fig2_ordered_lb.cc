@@ -1,0 +1,86 @@
+// Figure 2, Ordered vs (general) Geometric Resolution cells:
+//
+//   * Ordered lower bound:   Ω(|C|^2) on Example F.1 (n = 3); no SAO
+//     escapes it (paper, Example F.1 / Theorem 5.4).
+//   * Geometric upper bound: O~(|C|^{n/2}) via the Balance lift
+//     (paper, Theorem 4.11 / F.7) — exponent 3/2 for n = 3.
+//
+// Workload: the paper's own Example F.1 box family, |C| = 6·2^{d-2},
+// solved (a) by plain Tetris-Preloaded under all three cyclic SAOs and
+// (b) by Tetris-Preloaded-LB. The fitted exponents are the reproduction
+// of the Figure 2 separation.
+
+#include <cinttypes>
+
+#include "bench_util.h"
+#include "engine/balance.h"
+#include "engine/tetris.h"
+#include "workload/box_families.h"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace {
+
+int64_t RunOrdered(const std::vector<DyadicBox>& boxes, int d,
+                   std::vector<int> sao) {
+  MaterializedOracle oracle(3);
+  oracle.AddAll(boxes);
+  UniformSpace space(3, d);
+  TetrisOptions opt;
+  opt.init = TetrisOptions::Init::kPreloaded;
+  opt.sao = std::move(sao);
+  TetrisStats stats;
+  bool covered = IsFullyCovered(oracle, space, opt, &stats);
+  if (!covered) {
+    std::printf("!! EXPECTED FULL COVER\n");
+    std::exit(1);
+  }
+  return stats.resolutions;
+}
+
+int64_t RunLifted(const std::vector<DyadicBox>& boxes, int d) {
+  MaterializedOracle oracle(3);
+  oracle.AddAll(boxes);
+  TetrisLB lb(&oracle, 3, d, /*preloaded=*/true);
+  bool uncovered = false;
+  RunStatus status = lb.Run([&](const DyadicBox&) {
+    uncovered = true;
+    return false;
+  });
+  if (status != RunStatus::kCompleted || uncovered) {
+    std::printf("!! EXPECTED FULL COVER (LB)\n");
+    std::exit(1);
+  }
+  return lb.stats().resolutions;
+}
+
+}  // namespace
+
+int main() {
+  Header("Figure 2: Example F.1 — Ordered Omega(|C|^2) vs Geometric "
+         "O~(|C|^{3/2})");
+  std::printf("%4s %8s %12s %12s %12s %12s %10s\n", "d", "|C|", "ord(ABC)",
+              "ord(BCA)", "ord(CAB)", "lifted", "lift_ms");
+  std::vector<std::pair<double, double>> fit_ord, fit_lift;
+  for (int d = 4; d <= 9; ++d) {
+    auto boxes = ExampleF1Boxes(d);
+    const double c = static_cast<double>(boxes.size());
+    int64_t o1 = RunOrdered(boxes, d, {0, 1, 2});
+    int64_t o2 = RunOrdered(boxes, d, {1, 2, 0});
+    int64_t o3 = RunOrdered(boxes, d, {2, 0, 1});
+    Timer t;
+    int64_t lifted = RunLifted(boxes, d);
+    double lift_ms = t.Ms();
+    std::printf("%4d %8zu %12" PRId64 " %12" PRId64 " %12" PRId64
+                " %12" PRId64 " %10.1f\n",
+                d, boxes.size(), o1, o2, o3, lifted, lift_ms);
+    fit_ord.emplace_back(c, static_cast<double>(std::min({o1, o2, o3})));
+    fit_lift.emplace_back(c, static_cast<double>(lifted));
+  }
+  Note("fitted exponent, best ordered SAO vs |C|: %.2f (paper: 2)",
+       FitExponent(fit_ord));
+  Note("fitted exponent, Balance-lifted vs |C|:   %.2f (paper: 3/2)",
+       FitExponent(fit_lift));
+  return 0;
+}

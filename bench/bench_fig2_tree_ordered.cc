@@ -1,0 +1,91 @@
+// Figure 2, Tree-Ordered Geometric Resolution cells:
+//
+//   * upper:  O~(AGM) for any query           [Theorem 5.1]
+//   * lower:  Ω(N^{n/2}) for a tw-1 query     [Theorem 5.2]
+//
+// Tree-ordered resolution = Tetris with resolvent caching disabled.
+// Part 1 shows caching off still tracks AGM on AGM-tight triangles.
+// Part 2 shows the separation that caching buys on a treewidth-1 family:
+// the cached/uncached resolution ratio grows with N.
+
+#include <cinttypes>
+#include <cmath>
+
+#include "bench_util.h"
+#include "engine/join_runner.h"
+#include "workload/box_families.h"
+#include "workload/generators.h"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+int main() {
+  Header("Figure 2: Tree-Ordered resolution (cache off) vs Ordered");
+
+  Header("Thm 5.1: tree-ordered still meets AGM on grid triangles");
+  std::printf("%8s %8s %10s %12s %12s\n", "N", "AGM", "res_cached",
+              "res_uncached", "unc/AGM");
+  std::vector<std::pair<double, double>> fit_unc;
+  for (uint64_t m : {4u, 8u, 16u, 24u}) {
+    QueryInstance qi = FullGridTriangle(m);
+    const int d = qi.query.MinDepth();
+    std::vector<int> sao = {0, 1, 2};
+    auto owned = MakeSaoConsistentIndexes(qi.query, sao, d);
+    auto cached = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
+                                JoinAlgorithm::kTetrisPreloaded, sao);
+    auto uncached = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
+                                  JoinAlgorithm::kTetrisPreloadedNoCache,
+                                  sao);
+    const double agm = std::exp2(qi.query.AgmBoundLog2());
+    std::printf("%8zu %8.0f %10" PRId64 " %12" PRId64 " %12.2f\n",
+                qi.storage[0]->size(), agm, cached.stats.resolutions,
+                uncached.stats.resolutions, uncached.stats.resolutions / agm);
+    fit_unc.emplace_back(agm,
+                         static_cast<double>(uncached.stats.resolutions));
+    if (cached.tuples.size() != uncached.tuples.size()) {
+      std::printf("!! OUTPUT MISMATCH cached vs uncached\n");
+      return 1;
+    }
+  }
+  Note("fitted exponent of uncached resolutions vs AGM: %.2f "
+       "(paper: 1 + o(1))",
+       FitExponent(fit_unc));
+
+  Header("Thm 5.2 separation: shared-derivation family (tw=1 flavour)");
+  Note("per-A boxes <a,0,λ> + a shared chain covering <λ,1,λ>: caching "
+       "derives the chain once, tree-ordered re-derives it under every a");
+  std::printf("%4s %8s %12s %12s %10s\n", "d", "|C|", "res_cached",
+              "res_uncached", "ratio");
+  std::vector<std::pair<double, double>> fit_cached, fit_uncached;
+  for (int dd = 4; dd <= 8; ++dd) {
+    auto boxes = TreeOrderedHardFamily(dd);
+    MaterializedOracle oracle(3);
+    oracle.AddAll(boxes);
+    UniformSpace space(3, dd);
+    TetrisStats cached, uncached;
+    for (bool cache : {true, false}) {
+      TetrisOptions opt;
+      opt.init = TetrisOptions::Init::kPreloaded;
+      opt.cache_resolvents = cache;
+      opt.single_pass = true;
+      TetrisStats stats;
+      if (!IsFullyCovered(oracle, space, opt, &stats)) {
+        std::printf("!! EXPECTED FULL COVER\n");
+        return 1;
+      }
+      (cache ? cached : uncached) = stats;
+    }
+    const double c = static_cast<double>(boxes.size());
+    std::printf("%4d %8zu %12" PRId64 " %12" PRId64 " %10.2f\n", dd,
+                boxes.size(), cached.resolutions, uncached.resolutions,
+                static_cast<double>(uncached.resolutions) /
+                    static_cast<double>(cached.resolutions));
+    fit_cached.emplace_back(c, static_cast<double>(cached.resolutions));
+    fit_uncached.emplace_back(c, static_cast<double>(uncached.resolutions));
+  }
+  Note("fitted exponent vs |C|: cached (Ordered) %.2f, uncached "
+       "(Tree-Ordered) %.2f (paper: 1 vs >= n/2 — caching is what makes "
+       "certificate bounds possible)",
+       FitExponent(fit_cached), FitExponent(fit_uncached));
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Figures 1 / 3 / 4: the same relation stored in different indices yields
+// completely different gap-box collections — size and shape both depend
+// on the index (paper, Section 3.2 and Appendix B.2).
+//
+// Printed: gap-box counts from btree(A,B), btree(B,A) and the quad-tree
+// style dyadic index for (a) the paper's cross relation, (b) the MSB-
+// complement relation (footnote 9's exponential separation), (c) uniform
+// random relations — plus probe-cost micro numbers.
+
+#include <memory>
+
+#include "bench_util.h"
+#include "index/dyadic_index.h"
+#include "index/sorted_index.h"
+#include "workload/generators.h"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace {
+
+Relation CrossRelation(int d) {
+  // {c} x odds ∪ odds x {c} around the center value — Figure 1 scaled.
+  const uint64_t dom = uint64_t{1} << d;
+  const uint64_t c = dom / 2 - 1;
+  std::vector<Tuple> ts;
+  for (uint64_t v = 1; v < dom; v += 2) {
+    ts.push_back({c, v});
+    ts.push_back({v, c});
+  }
+  return Relation::Make("cross", {"A", "B"}, std::move(ts));
+}
+
+Relation MsbRelation(int d) {
+  const uint64_t dom = uint64_t{1} << d;
+  std::vector<Tuple> ts;
+  for (uint64_t a = 0; a < dom; ++a) {
+    for (uint64_t b = 0; b < dom; ++b) {
+      if ((a >> (d - 1)) != (b >> (d - 1))) ts.push_back({a, b});
+    }
+  }
+  return Relation::Make("msb", {"A", "B"}, std::move(ts));
+}
+
+void Report(const char* name, const Relation& rel, int d) {
+  SortedIndex ab(rel, {0, 1}, d);
+  SortedIndex ba(rel, {1, 0}, d);
+  DyadicTreeIndex qt(rel, d);
+  std::vector<DyadicBox> g1, g2, g3;
+  Timer t1;
+  ab.AllGaps(&g1);
+  double ms1 = t1.Ms();
+  Timer t2;
+  ba.AllGaps(&g2);
+  double ms2 = t2.Ms();
+  Timer t3;
+  qt.AllGaps(&g3);
+  double ms3 = t3.Ms();
+  std::printf("%-14s %8zu %12zu %12zu %12zu %8.1f %8.1f %8.1f\n", name,
+              rel.size(), g1.size(), g2.size(), g3.size(), ms1, ms2, ms3);
+}
+
+}  // namespace
+
+int main() {
+  Header("Figures 1/3/4: gap boxes per index type");
+  std::printf("%-14s %8s %12s %12s %12s %8s %8s %8s\n", "relation", "N",
+              "btree(A,B)", "btree(B,A)", "dyadic-tree", "ms1", "ms2",
+              "ms3");
+  Report("cross d=8", CrossRelation(8), 8);
+  Report("cross d=10", CrossRelation(10), 10);
+  Report("msb d=5", MsbRelation(5), 5);
+  Report("msb d=7", MsbRelation(7), 7);
+  for (int d : {8, 10}) {
+    Relation r = RandomRelation("rand", {"A", "B"},
+                                size_t{1} << (d + 1), d, d);
+    Report(d == 8 ? "random d=8" : "random d=10", r, d);
+  }
+  Note("\nfootnote 9 check (msb relations): the dyadic tree needs exactly "
+       "2 gap boxes at every d; each btree needs ~N/2 bands.");
+  return 0;
+}

@@ -1,0 +1,130 @@
+// Micro-benchmarks of the geometric core (google-benchmark): resolution,
+// knowledge-base insert / containment query, index probing, dyadic
+// decomposition. These are the O~(1) primitives Lemma 4.5 charges each
+// resolution with.
+
+#include <benchmark/benchmark.h>
+
+#include "engine/balance.h"
+#include "geometry/decompose.h"
+#include "geometry/resolution.h"
+#include "index/sorted_index.h"
+#include "kb/dyadic_tree_store.h"
+#include "util/rng.h"
+#include "workload/box_families.h"
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+DyadicBox RandomBox(Rng& rng, int n, int d) {
+  DyadicBox b = DyadicBox::Universal(n);
+  for (int j = 0; j < n; ++j) {
+    int len = static_cast<int>(rng.Below(d + 1));
+    b[j] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+  }
+  return b;
+}
+
+void BM_OrderedResolve(benchmark::State& state) {
+  const int d = 16;
+  DyadicBox w1 = DyadicBox::Of({{0x2bcd, 15}, {0x1a, 5}, {0, 0}});
+  DyadicBox w2 = DyadicBox::Of({{0xaf, 8}, {0x1b, 5}, {0, 0}});
+  (void)d;
+  for (auto _ : state) {
+    auto r = OrderedResolve(w1, w2);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_OrderedResolve);
+
+void BM_GeometricResolveAttempt(benchmark::State& state) {
+  Rng rng(7);
+  std::vector<std::pair<DyadicBox, DyadicBox>> pairs;
+  for (int i = 0; i < 512; ++i) {
+    pairs.emplace_back(RandomBox(rng, 4, 12), RandomBox(rng, 4, 12));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    auto r = GeometricResolve(pairs[i & 511].first, pairs[i & 511].second);
+    benchmark::DoNotOptimize(r);
+    ++i;
+  }
+}
+BENCHMARK(BM_GeometricResolveAttempt);
+
+void BM_KbInsert(benchmark::State& state) {
+  Rng rng(11);
+  std::vector<DyadicBox> boxes;
+  for (int i = 0; i < 4096; ++i) boxes.push_back(RandomBox(rng, 3, 16));
+  for (auto _ : state) {
+    state.PauseTiming();
+    DyadicTreeStore store(3);
+    state.ResumeTiming();
+    for (const auto& b : boxes) store.Insert(b);
+    benchmark::DoNotOptimize(store.size());
+  }
+  state.SetItemsProcessed(state.iterations() * 4096);
+}
+BENCHMARK(BM_KbInsert);
+
+void BM_KbFindContaining(benchmark::State& state) {
+  Rng rng(13);
+  DyadicTreeStore store(3);
+  for (int i = 0; i < static_cast<int>(state.range(0)); ++i) {
+    store.Insert(RandomBox(rng, 3, 16));
+  }
+  std::vector<DyadicBox> probes;
+  for (int i = 0; i < 512; ++i) {
+    probes.push_back(DyadicBox::Point(
+        {rng.Below(1 << 16), rng.Below(1 << 16), rng.Below(1 << 16)}, 16));
+  }
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(store.FindContaining(probes[i & 511]));
+    ++i;
+  }
+}
+BENCHMARK(BM_KbFindContaining)->Arg(1024)->Arg(16384);
+
+void BM_SortedIndexProbe(benchmark::State& state) {
+  const int d = 16;
+  Relation r = RandomRelation("R", {"A", "B"}, state.range(0), d, 5);
+  SortedIndex ix(r, d);
+  Rng rng(17);
+  std::vector<DyadicBox> out;
+  for (auto _ : state) {
+    out.clear();
+    Tuple t = {rng.Below(1 << d), rng.Below(1 << d)};
+    ix.GapsContaining(t, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SortedIndexProbe)->Arg(1024)->Arg(65536);
+
+void BM_DyadicCover(benchmark::State& state) {
+  Rng rng(19);
+  const int d = 32;
+  for (auto _ : state) {
+    uint64_t a = rng.Below(uint64_t{1} << d);
+    uint64_t b = rng.Below(uint64_t{1} << d);
+    if (a > b) std::swap(a, b);
+    auto v = DyadicCover(a, b, d);
+    benchmark::DoNotOptimize(v.size());
+  }
+}
+BENCHMARK(BM_DyadicCover);
+
+void BM_BalancedPartitionBuild(benchmark::State& state) {
+  auto boxes = ExampleF1Boxes(10);
+  for (auto _ : state) {
+    auto p = ComputeBalancedPartition(boxes, 0, 10);
+    benchmark::DoNotOptimize(p.size());
+  }
+}
+BENCHMARK(BM_BalancedPartitionBuild);
+
+}  // namespace
+}  // namespace tetris
+
+BENCHMARK_MAIN();

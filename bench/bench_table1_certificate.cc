@@ -1,0 +1,152 @@
+// Table 1, rows 4-5: beyond-worst-case (certificate) bounds.
+//
+//   row 5 (tw = 1): O~(|C| + Z)      [Theorem 4.7]
+//   row 4 (tw = w): O~(|C|^{w+1} + Z) [Theorem 4.9]
+//
+// Workload: striped empty joins (Appendix B flavor) whose box certificate
+// has O(2^s) boxes *independent of N*. Two sweeps per row:
+//   (a) fix |C|, grow N     — Tetris-Reloaded's work stays flat while
+//                             every input-reading baseline grows with N;
+//   (b) fix N, grow |C|     — Tetris-Reloaded's work tracks |C|.
+
+#include <cinttypes>
+
+#include "baseline/leapfrog.h"
+#include "baseline/yannakakis.h"
+#include "bench_util.h"
+#include "engine/join_runner.h"
+#include "index/sorted_index.h"
+#include "workload/generators.h"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace {
+
+// Indexes the striped attribute first so the certificate boxes are
+// available as single bands (the "right" indexes for the instance).
+std::vector<std::unique_ptr<Index>> StripeFirstIndexes(
+    const QueryInstance& qi, const std::vector<int>& sao) {
+  return MakeSaoConsistentIndexes(qi.query, sao, qi.depth);
+}
+
+void SweepPath(bool sweep_n) {
+  Header(sweep_n ? "tw=1 path: fix |C|, grow N (res must stay flat)"
+                 : "tw=1 path: fix N, grow |C| (res must track |C|)");
+  std::printf("%8s %8s %10s %10s %12s %10s %10s\n", "N", "~|C|", "loaded",
+              "resolns", "tetris_ms", "lftj_ms", "yann_ms");
+  std::vector<std::pair<double, double>> fit;
+  const int d = 14;
+  std::vector<std::pair<int, size_t>> params;
+  if (sweep_n) {
+    for (size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
+      params.emplace_back(3, n);
+    }
+  } else {
+    for (int s : {1, 2, 3, 4, 5, 6}) params.emplace_back(s, 4000u);
+  }
+  for (auto [s, n] : params) {
+    QueryInstance qi = StripedEmptyPath(s, n, d, /*seed=*/s * 1000 + n);
+    qi.depth = d;
+    // SAO: striped attribute (B = attr id 1) first; elimination width 1.
+    std::vector<int> sao = {1, 0, 2};
+    auto owned = StripeFirstIndexes(qi, sao);
+
+    Timer t1;
+    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
+                             JoinAlgorithm::kTetrisReloaded, sao);
+    double tetris_ms = t1.Ms();
+
+    Timer t2;
+    auto lftj = LeapfrogTriejoin(qi.query, {1, 0, 2});
+    double lftj_ms = t2.Ms();
+
+    Timer t3;
+    auto y = YannakakisJoin(qi.query);
+    double yann_ms = t3.Ms();
+
+    size_t total_n = 0;
+    for (const auto& r : qi.storage) total_n += r->size();
+    const double cert = static_cast<double>(uint64_t{1} << s);
+    std::printf("%8zu %8.0f %10" PRId64 " %10" PRId64 " %12.2f %10.1f %10.1f\n",
+                total_n, cert, res.stats.boxes_loaded, res.stats.resolutions,
+                tetris_ms, lftj_ms, yann_ms);
+    fit.emplace_back(sweep_n ? static_cast<double>(total_n) : cert,
+                     static_cast<double>(res.stats.resolutions));
+    if (!res.tuples.empty() || !lftj.empty() || !y || !y->empty()) {
+      std::printf("!! EXPECTED EMPTY OUTPUT\n");
+      std::exit(1);
+    }
+  }
+  if (sweep_n) {
+    Note("fitted exponent of resolutions vs N: %.2f (paper: 0 — "
+         "N-independent)",
+         FitExponent(fit));
+  } else {
+    Note("fitted exponent of resolutions vs |C|: %.2f (paper: <= 1 + o(1))",
+         FitExponent(fit));
+  }
+}
+
+void SweepCycle(bool sweep_n) {
+  Header(sweep_n
+             ? "tw=2 4-cycle: fix |C|, grow N (res must stay flat)"
+             : "tw=2 4-cycle: fix N, grow |C| (bound |C|^{w+1} = |C|^3)");
+  std::printf("%8s %8s %10s %10s %12s %10s\n", "N", "~|C|", "loaded",
+              "resolns", "res/|C|^3", "tetris_ms");
+  std::vector<std::pair<double, double>> fit;
+  const int d = 12;
+  std::vector<std::pair<int, size_t>> params;
+  if (sweep_n) {
+    for (size_t n : {500u, 1000u, 2000u, 4000u, 8000u}) {
+      params.emplace_back(2, n);
+    }
+  } else {
+    for (int s : {1, 2, 3, 4, 5}) params.emplace_back(s, 2000u);
+  }
+  for (auto [s, n] : params) {
+    QueryInstance qi = StripedEmptyCycle(s, n, d, /*seed=*/s * 7 + n);
+    qi.depth = d;
+    std::vector<int> sao = qi.query.MinWidthSao();
+    // Put the striped attributes early: A1 and A3 carry the certificate.
+    sao = {1, 3, 0, 2};
+    auto owned = StripeFirstIndexes(qi, sao);
+
+    Timer t1;
+    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
+                             JoinAlgorithm::kTetrisReloaded, sao);
+    double tetris_ms = t1.Ms();
+
+    size_t total_n = 0;
+    for (const auto& r : qi.storage) total_n += r->size();
+    const double cert = static_cast<double>(uint64_t{2} << s);
+    const double bound = cert * cert * cert;
+    std::printf("%8zu %8.0f %10" PRId64 " %10" PRId64 " %12.4f %10.1f\n",
+                total_n, cert, res.stats.boxes_loaded, res.stats.resolutions,
+                res.stats.resolutions / bound, tetris_ms);
+    fit.emplace_back(sweep_n ? static_cast<double>(total_n) : cert,
+                     static_cast<double>(res.stats.resolutions));
+    if (!res.tuples.empty()) {
+      std::printf("!! EXPECTED EMPTY OUTPUT\n");
+      std::exit(1);
+    }
+  }
+  if (sweep_n) {
+    Note("fitted exponent of resolutions vs N: %.2f (paper: 0)",
+         FitExponent(fit));
+  } else {
+    Note("fitted exponent of resolutions vs |C|: %.2f (paper: <= w+1 = 3)",
+         FitExponent(fit));
+  }
+}
+
+}  // namespace
+
+int main() {
+  Header("Table 1 rows 4-5: certificate bounds [Theorems 4.7 / 4.9]");
+  SweepPath(/*sweep_n=*/true);
+  SweepPath(/*sweep_n=*/false);
+  SweepCycle(/*sweep_n=*/true);
+  SweepCycle(/*sweep_n=*/false);
+  return 0;
+}

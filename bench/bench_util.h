@@ -1,0 +1,66 @@
+// Shared helpers for the table/figure reproduction harnesses.
+//
+// Every bench binary prints (a) the measured series for its table/figure,
+// (b) the paper's bound for the same parameters, and (c) a fitted log-log
+// growth exponent so the *shape* claim (who wins, with which exponent) is
+// checkable at a glance. EXPERIMENTS.md records the outcomes.
+#ifndef TETRIS_BENCH_BENCH_UTIL_H_
+#define TETRIS_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cmath>
+#include <cstdarg>
+#include <cstdio>
+#include <vector>
+
+namespace tetris::bench {
+
+/// Wall-clock stopwatch in milliseconds.
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+  double Ms() const {
+    auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double, std::milli>(now - start_).count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Least-squares slope of log(y) against log(x): the empirical growth
+/// exponent of a series. Points with non-positive coordinates are skipped.
+inline double FitExponent(const std::vector<std::pair<double, double>>& pts) {
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int n = 0;
+  for (auto [x, y] : pts) {
+    if (x <= 0 || y <= 0) continue;
+    double lx = std::log(x), ly = std::log(y);
+    sx += lx;
+    sy += ly;
+    sxx += lx * lx;
+    sxy += lx * ly;
+    ++n;
+  }
+  if (n < 2) return 0.0;
+  double denom = n * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) return 0.0;
+  return (n * sxy - sx * sy) / denom;
+}
+
+/// Section header in the harness output.
+inline void Header(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+inline void Note(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+}  // namespace tetris::bench
+
+#endif  // TETRIS_BENCH_BENCH_UTIL_H_

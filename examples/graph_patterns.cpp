@@ -1,0 +1,74 @@
+// Subgraph listing — the paper's motivating application (Section 1:
+// "joins ... capture subgraph listing problems which are central in
+// social and biological network analysis").
+//
+// Lists triangles and 4-cliques in a random graph with Tetris, Leapfrog
+// Triejoin and a classical pairwise hash-join plan, and prints wall times
+// plus the intermediate-result blow-up that the worst-case optimal
+// algorithms avoid.
+
+#include <chrono>
+#include <cstdio>
+
+#include "baseline/leapfrog.h"
+#include "baseline/pairwise_join.h"
+#include "engine/join_runner.h"
+#include "workload/generators.h"
+
+using namespace tetris;
+
+namespace {
+
+double MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+void RunPattern(const char* name, int k, uint64_t nodes, size_t edges) {
+  QueryInstance qi = CliqueOnRandomGraph(k, nodes, edges, /*seed=*/42);
+  std::printf("\n-- %s on G(%llu nodes, ~%zu edges) --\n", name,
+              static_cast<unsigned long long>(nodes), edges);
+
+  auto t0 = std::chrono::steady_clock::now();
+  auto tetris_res =
+      RunTetrisJoinDefaultIndexes(qi.query, JoinAlgorithm::kTetrisPreloaded);
+  double tetris_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  auto lftj = LeapfrogTriejoin(qi.query);
+  double lftj_ms = MsSince(t0);
+
+  t0 = std::chrono::steady_clock::now();
+  BaselineStats hs;
+  auto hash = PairwiseJoinPlan(qi.query, PairwiseMethod::kHash, &hs);
+  double hash_ms = MsSince(t0);
+
+  // Each k-clique appears k! times as an ordered embedding.
+  std::printf("  embeddings found: %zu (each clique counted k! times)\n",
+              tetris_res.tuples.size());
+  std::printf("  tetris:    %8.1f ms, %lld resolutions\n", tetris_ms,
+              static_cast<long long>(tetris_res.stats.resolutions));
+  std::printf("  leapfrog:  %8.1f ms\n", lftj_ms);
+  std::printf("  hash join: %8.1f ms, max intermediate %zu tuples\n",
+              hash_ms, hs.max_intermediate);
+  if (lftj.size() != tetris_res.tuples.size() ||
+      hash.size() != tetris_res.tuples.size()) {
+    std::printf("  !! output mismatch between engines\n");
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main() {
+  std::printf("Subgraph listing with Tetris vs worst-case-optimal and "
+              "pairwise baselines\n");
+  RunPattern("triangle (3-clique)", 3, 300, 2500);
+  RunPattern("4-clique", 4, 120, 1200);
+  std::printf("\nNote the hash-join intermediate column: pairwise plans "
+              "materialize the\nopen wedge R⋈S before closing it, which "
+              "is exactly the blow-up the\nAGM-bound algorithms (Tetris, "
+              "LFTJ) avoid.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Quickstart: evaluate a triangle join with Tetris in ~20 lines.
+//
+//   Q(A,B,C) = R(A,B) ⋈ S(B,C) ⋈ T(A,C)
+//
+// Build relations, bind them into a JoinQuery, pick an engine variant,
+// run. The run result carries the output tuples plus the paper's cost
+// counters (geometric resolutions, boxes loaded from the indexes, ...).
+
+#include <cstdio>
+
+#include "engine/join_runner.h"
+
+using namespace tetris;
+
+int main() {
+  // A 6-node directed triangle-ish graph, stored three times under the
+  // three attribute pairs of the triangle query.
+  Relation r = Relation::Make("R", {"A", "B"},
+                              {{0, 1}, {1, 2}, {2, 0}, {3, 4}, {4, 5}});
+  Relation s = Relation::Make("S", {"B", "C"},
+                              {{1, 2}, {2, 0}, {0, 1}, {4, 5}, {5, 1}});
+  Relation t = Relation::Make("T", {"A", "C"},
+                              {{0, 2}, {1, 0}, {2, 1}, {3, 5}, {4, 1}});
+
+  JoinQuery q = JoinQuery::Build({&r, &s, &t});
+  std::printf("query attributes:");
+  for (const auto& a : q.attrs()) std::printf(" %s", a.c_str());
+  std::printf("\nlog2(AGM bound) = %.2f\n\n", q.AgmBoundLog2());
+
+  // Tetris-Reloaded: starts with an empty knowledge base and pulls gap
+  // boxes from the B-tree indexes only as needed (certificate behavior).
+  JoinRunResult res =
+      RunTetrisJoinDefaultIndexes(q, JoinAlgorithm::kTetrisReloaded);
+
+  std::printf("output (%zu tuples):\n", res.tuples.size());
+  for (const Tuple& tu : res.tuples) {
+    std::printf("  (A=%llu, B=%llu, C=%llu)\n",
+                static_cast<unsigned long long>(tu[0]),
+                static_cast<unsigned long long>(tu[1]),
+                static_cast<unsigned long long>(tu[2]));
+  }
+  std::printf("\nengine counters:\n");
+  std::printf("  geometric resolutions: %lld\n",
+              static_cast<long long>(res.stats.resolutions));
+  std::printf("  gap boxes loaded:      %lld\n",
+              static_cast<long long>(res.stats.boxes_loaded));
+  std::printf("  oracle probes:         %lld\n",
+              static_cast<long long>(res.oracle_probes));
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Tetris as DPLL with clause learning (paper, Section 4.2.4, Appendix I).
+//
+// Clauses become gap boxes in the Boolean cube (Figure 8), branching is
+// box splitting, learned clauses are cached resolvents, and #SAT is the
+// box cover problem. For UNSAT formulas the engine leaves behind a
+// machine-checkable geometric-resolution refutation.
+
+#include <cstdio>
+
+#include "sat/tetris_sat.h"
+
+using namespace tetris;
+
+int main() {
+  // A small satisfiable formula in DIMACS.
+  const char* dimacs =
+      "c (x1 v x2) & (~x1 v x3) & (~x2 v ~x3) & (x2 v x3)\n"
+      "p cnf 3 4\n"
+      "1 2 0\n"
+      "-1 3 0\n"
+      "-2 -3 0\n"
+      "2 3 0\n";
+  Cnf f = Cnf::ParseDimacs(dimacs);
+  std::printf("formula:\n%s\n", f.ToDimacs().c_str());
+
+  SatResult r = CountModels(f);
+  std::printf("#models = %llu (brute force: %llu)\n",
+              static_cast<unsigned long long>(r.model_count),
+              static_cast<unsigned long long>(f.BruteForceCount()));
+  if (r.first_model) {
+    std::printf("first model mask = 0b");
+    for (int v = f.num_vars - 1; v >= 0; --v) {
+      std::printf("%d", static_cast<int>((*r.first_model >> v) & 1));
+    }
+    std::printf("  (learned clauses = %lld resolutions)\n\n",
+                static_cast<long long>(r.stats.resolutions));
+  }
+
+  // Pigeonhole PHP(3,2): 3 pigeons, 2 holes — classically UNSAT and a
+  // canonical hard case for resolution. Tetris leaves a refutation.
+  Cnf php = PigeonholeCnf(3, 2);
+  ProofLog proof(php.num_vars, 1);
+  SatResult u = CountModels(php, &proof);
+  std::printf("PHP(3,2): %llu models (UNSAT as expected)\n",
+              static_cast<unsigned long long>(u.model_count));
+  std::string err;
+  bool ok = proof.Verify(&err);
+  std::printf("refutation: %zu axioms, %zu resolution steps, verifies: "
+              "%s\n",
+              proof.axiom_count(), proof.step_count(), ok ? "YES" : "no");
+  std::printf("derives the full cube (empty clause analogue): %s\n",
+              proof.Derives(DyadicBox::Universal(php.num_vars)) ? "YES"
+                                                                : "no");
+  std::printf("\nFirst lines of the Graphviz proof DAG:\n");
+  std::string dot = proof.ToDot();
+  size_t pos = 0;
+  for (int line = 0; line < 8 && pos != std::string::npos; ++line) {
+    size_t next = dot.find('\n', pos);
+    std::printf("  %s\n", dot.substr(pos, next - pos).c_str());
+    pos = next == std::string::npos ? next : next + 1;
+  }
+  std::printf("  ...\n");
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,25 @@
+// Generic Join — the NPRR-style worst-case optimal join skeleton [51, 52].
+//
+// Binds attributes one at a time in a global order: the candidate values
+// of an attribute are the intersection of the participating relations'
+// projections, computed by iterating the smallest candidate range and
+// probing the others (the "skew strikes back" recipe). With sorted
+// relations this stays within the AGM bound, like Leapfrog Triejoin but
+// without the leapfrogging iterator discipline.
+#ifndef TETRIS_BASELINE_GENERIC_JOIN_H_
+#define TETRIS_BASELINE_GENERIC_JOIN_H_
+
+#include "baseline/temp_relation.h"
+
+namespace tetris {
+
+/// Evaluates `query` with Generic Join under attribute order `gao`
+/// (empty = query attribute order). `probes`, if non-null, receives the
+/// number of binary-search probes performed.
+std::vector<Tuple> GenericJoin(const JoinQuery& query,
+                               std::vector<int> gao = {},
+                               int64_t* probes = nullptr);
+
+}  // namespace tetris
+
+#endif  // TETRIS_BASELINE_GENERIC_JOIN_H_

@@ -1,0 +1,26 @@
+// Leapfrog Triejoin [72] — the worst-case optimal join baseline.
+//
+// Every relation is presented as a trie in a global attribute order (GAO);
+// at each query level the iterators of the relations containing that
+// attribute "leapfrog" (mutually seek) to their next common key. Runs in
+// O~(AGM) in the worst case; the paper recovers the same bound with
+// Tetris (Theorem D.2), so this is the natural comparator for the
+// worst-case benches.
+#ifndef TETRIS_BASELINE_LEAPFROG_H_
+#define TETRIS_BASELINE_LEAPFROG_H_
+
+#include "baseline/temp_relation.h"
+
+namespace tetris {
+
+/// Evaluates `query` with Leapfrog Triejoin under attribute order `gao`
+/// (attribute-id permutation; empty = query attribute order). `seeks`, if
+/// non-null, receives the number of iterator seek/next operations — the
+/// comparison-based cost measure of [50].
+std::vector<Tuple> LeapfrogTriejoin(const JoinQuery& query,
+                                    std::vector<int> gao = {},
+                                    int64_t* seeks = nullptr);
+
+}  // namespace tetris
+
+#endif  // TETRIS_BASELINE_LEAPFROG_H_

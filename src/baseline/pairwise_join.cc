@@ -1,0 +1,177 @@
+#include "baseline/pairwise_join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace tetris {
+namespace {
+
+struct KeyHash {
+  size_t operator()(const Tuple& k) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t v : k) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+// Column positions of the join key on each side, and of the right-side
+// columns that are not part of the key.
+struct JoinShape {
+  std::vector<int> left_key;
+  std::vector<int> right_key;
+  std::vector<int> right_extra;
+  std::vector<int> out_vars;
+};
+
+JoinShape ComputeShape(const TempRelation& l, const TempRelation& r) {
+  JoinShape s;
+  s.out_vars = l.vars;
+  for (size_t j = 0; j < r.vars.size(); ++j) {
+    auto it = std::find(l.vars.begin(), l.vars.end(), r.vars[j]);
+    if (it != l.vars.end()) {
+      s.left_key.push_back(static_cast<int>(it - l.vars.begin()));
+      s.right_key.push_back(static_cast<int>(j));
+    } else {
+      s.right_extra.push_back(static_cast<int>(j));
+      s.out_vars.push_back(r.vars[j]);
+    }
+  }
+  return s;
+}
+
+Tuple ExtractKey(const Tuple& t, const std::vector<int>& cols) {
+  Tuple k;
+  k.reserve(cols.size());
+  for (int c : cols) k.push_back(t[c]);
+  return k;
+}
+
+Tuple Concat(const Tuple& l, const Tuple& r,
+             const std::vector<int>& right_extra) {
+  Tuple out = l;
+  for (int c : right_extra) out.push_back(r[c]);
+  return out;
+}
+
+TempRelation HashJoinPair(const TempRelation& l, const TempRelation& r,
+                          const JoinShape& s) {
+  TempRelation out;
+  out.vars = s.out_vars;
+  std::unordered_map<Tuple, std::vector<int>, KeyHash> table;
+  for (size_t i = 0; i < r.tuples.size(); ++i) {
+    table[ExtractKey(r.tuples[i], s.right_key)].push_back(
+        static_cast<int>(i));
+  }
+  for (const Tuple& lt : l.tuples) {
+    auto it = table.find(ExtractKey(lt, s.left_key));
+    if (it == table.end()) continue;
+    for (int ri : it->second) {
+      out.tuples.push_back(Concat(lt, r.tuples[ri], s.right_extra));
+    }
+  }
+  return out;
+}
+
+TempRelation NestedLoopJoinPair(const TempRelation& l, const TempRelation& r,
+                                const JoinShape& s) {
+  TempRelation out;
+  out.vars = s.out_vars;
+  for (const Tuple& lt : l.tuples) {
+    for (const Tuple& rt : r.tuples) {
+      bool match = true;
+      for (size_t k = 0; k < s.left_key.size(); ++k) {
+        if (lt[s.left_key[k]] != rt[s.right_key[k]]) {
+          match = false;
+          break;
+        }
+      }
+      if (match) out.tuples.push_back(Concat(lt, rt, s.right_extra));
+    }
+  }
+  return out;
+}
+
+TempRelation SortMergeJoinPair(const TempRelation& l, const TempRelation& r,
+                               const JoinShape& s) {
+  TempRelation out;
+  out.vars = s.out_vars;
+  // Sort index arrays by key.
+  std::vector<int> li(l.tuples.size()), ri(r.tuples.size());
+  for (size_t i = 0; i < li.size(); ++i) li[i] = static_cast<int>(i);
+  for (size_t i = 0; i < ri.size(); ++i) ri[i] = static_cast<int>(i);
+  auto lkey = [&](int i) { return ExtractKey(l.tuples[i], s.left_key); };
+  auto rkey = [&](int i) { return ExtractKey(r.tuples[i], s.right_key); };
+  std::sort(li.begin(), li.end(),
+            [&](int a, int b) { return lkey(a) < lkey(b); });
+  std::sort(ri.begin(), ri.end(),
+            [&](int a, int b) { return rkey(a) < rkey(b); });
+  size_t i = 0, j = 0;
+  while (i < li.size() && j < ri.size()) {
+    Tuple lk = lkey(li[i]), rk = rkey(ri[j]);
+    if (lk < rk) {
+      ++i;
+    } else if (rk < lk) {
+      ++j;
+    } else {
+      // Cross product of the two equal-key runs.
+      size_t i_end = i, j_end = j;
+      while (i_end < li.size() && lkey(li[i_end]) == lk) ++i_end;
+      while (j_end < ri.size() && rkey(ri[j_end]) == rk) ++j_end;
+      for (size_t a = i; a < i_end; ++a) {
+        for (size_t b = j; b < j_end; ++b) {
+          out.tuples.push_back(
+              Concat(l.tuples[li[a]], r.tuples[ri[b]], s.right_extra));
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+TempRelation JoinPair(const TempRelation& left, const TempRelation& right,
+                      PairwiseMethod method) {
+  JoinShape s = ComputeShape(left, right);
+  switch (method) {
+    case PairwiseMethod::kNestedLoop:
+      return NestedLoopJoinPair(left, right, s);
+    case PairwiseMethod::kHash:
+      return HashJoinPair(left, right, s);
+    case PairwiseMethod::kSortMerge:
+      return SortMergeJoinPair(left, right, s);
+  }
+  return {};
+}
+
+std::vector<Tuple> PairwiseJoinPlan(const JoinQuery& query,
+                                    PairwiseMethod method,
+                                    BaselineStats* stats) {
+  TempRelation acc = TempRelation::FromAtom(query.atoms()[0]);
+  if (stats) stats->Record(acc.tuples.size());
+  for (size_t i = 1; i < query.atoms().size(); ++i) {
+    acc = JoinPair(acc, TempRelation::FromAtom(query.atoms()[i]), method);
+    if (stats) stats->Record(acc.tuples.size());
+  }
+  // Reorder columns into query attribute-id order.
+  std::vector<int> pos(query.num_attrs(), -1);
+  for (size_t c = 0; c < acc.vars.size(); ++c) {
+    pos[acc.vars[c]] = static_cast<int>(c);
+  }
+  std::vector<Tuple> out;
+  out.reserve(acc.tuples.size());
+  for (const Tuple& t : acc.tuples) {
+    Tuple o(query.num_attrs());
+    for (int a = 0; a < query.num_attrs(); ++a) {
+      o[a] = pos[a] >= 0 ? t[pos[a]] : 0;
+    }
+    out.push_back(std::move(o));
+  }
+  return out;
+}
+
+}  // namespace tetris

@@ -1,0 +1,33 @@
+// Classical binary-join baselines (paper, Section 1's "Block-Nested loop
+// join, Hash-Join, Sort-merge" comparators).
+//
+// Each evaluates the query with a left-deep plan in atom order, fully
+// materializing intermediates — exactly the strategy whose intermediate
+// blow-up motivates worst-case-optimal joins (paper, Section 2).
+#ifndef TETRIS_BASELINE_PAIRWISE_JOIN_H_
+#define TETRIS_BASELINE_PAIRWISE_JOIN_H_
+
+#include "baseline/temp_relation.h"
+
+namespace tetris {
+
+/// How the binary join operator is implemented.
+enum class PairwiseMethod {
+  kNestedLoop,  ///< block-nested-loop
+  kHash,        ///< build/probe hash join
+  kSortMerge,   ///< sort both sides on the shared key, merge
+};
+
+/// Natural join of two intermediates with `method`.
+TempRelation JoinPair(const TempRelation& left, const TempRelation& right,
+                      PairwiseMethod method);
+
+/// Left-deep evaluation of `query` in atom order. Output columns follow
+/// query attribute-id order.
+std::vector<Tuple> PairwiseJoinPlan(const JoinQuery& query,
+                                    PairwiseMethod method,
+                                    BaselineStats* stats = nullptr);
+
+}  // namespace tetris
+
+#endif  // TETRIS_BASELINE_PAIRWISE_JOIN_H_

@@ -1,0 +1,37 @@
+// Intermediate results for the classical (pairwise) join baselines.
+#ifndef TETRIS_BASELINE_TEMP_RELATION_H_
+#define TETRIS_BASELINE_TEMP_RELATION_H_
+
+#include <vector>
+
+#include "query/join_query.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// A materialized intermediate relation: tuples over query attribute ids.
+struct TempRelation {
+  std::vector<int> vars;      ///< query attribute ids, in column order
+  std::vector<Tuple> tuples;  ///< not necessarily sorted or deduplicated
+
+  /// Lifts an atom into a TempRelation.
+  static TempRelation FromAtom(const Atom& a) {
+    return {a.var_ids, a.rel->tuples()};
+  }
+};
+
+/// Accounting shared by all baselines: the classical "intermediate result
+/// blow-up" measure that worst-case-optimal algorithms avoid.
+struct BaselineStats {
+  size_t max_intermediate = 0;  ///< largest materialized intermediate
+  size_t total_intermediate = 0;
+
+  void Record(size_t sz) {
+    max_intermediate = std::max(max_intermediate, sz);
+    total_intermediate += sz;
+  }
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_BASELINE_TEMP_RELATION_H_

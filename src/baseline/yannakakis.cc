@@ -1,0 +1,159 @@
+#include "baseline/yannakakis.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "baseline/pairwise_join.h"
+
+namespace tetris {
+namespace {
+
+struct KeyHash {
+  size_t operator()(const Tuple& k) const {
+    size_t h = 0x9e3779b97f4a7c15ULL;
+    for (uint64_t v : k) {
+      h ^= v + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+std::vector<int> SharedCols(const TempRelation& a, const TempRelation& b,
+                            std::vector<int>* b_cols) {
+  std::vector<int> a_cols;
+  b_cols->clear();
+  for (size_t i = 0; i < a.vars.size(); ++i) {
+    auto it = std::find(b.vars.begin(), b.vars.end(), a.vars[i]);
+    if (it != b.vars.end()) {
+      a_cols.push_back(static_cast<int>(i));
+      b_cols->push_back(static_cast<int>(it - b.vars.begin()));
+    }
+  }
+  return a_cols;
+}
+
+// a := a ⋉ b (keep tuples of a whose shared key appears in b).
+void Semijoin(TempRelation* a, const TempRelation& b, BaselineStats* stats) {
+  std::vector<int> b_cols;
+  std::vector<int> a_cols = SharedCols(*a, b, &b_cols);
+  std::unordered_set<Tuple, KeyHash> keys;
+  for (const Tuple& t : b.tuples) {
+    Tuple k;
+    k.reserve(b_cols.size());
+    for (int c : b_cols) k.push_back(t[c]);
+    keys.insert(std::move(k));
+  }
+  size_t w = 0;
+  for (size_t i = 0; i < a->tuples.size(); ++i) {
+    Tuple k;
+    k.reserve(a_cols.size());
+    for (int c : a_cols) k.push_back(a->tuples[i][c]);
+    if (keys.count(k)) {
+      if (w != i) a->tuples[w] = std::move(a->tuples[i]);
+      ++w;
+    }
+  }
+  a->tuples.resize(w);
+  if (stats) stats->Record(a->tuples.size());
+}
+
+}  // namespace
+
+std::optional<std::vector<Tuple>> YannakakisJoin(const JoinQuery& query,
+                                                 BaselineStats* stats) {
+  const size_t m = query.atoms().size();
+  // --- Build a join tree by ear removal. ---
+  // removal[i] = (ear, parent) in removal order; parents are still live.
+  std::vector<std::pair<int, int>> removal;
+  std::vector<bool> live(m, true);
+  std::vector<std::vector<int>> vars(m);
+  for (size_t i = 0; i < m; ++i) vars[i] = query.atoms()[i].var_ids;
+  size_t live_count = m;
+  while (live_count > 1) {
+    int ear = -1, parent = -1;
+    for (size_t e = 0; e < m && ear < 0; ++e) {
+      if (!live[e]) continue;
+      // Vertices of e that appear in some other live edge.
+      std::vector<int> shared;
+      for (int v : vars[e]) {
+        bool elsewhere = false;
+        for (size_t o = 0; o < m; ++o) {
+          if (o == e || !live[o]) continue;
+          if (std::find(vars[o].begin(), vars[o].end(), v) !=
+              vars[o].end()) {
+            elsewhere = true;
+            break;
+          }
+        }
+        if (elsewhere) shared.push_back(v);
+      }
+      // A parent must contain all shared vertices of e.
+      for (size_t p = 0; p < m; ++p) {
+        if (p == e || !live[p]) continue;
+        bool covers = true;
+        for (int v : shared) {
+          if (std::find(vars[p].begin(), vars[p].end(), v) ==
+              vars[p].end()) {
+            covers = false;
+            break;
+          }
+        }
+        if (covers) {
+          ear = static_cast<int>(e);
+          parent = static_cast<int>(p);
+          break;
+        }
+      }
+    }
+    if (ear < 0) return std::nullopt;  // not α-acyclic
+    removal.emplace_back(ear, parent);
+    live[ear] = false;
+    --live_count;
+  }
+
+  // --- Materialize, then run the full reducer. ---
+  std::vector<TempRelation> rels;
+  rels.reserve(m);
+  for (const Atom& a : query.atoms()) {
+    rels.push_back(TempRelation::FromAtom(a));
+    if (stats) stats->Record(rels.back().tuples.size());
+  }
+  // Upward (leaves first): parent ⋉ child.
+  for (const auto& [ear, parent] : removal) {
+    Semijoin(&rels[parent], rels[ear], stats);
+  }
+  // Downward (root first): child ⋉ parent.
+  for (auto it = removal.rbegin(); it != removal.rend(); ++it) {
+    Semijoin(&rels[it->first], rels[it->second], stats);
+  }
+  // --- Join along the tree, children into parents (removal order). ---
+  for (const auto& [ear, parent] : removal) {
+    rels[parent] = JoinPair(rels[parent], rels[ear], PairwiseMethod::kHash);
+    if (stats) stats->Record(rels[parent].tuples.size());
+  }
+  int root = removal.empty() ? 0 : removal.back().second;
+
+  // Reorder columns into query attribute-id order.
+  const TempRelation& acc = rels[root];
+  std::vector<int> pos(query.num_attrs(), -1);
+  for (size_t c = 0; c < acc.vars.size(); ++c) {
+    pos[acc.vars[c]] = static_cast<int>(c);
+  }
+  std::vector<Tuple> out;
+  out.reserve(acc.tuples.size());
+  for (const Tuple& t : acc.tuples) {
+    Tuple o(query.num_attrs());
+    for (int a = 0; a < query.num_attrs(); ++a) {
+      o[a] = pos[a] >= 0 ? t[pos[a]] : 0;
+    }
+    out.push_back(std::move(o));
+  }
+  // The tree join can produce duplicates only if a relation's columns were
+  // projected away, which we never do — but deduplicate defensively when
+  // the same atom schema appears twice.
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace tetris

@@ -1,0 +1,23 @@
+// Yannakakis' algorithm [73] for α-acyclic queries.
+//
+// Builds a join tree by ear removal (GYO), runs the full-reducer semijoin
+// program (leaf-to-root then root-to-leaf), and joins along the tree.
+// Runs in O~(N + Z); Tetris-Preloaded with a reverse-GYO SAO matches this
+// bound (paper, Theorem D.8), which the Table-1 row-1 bench demonstrates.
+#ifndef TETRIS_BASELINE_YANNAKAKIS_H_
+#define TETRIS_BASELINE_YANNAKAKIS_H_
+
+#include <optional>
+
+#include "baseline/temp_relation.h"
+
+namespace tetris {
+
+/// Evaluates an α-acyclic `query`; returns std::nullopt if the query is
+/// not α-acyclic. Output columns follow query attribute-id order.
+std::optional<std::vector<Tuple>> YannakakisJoin(
+    const JoinQuery& query, BaselineStats* stats = nullptr);
+
+}  // namespace tetris
+
+#endif  // TETRIS_BASELINE_YANNAKAKIS_H_

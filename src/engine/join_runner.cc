@@ -1,0 +1,154 @@
+#include "engine/join_runner.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "index/sorted_index.h"
+
+namespace tetris {
+
+RelationOracle::RelationOracle(const JoinQuery* query,
+                               std::vector<const Index*> indexes, int depth)
+    : query_(query), indexes_(std::move(indexes)), d_(depth) {
+  assert(indexes_.size() == query_->atoms().size());
+}
+
+DyadicBox RelationOracle::Embed(const Atom& a,
+                                const DyadicBox& rel_box) const {
+  DyadicBox out = DyadicBox::Universal(query_->num_attrs());
+  for (size_t c = 0; c < a.var_ids.size(); ++c) {
+    out[a.var_ids[c]] = rel_box[static_cast<int>(c)];
+  }
+  return out;
+}
+
+void RelationOracle::Probe(const DyadicBox& point,
+                           std::vector<DyadicBox>* out) const {
+  ++probe_count_;
+  std::vector<uint64_t> vals = point.ToPoint();
+  Tuple proj;
+  std::vector<DyadicBox> gaps;
+  for (size_t i = 0; i < query_->atoms().size(); ++i) {
+    const Atom& a = query_->atoms()[i];
+    proj.clear();
+    for (int id : a.var_ids) proj.push_back(vals[id]);
+    gaps.clear();
+    indexes_[i]->GapsContaining(proj, &gaps);
+    for (const DyadicBox& g : gaps) out->push_back(Embed(a, g));
+  }
+}
+
+bool RelationOracle::EnumerateAll(std::vector<DyadicBox>* out) const {
+  std::vector<DyadicBox> gaps;
+  for (size_t i = 0; i < query_->atoms().size(); ++i) {
+    gaps.clear();
+    indexes_[i]->AllGaps(&gaps);
+    for (const DyadicBox& g : gaps) {
+      out->push_back(Embed(query_->atoms()[i], g));
+    }
+  }
+  return true;
+}
+
+size_t RelationOracle::CountAllGaps() const {
+  std::vector<DyadicBox> all;
+  EnumerateAll(&all);
+  return all.size();
+}
+
+JoinRunResult RunTetrisJoin(const JoinQuery& query,
+                            const std::vector<const Index*>& indexes,
+                            int depth, JoinAlgorithm algo,
+                            std::vector<int> sao) {
+  RelationOracle oracle(&query, indexes, depth);
+  const int n = query.num_attrs();
+  JoinRunResult result;
+
+  auto sink = [&result](const DyadicBox& p) {
+    result.tuples.push_back(p.ToPoint());
+    return true;
+  };
+
+  switch (algo) {
+    case JoinAlgorithm::kTetrisPreloaded:
+    case JoinAlgorithm::kTetrisReloaded:
+    case JoinAlgorithm::kTetrisPreloadedNoCache: {
+      TetrisOptions opt;
+      opt.init = algo == JoinAlgorithm::kTetrisReloaded
+                     ? TetrisOptions::Init::kReloaded
+                     : TetrisOptions::Init::kPreloaded;
+      opt.cache_resolvents = algo != JoinAlgorithm::kTetrisPreloadedNoCache;
+      // Tree-ordered mode needs TetrisSkeleton2 (footnote 13): without
+      // caching, per-output re-descents from the root would each repeat
+      // all resolutions on the path.
+      opt.single_pass = algo == JoinAlgorithm::kTetrisPreloadedNoCache;
+      if (sao.empty()) {
+        sao = opt.init == TetrisOptions::Init::kPreloaded
+                  ? query.AcyclicSao()
+                  : query.MinWidthSao();
+      }
+      opt.sao = std::move(sao);
+      UniformSpace space(n, depth);
+      Tetris engine(&oracle, &space, opt);
+      engine.Run(sink);
+      result.stats = engine.stats();
+      break;
+    }
+    case JoinAlgorithm::kTetrisPreloadedLB:
+    case JoinAlgorithm::kTetrisReloadedLB: {
+      // The lift defines its own SAO; `sao` reorders the original
+      // attributes before lifting (which dimensions get partitioned).
+      assert(sao.empty() && "LB variants choose their own SAO");
+      TetrisLB lb(&oracle, n, depth,
+                  algo == JoinAlgorithm::kTetrisPreloadedLB);
+      lb.Run(sink);
+      result.stats = lb.stats();
+      break;
+    }
+  }
+  result.oracle_probes = oracle.probe_count();
+  if (algo == JoinAlgorithm::kTetrisPreloaded ||
+      algo == JoinAlgorithm::kTetrisPreloadedNoCache ||
+      algo == JoinAlgorithm::kTetrisPreloadedLB) {
+    result.input_gap_boxes = oracle.CountAllGaps();
+  }
+  return result;
+}
+
+std::vector<std::unique_ptr<Index>> MakeSaoConsistentIndexes(
+    const JoinQuery& query, const std::vector<int>& sao, int depth) {
+  std::vector<int> sao_pos(query.num_attrs());
+  for (size_t i = 0; i < sao.size(); ++i) sao_pos[sao[i]] = static_cast<int>(i);
+  std::vector<std::unique_ptr<Index>> owned;
+  for (const Atom& a : query.atoms()) {
+    std::vector<int> cols(a.var_ids.size());
+    for (size_t c = 0; c < cols.size(); ++c) cols[c] = static_cast<int>(c);
+    std::sort(cols.begin(), cols.end(), [&](int x, int y) {
+      return sao_pos[a.var_ids[x]] < sao_pos[a.var_ids[y]];
+    });
+    owned.push_back(std::make_unique<SortedIndex>(*a.rel, cols, depth));
+  }
+  return owned;
+}
+
+std::vector<const Index*> IndexPtrs(
+    const std::vector<std::unique_ptr<Index>>& owned) {
+  std::vector<const Index*> ptrs;
+  ptrs.reserve(owned.size());
+  for (const auto& ix : owned) ptrs.push_back(ix.get());
+  return ptrs;
+}
+
+JoinRunResult RunTetrisJoinDefaultIndexes(const JoinQuery& query,
+                                          JoinAlgorithm algo) {
+  const int depth = query.MinDepth();
+  std::vector<std::unique_ptr<SortedIndex>> owned;
+  std::vector<const Index*> indexes;
+  for (const Atom& a : query.atoms()) {
+    owned.push_back(std::make_unique<SortedIndex>(*a.rel, depth));
+    indexes.push_back(owned.back().get());
+  }
+  return RunTetrisJoin(query, indexes, depth, algo);
+}
+
+}  // namespace tetris

@@ -1,0 +1,54 @@
+#include "engine/measure.h"
+
+namespace tetris {
+
+namespace {
+
+// Divide and conquer: boxes known to intersect `cell` are passed down;
+// a cell with no intersecting boxes is fully uncovered, a cell contained
+// in one box is fully covered.
+double UncoveredRec(const DyadicBox& cell,
+                    const std::vector<const DyadicBox*>& active, int d) {
+  std::vector<const DyadicBox*> next;
+  next.reserve(active.size());
+  for (const DyadicBox* b : active) {
+    if (b->Contains(cell)) return 0.0;
+    if (b->Intersects(cell)) next.push_back(b);
+  }
+  if (next.empty()) return cell.VolumeAt(d);
+  // Split the first thick dimension.
+  for (int i = 0; i < cell.dims(); ++i) {
+    if (cell[i].len < d) {
+      DyadicBox lo = cell, hi = cell;
+      lo[i] = cell[i].Child(0);
+      hi[i] = cell[i].Child(1);
+      return UncoveredRec(lo, next, d) + UncoveredRec(hi, next, d);
+    }
+  }
+  return 0.0;  // unit cell intersecting a box == covered by it
+}
+
+}  // namespace
+
+double UncoveredMeasure(const std::vector<DyadicBox>& boxes, int n, int d) {
+  std::vector<const DyadicBox*> active;
+  active.reserve(boxes.size());
+  for (const DyadicBox& b : boxes) active.push_back(&b);
+  return UncoveredRec(DyadicBox::Universal(n), active, d);
+}
+
+bool KleeCoversSpace(const std::vector<DyadicBox>& boxes, int n, int d,
+                     TetrisStats* stats) {
+  MaterializedOracle oracle(n, /*maximal_only=*/true);
+  oracle.AddAll(boxes);
+  TetrisLB lb(&oracle, n, d, /*preloaded=*/true);
+  bool uncovered_found = false;
+  RunStatus status = lb.Run([&](const DyadicBox&) {
+    uncovered_found = true;
+    return false;  // stop at the first uncovered point
+  });
+  if (stats) *stats = lb.stats();
+  return status == RunStatus::kCompleted && !uncovered_found;
+}
+
+}  // namespace tetris

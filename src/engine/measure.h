@@ -1,0 +1,34 @@
+// Klee's measure problem over the Boolean semiring (paper, Section 2 and
+// Corollaries F.8 / F.12).
+//
+// * Coverage decision ("is the union of boxes the whole space?") is the
+//   Boolean BCP: `IsFullyCovered` in tetris.h runs Tetris / Tetris-LB and
+//   stops at the first uncovered point — O~(|C|^{n/2}) with the lift.
+// * `UncoveredMeasure` computes the exact number of uncovered points (the
+//   complement measure) by divide-and-conquer over the dyadic hierarchy;
+//   it is the reference tool the tests and benches use to validate
+//   coverage answers and output counts.
+#ifndef TETRIS_ENGINE_MEASURE_H_
+#define TETRIS_ENGINE_MEASURE_H_
+
+#include <vector>
+
+#include "engine/balance.h"
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// Exact count of depth-`d` points not covered by any box in `boxes`
+/// (n-dimensional). Runs in output-sensitive divide-and-conquer time;
+/// intended for validation and small/medium instances.
+double UncoveredMeasure(const std::vector<DyadicBox>& boxes, int n, int d);
+
+/// Boolean Klee's measure via Tetris-LB (Corollary F.12): true iff the
+/// boxes cover the whole space. `stats` (optional) receives engine
+/// counters.
+bool KleeCoversSpace(const std::vector<DyadicBox>& boxes, int n, int d,
+                     TetrisStats* stats = nullptr);
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_MEASURE_H_

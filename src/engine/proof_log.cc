@@ -1,0 +1,78 @@
+#include "engine/proof_log.h"
+
+#include <unordered_map>
+
+#include "geometry/resolution.h"
+
+namespace tetris {
+
+bool ProofLog::Verify(std::string* error) const {
+  std::unordered_set<DyadicBox, DyadicBoxHash> known;
+  for (const DyadicBox& a : axioms_) known.insert(a);
+  for (const DyadicBox& o : outputs_) known.insert(o);
+  for (size_t i = 0; i < steps_.size(); ++i) {
+    const Step& s = steps_[i];
+    if (!known.count(s.premise1) || !known.count(s.premise2)) {
+      if (error) {
+        *error = "step " + std::to_string(i) +
+                 ": premise not derived before use";
+      }
+      return false;
+    }
+    if (!ResolventIsSound(s.premise1, s.premise2, s.resolvent, depth_)) {
+      if (error) {
+        *error = "step " + std::to_string(i) + ": unsound resolvent " +
+                 s.resolvent.ToString() + " from " + s.premise1.ToString() +
+                 " and " + s.premise2.ToString();
+      }
+      return false;
+    }
+    known.insert(s.resolvent);
+  }
+  return true;
+}
+
+bool ProofLog::Derives(const DyadicBox& b) const {
+  for (const DyadicBox& a : axioms_) {
+    if (a.Contains(b)) return true;
+  }
+  for (const DyadicBox& o : outputs_) {
+    if (o.Contains(b)) return true;
+  }
+  for (const Step& s : steps_) {
+    if (s.resolvent.Contains(b)) return true;
+  }
+  return false;
+}
+
+std::string ProofLog::ToDot() const {
+  std::unordered_map<DyadicBox, int, DyadicBoxHash> ids;
+  std::string out = "digraph proof {\n  rankdir=BT;\n";
+  auto node = [&](const DyadicBox& b, const char* style) {
+    auto it = ids.find(b);
+    if (it != ids.end()) return it->second;
+    int id = static_cast<int>(ids.size());
+    ids.emplace(b, id);
+    out += "  n" + std::to_string(id) + " [label=\"" + b.ToString() +
+           "\"" + style + "];\n";
+    return id;
+  };
+  for (const DyadicBox& a : axioms_) {
+    node(a, ", shape=box");
+  }
+  for (const DyadicBox& o : outputs_) {
+    node(o, ", shape=box, style=filled, fillcolor=lightblue");
+  }
+  for (const Step& s : steps_) {
+    int r = node(s.resolvent, "");
+    int p1 = node(s.premise1, ", shape=box");
+    int p2 = node(s.premise2, ", shape=box");
+    out += "  n" + std::to_string(p1) + " -> n" + std::to_string(r) +
+           ";\n  n" + std::to_string(p2) + " -> n" + std::to_string(r) +
+           ";\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tetris

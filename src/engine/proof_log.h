@@ -1,0 +1,79 @@
+// Resolution proof logging (paper, Section 5 and Appendices I/J).
+//
+// Tetris implicitly builds a geometric-resolution *proof* that the output
+// is correct: axioms are the gap boxes taken from B plus the reported
+// output boxes, and each resolution step derives a new box covered by the
+// union of its two premises. The logger records that DAG so it can be
+//
+//   * verified step by step (an independent soundness checker — each
+//     resolvent must be covered by its premises, each premise must be an
+//     axiom or an earlier resolvent),
+//   * measured (proof size = the paper's complexity measure), and
+//   * exported to Graphviz for inspection.
+//
+// A verified log is a machine-checkable certificate of the join result.
+#ifndef TETRIS_ENGINE_PROOF_LOG_H_
+#define TETRIS_ENGINE_PROOF_LOG_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// Records the resolution DAG of a Tetris run. Boxes are identified by
+/// geometry (two derivations of the same box collapse to one node).
+class ProofLog {
+ public:
+  /// `dims` and `depth` describe the (engine) space the proof lives in.
+  ProofLog(int dims, int depth) : dims_(dims), depth_(depth) {}
+
+  struct Step {
+    DyadicBox premise1, premise2, resolvent;
+    int pivot_dim;
+  };
+
+  /// Registers a gap box loaded from B (a proof axiom).
+  void AddAxiom(const DyadicBox& b) { axioms_.push_back(b); }
+
+  /// Registers a reported output box (also usable as a premise).
+  void AddOutput(const DyadicBox& b) { outputs_.push_back(b); }
+
+  /// Registers one geometric resolution step.
+  void AddStep(const DyadicBox& w1, const DyadicBox& w2,
+               const DyadicBox& resolvent, int pivot_dim) {
+    steps_.push_back({w1, w2, resolvent, pivot_dim});
+  }
+
+  size_t axiom_count() const { return axioms_.size(); }
+  size_t output_count() const { return outputs_.size(); }
+  size_t step_count() const { return steps_.size(); }
+  const std::vector<Step>& steps() const { return steps_; }
+  const std::vector<DyadicBox>& axioms() const { return axioms_; }
+
+  /// Independent proof checking: every step's premises must be known
+  /// boxes (axioms, outputs, or earlier resolvents) and every resolvent
+  /// must be geometrically sound (covered by the union of its premises).
+  /// On failure returns false and describes the first offending step.
+  bool Verify(std::string* error = nullptr) const;
+
+  /// True iff some known box (axiom/output/resolvent) contains `b` —
+  /// e.g. pass the universal box to check the proof derives full cover.
+  bool Derives(const DyadicBox& b) const;
+
+  /// Graphviz DOT rendering of the proof DAG.
+  std::string ToDot() const;
+
+ private:
+  int dims_;
+  int depth_;
+  std::vector<DyadicBox> axioms_;
+  std::vector<DyadicBox> outputs_;
+  std::vector<Step> steps_;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_PROOF_LOG_H_

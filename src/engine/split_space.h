@@ -1,0 +1,64 @@
+// Split spaces: when is a box component "unit" (unsplittable)?
+//
+// Plain Tetris works in a uniform {0,1}^d hypercube per dimension. The
+// Balance lift (paper, Section F.5) creates dimensions whose legal values
+// are the elements of a prefix-free partition — variable-depth leaves —
+// and suffix dimensions whose depth depends on a sibling component. The
+// SplitSpace policy abstracts "is this component a point?" so
+// TetrisSkeleton's Split-First-Thick-Dimension works in both worlds.
+#ifndef TETRIS_ENGINE_SPLIT_SPACE_H_
+#define TETRIS_ENGINE_SPLIT_SPACE_H_
+
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// Decides per-dimension splittability of target boxes.
+class SplitSpace {
+ public:
+  virtual ~SplitSpace() = default;
+
+  /// Number of dimensions of the space.
+  virtual int dims() const = 0;
+
+  /// True iff component `dim` of `b` cannot be split further. May consult
+  /// other components of `b` (suffix dimensions in the Balance lift do).
+  virtual bool IsUnit(const DyadicBox& b, int dim) const = 0;
+
+  /// True iff every component is unit (b is a point of the space).
+  bool IsUnitBox(const DyadicBox& b) const {
+    for (int i = 0; i < b.dims(); ++i) {
+      if (!IsUnit(b, i)) return false;
+    }
+    return true;
+  }
+
+  /// First splittable dimension of `b`, or -1 if b is a point.
+  int FirstThickDim(const DyadicBox& b) const {
+    for (int i = 0; i < b.dims(); ++i) {
+      if (!IsUnit(b, i)) return i;
+    }
+    return -1;
+  }
+};
+
+/// The ordinary uniform space: every dimension has depth d.
+class UniformSpace : public SplitSpace {
+ public:
+  UniformSpace(int dims, int depth) : n_(dims), d_(depth) {}
+
+  int dims() const override { return n_; }
+  int depth() const { return d_; }
+
+  bool IsUnit(const DyadicBox& b, int dim) const override {
+    return b[dim].len == d_;
+  }
+
+ private:
+  int n_;
+  int d_;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_SPLIT_SPACE_H_

@@ -1,0 +1,203 @@
+#include "engine/tetris.h"
+
+#include <cassert>
+
+#include "engine/proof_log.h"
+#include "geometry/resolution.h"
+
+namespace tetris {
+
+Tetris::Tetris(const BoxOracle* oracle, const SplitSpace* space,
+               TetrisOptions options)
+    : oracle_(oracle),
+      space_(space),
+      options_(std::move(options)),
+      kb_(space->dims()) {
+  sao_ = options_.sao;
+  if (sao_.empty()) {
+    sao_.resize(space_->dims());
+    for (size_t i = 0; i < sao_.size(); ++i) sao_[i] = static_cast<int>(i);
+  }
+  assert(static_cast<int>(sao_.size()) == space_->dims());
+}
+
+DyadicBox Tetris::ToEngineOrder(const DyadicBox& orig) const {
+  DyadicBox b = DyadicBox::Universal(space_->dims());
+  for (int j = 0; j < space_->dims(); ++j) b[j] = orig[sao_[j]];
+  b.set_output_derived(orig.output_derived());
+  return b;
+}
+
+DyadicBox Tetris::ToOriginalOrder(const DyadicBox& engine) const {
+  DyadicBox b = DyadicBox::Universal(space_->dims());
+  for (int j = 0; j < space_->dims(); ++j) b[sao_[j]] = engine[j];
+  b.set_output_derived(engine.output_derived());
+  return b;
+}
+
+bool Tetris::InsertKb(const DyadicBox& engine_box) {
+  if (kb_.Insert(engine_box)) {
+    ++stats_.kb_inserts;
+    return true;
+  }
+  return false;
+}
+
+std::pair<bool, DyadicBox> Tetris::SettleUnitBox(const DyadicBox& b) {
+  // TetrisSkeleton2: decide the fate of the uncovered point right here.
+  DyadicBox orig_point = ToOriginalOrder(b);
+  std::vector<DyadicBox> probe_result;
+  bool is_output;
+  if (options_.init == TetrisOptions::Init::kPreloaded) {
+    is_output = true;  // A ⊇ B: nothing in B can cover the point.
+  } else {
+    oracle_->Probe(orig_point, &probe_result);
+    is_output = probe_result.empty();
+  }
+  if (is_output) {
+    ++stats_.outputs;
+    if (!(*sink_)(orig_point)) {
+      stop_requested_ = true;
+      return {false, b};
+    }
+    DyadicBox out_box = b;
+    out_box.set_output_derived(true);
+    InsertKb(out_box);
+    if (options_.proof_log) options_.proof_log->AddOutput(out_box);
+    return {true, out_box};
+  }
+  DyadicBox witness = b;
+  bool witness_found = false;
+  for (const DyadicBox& g : probe_result) {
+    DyadicBox eng = ToEngineOrder(g);
+    if (InsertKb(eng)) {
+      ++stats_.boxes_loaded;
+      if (options_.proof_log) options_.proof_log->AddAxiom(eng);
+    }
+    if (eng.Contains(b)) {
+      witness = eng;
+      witness_found = true;
+    }
+  }
+  assert(witness_found && "oracle must return a gap containing the probe");
+  (void)witness_found;
+  if (options_.load_budget >= 0 &&
+      stats_.boxes_loaded > options_.load_budget) {
+    budget_exceeded_ = true;
+    return {false, b};
+  }
+  return {true, witness};
+}
+
+std::pair<bool, DyadicBox> Tetris::Skeleton(const DyadicBox& b) {
+  ++stats_.skeleton_nodes;
+  // Lines 1-2: a box of A covers b.
+  if (const DyadicBox* a = kb_.FindContaining(b)) return {true, *a};
+  // Lines 3-4: b is a point not covered by A.
+  int split_dim = space_->FirstThickDim(b);
+  if (split_dim < 0) {
+    if (options_.single_pass) return SettleUnitBox(b);
+    return {false, b};
+  }
+  // Line 6: split on the first thick dimension.
+  DyadicBox b1 = b, b2 = b;
+  b1[split_dim] = b[split_dim].Child(0);
+  b2[split_dim] = b[split_dim].Child(1);
+
+  auto [v1, w1] = Skeleton(b1);
+  if (!v1) return {false, w1};
+  if (w1.Contains(b)) return {true, w1};  // line 11
+
+  auto [v2, w2] = Skeleton(b2);  // backtracking
+  if (!v2) return {false, w2};
+  if (w2.Contains(b)) return {true, w2};  // line 16
+
+  // Line 18: geometric resolution of the two witnesses. Lemma C.1
+  // guarantees the ordered shape, so this cannot fail.
+  auto r = OrderedResolve(w1, w2);
+  assert(r.has_value() && "Lemma C.1 violated: resolution must apply");
+  if (options_.proof_log) {
+    options_.proof_log->AddStep(w1, w2, r->box, r->pivot_dim);
+  }
+  ++stats_.resolutions;
+  if (w1.output_derived() || w2.output_derived()) {
+    ++stats_.output_resolutions;
+  } else {
+    ++stats_.gap_resolutions;
+  }
+  if (options_.cache_resolvents) InsertKb(r->box);  // line 19
+  return {true, r->box};
+}
+
+RunStatus Tetris::Run(const OutputSink& sink) {
+  // Initialize(A) — line 1 of Algorithm 2.
+  if (options_.init == TetrisOptions::Init::kPreloaded) {
+    std::vector<DyadicBox> all;
+    bool ok = oracle_->EnumerateAll(&all);
+    assert(ok && "preloaded mode requires an enumerable oracle");
+    (void)ok;
+    for (const DyadicBox& b : all) {
+      DyadicBox eng = ToEngineOrder(b);
+      if (InsertKb(eng)) {
+        ++stats_.boxes_loaded;
+        if (options_.proof_log) options_.proof_log->AddAxiom(eng);
+      }
+    }
+  }
+
+  const DyadicBox universal = DyadicBox::Universal(space_->dims());
+  sink_ = &sink;
+  stop_requested_ = false;
+  budget_exceeded_ = false;
+  std::vector<DyadicBox> probe_result;
+  for (;;) {
+    ++stats_.skeleton_calls;
+    auto [covered, w] = Skeleton(universal);
+    if (stop_requested_) return RunStatus::kStoppedBySink;
+    if (budget_exceeded_) return RunStatus::kBudgetExceeded;
+    if (covered) return RunStatus::kCompleted;  // whole space covered.
+
+    // w is an uncovered point (engine order); consult B.
+    DyadicBox orig_point = ToOriginalOrder(w);
+    bool is_output;
+    if (options_.init == TetrisOptions::Init::kPreloaded) {
+      // A ⊇ B, so an uncovered point is certainly an output tuple.
+      is_output = true;
+    } else {
+      probe_result.clear();
+      oracle_->Probe(orig_point, &probe_result);
+      is_output = probe_result.empty();
+    }
+    if (is_output) {
+      ++stats_.outputs;
+      if (!sink(orig_point)) return RunStatus::kStoppedBySink;
+      DyadicBox out_box = w;
+      out_box.set_output_derived(true);
+      InsertKb(out_box);  // amend A with the output box
+      if (options_.proof_log) options_.proof_log->AddOutput(out_box);
+    } else {
+      for (const DyadicBox& b : probe_result) {
+        DyadicBox eng = ToEngineOrder(b);
+        if (InsertKb(eng)) {
+          ++stats_.boxes_loaded;
+          if (options_.proof_log) options_.proof_log->AddAxiom(eng);
+        }
+      }
+      if (options_.load_budget >= 0 &&
+          stats_.boxes_loaded > options_.load_budget) {
+        return RunStatus::kBudgetExceeded;
+      }
+    }
+  }
+}
+
+bool IsFullyCovered(const BoxOracle& oracle, const SplitSpace& space,
+                    TetrisOptions options, TetrisStats* stats) {
+  Tetris engine(&oracle, &space, std::move(options));
+  RunStatus status = engine.Run([](const DyadicBox&) { return false; });
+  if (stats) *stats = engine.stats();
+  // Completed without ever producing an uncovered point == fully covered.
+  return status == RunStatus::kCompleted;
+}
+
+}  // namespace tetris

@@ -1,0 +1,153 @@
+// The Tetris algorithm (paper, Section 4.2, Algorithms 1 and 2).
+//
+// TetrisSkeleton solves the Boolean box cover problem against the global
+// knowledge base A: it either finds a witness box (covered by boxes of A)
+// that contains the target, or a point of the target not covered by A.
+// On backtracking it combines the two half-witnesses by *ordered geometric
+// resolution* and (optionally) caches the resolvent back into A — the
+// caching toggle is exactly the Ordered vs Tree-Ordered resolution
+// distinction of Figure 2.
+//
+// The outer loop repeatedly calls the skeleton on <λ,...,λ>; every
+// uncovered point is checked against the input oracle B: either some gap
+// boxes of B are loaded into A (Tetris-Reloaded's lazy loading), or the
+// point is reported as an output tuple and inserted as an output box.
+//
+// Initialization policies (paper, Sections 4.3 / 4.4):
+//   * kPreloaded: A := B            (worst-case bounds: AGM, fhtw)
+//   * kReloaded:  A := ∅            (certificate bounds: O~(|C|^w+1 + Z))
+#ifndef TETRIS_ENGINE_TETRIS_H_
+#define TETRIS_ENGINE_TETRIS_H_
+
+#include <functional>
+#include <vector>
+
+#include "engine/split_space.h"
+#include "kb/box_oracle.h"
+#include "kb/dyadic_tree_store.h"
+
+namespace tetris {
+
+/// Run-time counters; the paper's cost measure is `resolutions`
+/// (Lemma 4.5: total time is O~(#resolutions)).
+struct TetrisStats {
+  int64_t resolutions = 0;         ///< total geometric resolutions
+  int64_t gap_resolutions = 0;     ///< inputs untainted by output boxes (C.3)
+  int64_t output_resolutions = 0;  ///< at least one output-derived input (C.4)
+  int64_t kb_inserts = 0;          ///< boxes added to A (loads + resolvents)
+  int64_t boxes_loaded = 0;        ///< gap boxes pulled from B into A
+  int64_t skeleton_nodes = 0;      ///< recursion tree nodes visited
+  int64_t skeleton_calls = 0;      ///< outer-loop invocations of the skeleton
+  int64_t outputs = 0;             ///< output tuples reported
+  int64_t restarts = 0;            ///< partition rebuilds (Tetris-LB only)
+
+  void Accumulate(const TetrisStats& o) {
+    resolutions += o.resolutions;
+    gap_resolutions += o.gap_resolutions;
+    output_resolutions += o.output_resolutions;
+    kb_inserts += o.kb_inserts;
+    boxes_loaded += o.boxes_loaded;
+    skeleton_nodes += o.skeleton_nodes;
+    skeleton_calls += o.skeleton_calls;
+    outputs += o.outputs;
+    restarts += o.restarts;
+  }
+};
+
+/// Engine configuration.
+struct TetrisOptions {
+  enum class Init { kPreloaded, kReloaded };
+  Init init = Init::kReloaded;
+
+  /// When false, resolvents are *not* cached in A: the engine performs
+  /// Tree-Ordered Geometric Resolution (paper, Section 5.1).
+  bool cache_resolvents = true;
+
+  /// TetrisSkeleton2 (paper, proof of Theorem D.2 and footnote 13):
+  /// outputs are reported and B consulted *inside* the skeleton, so one
+  /// skeleton invocation enumerates everything instead of restarting from
+  /// the root per output point. Required for the tree-ordered (no-cache)
+  /// mode to meet the AGM bound; otherwise each output pays a full
+  /// re-descent.
+  bool single_pass = false;
+
+  /// Splitting attribute order: engine dimension j is original dimension
+  /// sao[j]. Empty = identity.
+  std::vector<int> sao;
+
+  /// Abort the run once more than this many boxes were loaded from B
+  /// (negative = unlimited). Used by the online Tetris-LB to trigger a
+  /// partition rebuild (paper, Section F.6: "periodically re-adjusting
+  /// the partitions").
+  int64_t load_budget = -1;
+
+  /// When set, the engine records its axioms (loaded gap boxes), output
+  /// boxes and every resolution step into the log — a machine-checkable
+  /// geometric-resolution proof of the run (see engine/proof_log.h).
+  /// Boxes are logged in engine (SAO) coordinate order.
+  class ProofLog* proof_log = nullptr;
+};
+
+/// Outcome of a Tetris run.
+enum class RunStatus {
+  kCompleted,       ///< output space fully covered; all tuples emitted
+  kStoppedBySink,   ///< sink requested early stop
+  kBudgetExceeded,  ///< load_budget exhausted (Tetris-LB rebuild signal)
+};
+
+/// Output callback. Receives the output point in *original* dimension
+/// order. Return false to stop enumeration early (Boolean BCP).
+using OutputSink = std::function<bool(const DyadicBox&)>;
+
+/// One run of Tetris over a BCP instance.
+class Tetris {
+ public:
+  /// `oracle` supplies the input gap boxes B (in original dimension
+  /// order); `space` defines splittability in *engine* (SAO-permuted)
+  /// dimension order. Both must outlive the engine.
+  Tetris(const BoxOracle* oracle, const SplitSpace* space,
+         TetrisOptions options);
+
+  /// Runs the full algorithm; calls `sink` for each output tuple.
+  RunStatus Run(const OutputSink& sink);
+
+  const TetrisStats& stats() const { return stats_; }
+
+  /// Size of the knowledge base A (boxes).
+  size_t kb_size() const { return kb_.size(); }
+
+  /// Approximate memory footprint of A in bytes.
+  size_t kb_memory_bytes() const { return kb_.MemoryBytes(); }
+
+ private:
+  // Algorithm 1. Returns (covered?, witness-or-uncovered-point).
+  std::pair<bool, DyadicBox> Skeleton(const DyadicBox& b);
+  // TetrisSkeleton2's unit-box handler: classifies the point against B,
+  // reports outputs, loads gap boxes, and returns a covering witness.
+  // Returns false in .first only when the run must abort.
+  std::pair<bool, DyadicBox> SettleUnitBox(const DyadicBox& b);
+
+  DyadicBox ToEngineOrder(const DyadicBox& orig) const;
+  DyadicBox ToOriginalOrder(const DyadicBox& engine) const;
+  bool InsertKb(const DyadicBox& engine_box);
+
+  const BoxOracle* oracle_;
+  const SplitSpace* space_;
+  TetrisOptions options_;
+  std::vector<int> sao_;  // engine dim -> original dim
+  DyadicTreeStore kb_;
+  TetrisStats stats_;
+  const OutputSink* sink_ = nullptr;
+  bool stop_requested_ = false;
+  bool budget_exceeded_ = false;
+};
+
+/// Convenience: solves the Boolean BCP (Definition 3.5) — is the whole
+/// space covered by the oracle's boxes? Stops at the first uncovered
+/// point. Stats (if requested) describe the partial run.
+bool IsFullyCovered(const BoxOracle& oracle, const SplitSpace& space,
+                    TetrisOptions options, TetrisStats* stats = nullptr);
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_TETRIS_H_

@@ -1,0 +1,47 @@
+#include "geometry/decompose.h"
+
+namespace tetris {
+
+std::vector<DyadicInterval> DyadicCover(uint64_t lo, uint64_t hi, int d) {
+  std::vector<DyadicInterval> out;
+  if (lo > hi) return out;
+  const uint64_t end = hi + 1;  // exclusive; hi < 2^d <= 2^62 so no overflow
+  uint64_t cur = lo;
+  while (cur < end) {
+    // Largest power-of-two block that starts at `cur` (alignment) and does
+    // not run past `end` (remaining length).
+    int align = cur == 0 ? d : __builtin_ctzll(cur);
+    if (align > d) align = d;
+    uint64_t remaining = end - cur;
+    int fit = 63 - __builtin_clzll(remaining);
+    int k = align < fit ? align : fit;  // block size 2^k
+    out.push_back({cur >> k, static_cast<uint8_t>(d - k)});
+    cur += uint64_t{1} << k;
+  }
+  return out;
+}
+
+std::vector<DyadicBox> DecomposeBox(const IntBox& box, int d) {
+  const int n = static_cast<int>(box.lo.size());
+  std::vector<std::vector<DyadicInterval>> per_dim(n);
+  for (int i = 0; i < n; ++i) {
+    per_dim[i] = DyadicCover(box.lo[i], box.hi[i], d);
+    if (per_dim[i].empty()) return {};  // empty range => empty box
+  }
+  std::vector<DyadicBox> out;
+  std::vector<int> idx(n, 0);
+  for (;;) {
+    DyadicBox b = DyadicBox::Universal(n);
+    for (int i = 0; i < n; ++i) b[i] = per_dim[i][idx[i]];
+    out.push_back(b);
+    int i = n - 1;
+    while (i >= 0 && ++idx[i] == static_cast<int>(per_dim[i].size())) {
+      idx[i] = 0;
+      --i;
+    }
+    if (i < 0) break;
+  }
+  return out;
+}
+
+}  // namespace tetris

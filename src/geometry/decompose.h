@@ -1,0 +1,37 @@
+// Dyadic decomposition of integer ranges and general boxes
+// (paper, Proposition B.14: every box splits into at most (2d)^n disjoint
+// dyadic boxes).
+//
+// Index substrates produce *gaps* as integer ranges (e.g. "no tuple has
+// A between 4 and 9"); these routines turn them into the disjoint dyadic
+// boxes the Tetris knowledge base stores.
+#ifndef TETRIS_GEOMETRY_DECOMPOSE_H_
+#define TETRIS_GEOMETRY_DECOMPOSE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// Canonical disjoint dyadic cover of the integer range [lo, hi] in a
+/// depth-`d` domain. Empty if lo > hi. At most 2d intervals; maximal
+/// blocks, ordered left to right.
+std::vector<DyadicInterval> DyadicCover(uint64_t lo, uint64_t hi, int d);
+
+/// A (possibly non-dyadic) axis-aligned box: per-dimension closed integer
+/// ranges. A range with lo > hi denotes an empty box; a full-domain range
+/// [0, 2^d - 1] becomes λ.
+struct IntBox {
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+};
+
+/// Decomposes `box` into disjoint dyadic boxes (cartesian product of the
+/// per-dimension covers). `d` is the uniform depth of all dimensions.
+std::vector<DyadicBox> DecomposeBox(const IntBox& box, int d);
+
+}  // namespace tetris
+
+#endif  // TETRIS_GEOMETRY_DECOMPOSE_H_

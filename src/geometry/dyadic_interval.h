@@ -1,0 +1,160 @@
+// Dyadic intervals (paper, Definition 3.2).
+//
+// A dyadic interval is a binary string x with |x| <= d. It denotes the set
+// of all length-d strings having x as a prefix; equivalently the integer
+// range [i * 2^(d-|x|), (i+1) * 2^(d-|x|) - 1] where i is x read as an
+// integer. The empty string λ (len == 0) is the whole domain and acts as
+// the wildcard; a length-d string is a *unit* interval, i.e. a point.
+//
+// All geometric operations (containment, intersection of comparable
+// intervals, splitting) are O(1) word operations, which is what makes a
+// geometric resolution step polylogarithmic in the data (paper, Section 1).
+#ifndef TETRIS_GEOMETRY_DYADIC_INTERVAL_H_
+#define TETRIS_GEOMETRY_DYADIC_INTERVAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "util/bit_ops.h"
+
+namespace tetris {
+
+/// Maximum supported bitstring length. 62 keeps (bits+1)<<shift from
+/// overflowing and is far beyond any realistic domain.
+inline constexpr int kMaxDepth = 62;
+
+/// A dyadic interval: the bitstring `bits` of length `len` (right-aligned).
+struct DyadicInterval {
+  uint64_t bits = 0;
+  uint8_t len = 0;
+
+  /// The empty string λ: the whole domain / wildcard.
+  static constexpr DyadicInterval Lambda() { return {0, 0}; }
+
+  /// The unit interval (point) for `value` in a depth-`d` domain.
+  static DyadicInterval Unit(uint64_t value, int d) {
+    return {value, static_cast<uint8_t>(d)};
+  }
+
+  bool IsLambda() const { return len == 0; }
+
+  /// True iff this is a point in a depth-`d` domain.
+  bool IsUnitAt(int d) const { return len == d; }
+
+  /// True iff this interval contains `other` (i.e. this is a prefix of it).
+  bool Contains(const DyadicInterval& other) const {
+    return IsBitPrefix(bits, len, other.bits, other.len);
+  }
+
+  /// True iff one of the two intervals contains the other.
+  bool ComparableWith(const DyadicInterval& other) const {
+    return Contains(other) || other.Contains(*this);
+  }
+
+  /// True iff the two intervals share at least one length-d extension.
+  /// For dyadic intervals this is the same as comparability.
+  bool Intersects(const DyadicInterval& other) const {
+    return ComparableWith(other);
+  }
+
+  /// The longer of two comparable intervals — the "y ∩ z" of the paper's
+  /// resolvent definition (Section 4.1). Precondition: ComparableWith(other).
+  DyadicInterval IntersectComparable(const DyadicInterval& other) const {
+    return len >= other.len ? *this : other;
+  }
+
+  /// Extends the bitstring by one bit (left child for 0, right for 1).
+  DyadicInterval Child(int bit) const {
+    return {(bits << 1) | static_cast<uint64_t>(bit & 1),
+            static_cast<uint8_t>(len + 1)};
+  }
+
+  /// Drops the last bit. Precondition: !IsLambda().
+  DyadicInterval Parent() const {
+    return {bits >> 1, static_cast<uint8_t>(len - 1)};
+  }
+
+  /// Last bit of the string. Precondition: !IsLambda().
+  int LastBit() const { return static_cast<int>(bits & 1); }
+
+  /// True iff the two intervals are adjacent siblings x0 / x1 — the enabling
+  /// condition of a geometric resolution on this dimension.
+  bool IsSiblingOf(const DyadicInterval& other) const {
+    return len > 0 && len == other.len && (bits >> 1) == (other.bits >> 1) &&
+           bits != other.bits;
+  }
+
+  /// Smallest domain value covered, in a depth-`d` domain.
+  uint64_t Low(int d) const { return bits << (d - len); }
+
+  /// Largest domain value covered, in a depth-`d` domain.
+  uint64_t High(int d) const {
+    return (bits << (d - len)) | LowMask(d - len);
+  }
+
+  /// Number of length-d strings covered: 2^(d - len).
+  uint64_t SizeAt(int d) const { return uint64_t{1} << (d - len); }
+
+  /// True iff `value` (a depth-`d` point) lies in the interval.
+  bool ContainsValue(uint64_t value, int d) const {
+    return (value >> (d - len)) == bits;
+  }
+
+  /// The prefix of this interval of length `plen`. Precondition plen <= len.
+  DyadicInterval Prefix(int plen) const {
+    return {bits >> (len - plen), static_cast<uint8_t>(plen)};
+  }
+
+  /// Concatenation: this string followed by `suffix`.
+  DyadicInterval Concat(const DyadicInterval& suffix) const {
+    return {(bits << suffix.len) | suffix.bits,
+            static_cast<uint8_t>(len + suffix.len)};
+  }
+
+  /// Splits off the trailing `len - plen` bits: the pair (Prefix(plen), rest).
+  DyadicInterval Suffix(int plen) const {
+    return {bits & LowMask(len - plen), static_cast<uint8_t>(len - plen)};
+  }
+
+  bool operator==(const DyadicInterval& other) const {
+    return bits == other.bits && len == other.len;
+  }
+  bool operator!=(const DyadicInterval& other) const {
+    return !(*this == other);
+  }
+  /// Lexicographic-by-position order (shorter strings first on ties);
+  /// total order used only for canonical sorting in containers.
+  bool operator<(const DyadicInterval& other) const {
+    int l = len < other.len ? len : other.len;
+    uint64_t a = bits >> (len - l);
+    uint64_t b = other.bits >> (other.len - l);
+    if (a != b) return a < b;
+    return len < other.len;
+  }
+
+  /// "λ" or the bitstring, e.g. "0110".
+  std::string ToString() const {
+    if (IsLambda()) return "λ";
+    std::string s(len, '0');
+    for (int i = 0; i < len; ++i) {
+      if ((bits >> (len - 1 - i)) & 1) s[i] = '1';
+    }
+    return s;
+  }
+};
+
+/// Hash support for unordered containers.
+struct DyadicIntervalHash {
+  size_t operator()(const DyadicInterval& iv) const {
+    uint64_t h = iv.bits * 0x9e3779b97f4a7c15ULL + iv.len;
+    h ^= h >> 29;
+    h *= 0xbf58476d1ce4e5b9ULL;
+    h ^= h >> 32;
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_GEOMETRY_DYADIC_INTERVAL_H_

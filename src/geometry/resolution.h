@@ -1,0 +1,51 @@
+// Geometric resolution (paper, Section 4.1).
+//
+// The resolution of two dyadic boxes w1 = <y1..yn>, w2 = <z1..zn> is defined
+// when (1) there is a pivot dimension ℓ with yℓ = x0 and zℓ = x1 (adjacent
+// siblings), and (2) every other dimension is comparable (one a prefix of
+// the other). The resolvent is <y1∩z1, ..., x, ..., yn∩zn>, where ∩ picks
+// the longer string. Geometrically: two boxes adjacent in dimension ℓ merge
+// into one box covering their shared shadow; logically it is clause
+// resolution restricted to dyadic clauses (paper, Example 4.1).
+//
+// *Ordered* geometric resolution (Definition 4.3) is the special case where
+// both inputs have the trailing-λ shape of equations (1)/(2); TetrisSkeleton
+// only ever produces that shape (Lemma C.1), but the general form is also
+// provided for the resolution-complexity experiments and tests.
+#ifndef TETRIS_GEOMETRY_RESOLUTION_H_
+#define TETRIS_GEOMETRY_RESOLUTION_H_
+
+#include <optional>
+
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// Outcome of a resolution attempt.
+struct Resolvent {
+  DyadicBox box;
+  int pivot_dim = -1;  ///< The dimension resolved on.
+};
+
+/// Attempts a *general* geometric resolution of w1 and w2.
+/// Returns std::nullopt if no dimension satisfies the sibling condition or
+/// some other dimension is incomparable. If several pivot dimensions are
+/// possible, the smallest index is used.
+std::optional<Resolvent> GeometricResolve(const DyadicBox& w1,
+                                          const DyadicBox& w2);
+
+/// Attempts an *ordered* geometric resolution: w1 and w2 must match the
+/// shapes (1)/(2) of the paper — identical-length components being
+/// pairwise comparable before the pivot and λ after it.
+/// Returns std::nullopt if the inputs do not have that shape.
+std::optional<Resolvent> OrderedResolve(const DyadicBox& w1,
+                                        const DyadicBox& w2);
+
+/// True iff `r` is a sound resolvent of w1, w2: every point of r is covered
+/// by w1 ∪ w2. (Used by tests and the proof-logging checker.)
+bool ResolventIsSound(const DyadicBox& w1, const DyadicBox& w2,
+                      const DyadicBox& r, int d);
+
+}  // namespace tetris
+
+#endif  // TETRIS_GEOMETRY_RESOLUTION_H_

@@ -1,0 +1,57 @@
+// Index substrates: every index is a collection of gap boxes
+// (paper, Section 3.2 and Appendix B).
+//
+// An index over a k-ary relation R supports exactly the oracle operations
+// Tetris needs:
+//
+//   * Contains(t)        — membership.
+//   * GapsContaining(t)  — the maximal gap boxes of this index that contain
+//                          a probe point t ∉ R, dyadically decomposed
+//                          (empty iff t ∈ R).
+//   * AllGaps()          — the full gap-box collection B(R) of the index
+//                          (used by Tetris-Preloaded).
+//
+// Gap boxes are expressed over the relation's own k columns, in relation
+// column order; the join runner embeds them into the n-dimensional output
+// space by padding the other attributes with λ (paper, Section 3.3).
+#ifndef TETRIS_INDEX_INDEX_H_
+#define TETRIS_INDEX_INDEX_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/dyadic_box.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// Abstract index over one relation.
+class Index {
+ public:
+  virtual ~Index() = default;
+
+  /// Number of columns of the indexed relation.
+  virtual int arity() const = 0;
+
+  /// Bit depth of the value domain.
+  virtual int depth() const = 0;
+
+  /// True iff `t` (relation column order) is present.
+  virtual bool Contains(const Tuple& t) const = 0;
+
+  /// Appends the maximal dyadic gap boxes of this index containing the
+  /// probe point `t`. Postcondition: output is empty iff Contains(t).
+  virtual void GapsContaining(const Tuple& t,
+                              std::vector<DyadicBox>* out) const = 0;
+
+  /// Appends all gap boxes of the index (its B(R) set).
+  virtual void AllGaps(std::vector<DyadicBox>* out) const = 0;
+
+  /// Human-readable description, e.g. "btree(B,A)" or "dyadic-tree".
+  virtual std::string Describe() const = 0;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_INDEX_INDEX_H_

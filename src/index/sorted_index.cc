@@ -1,0 +1,129 @@
+#include "index/sorted_index.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "geometry/decompose.h"
+
+namespace tetris {
+
+namespace {
+
+std::vector<int> IdentityOrder(int k) {
+  std::vector<int> o(k);
+  for (int i = 0; i < k; ++i) o[i] = i;
+  return o;
+}
+
+}  // namespace
+
+SortedIndex::SortedIndex(const Relation& rel, std::vector<int> order,
+                         int depth)
+    : k_(rel.arity()), d_(depth), order_(std::move(order)) {
+  assert(static_cast<int>(order_.size()) == k_);
+  sorted_.reserve(rel.size());
+  for (const Tuple& t : rel.tuples()) {
+    Tuple p(k_);
+    for (int level = 0; level < k_; ++level) p[level] = t[order_[level]];
+    sorted_.push_back(std::move(p));
+  }
+  std::sort(sorted_.begin(), sorted_.end());
+  sorted_.erase(std::unique(sorted_.begin(), sorted_.end()), sorted_.end());
+}
+
+SortedIndex::SortedIndex(const Relation& rel, int depth)
+    : SortedIndex(rel, IdentityOrder(rel.arity()), depth) {}
+
+bool SortedIndex::Contains(const Tuple& t) const {
+  Tuple p(k_);
+  for (int level = 0; level < k_; ++level) p[level] = t[order_[level]];
+  return std::binary_search(sorted_.begin(), sorted_.end(), p);
+}
+
+void SortedIndex::EmitBand(const Tuple& permuted_prefix, int level,
+                           uint64_t lo_val, uint64_t hi_val,
+                           std::vector<DyadicBox>* out) const {
+  for (const DyadicInterval& iv : DyadicCover(lo_val, hi_val, d_)) {
+    DyadicBox b = DyadicBox::Universal(k_);
+    for (int i = 0; i < level; ++i) {
+      b[order_[i]] = DyadicInterval::Unit(permuted_prefix[i], d_);
+    }
+    b[order_[level]] = iv;
+    out->push_back(b);
+  }
+}
+
+void SortedIndex::GapsContaining(const Tuple& t,
+                                 std::vector<DyadicBox>* out) const {
+  Tuple p(k_);
+  for (int level = 0; level < k_; ++level) p[level] = t[order_[level]];
+
+  const uint64_t dom_max = (uint64_t{1} << d_) - 1;
+  size_t lo = 0, hi = sorted_.size();
+  for (int level = 0; level < k_; ++level) {
+    const uint64_t v = p[level];
+    auto cmp_lt = [level](const Tuple& a, uint64_t val) {
+      return a[level] < val;
+    };
+    auto cmp_gt = [level](uint64_t val, const Tuple& a) {
+      return val < a[level];
+    };
+    size_t sub_lo = std::lower_bound(sorted_.begin() + lo,
+                                     sorted_.begin() + hi, v, cmp_lt) -
+                    sorted_.begin();
+    size_t sub_hi = std::upper_bound(sorted_.begin() + lo,
+                                     sorted_.begin() + hi, v, cmp_gt) -
+                    sorted_.begin();
+    if (sub_lo == sub_hi) {
+      // Probe value absent at this level: the band between the neighbour
+      // keys is tuple-free (this is the unique maximal GAO-consistent gap
+      // containing the probe).
+      uint64_t band_lo =
+          sub_lo > lo ? sorted_[sub_lo - 1][level] + 1 : 0;
+      uint64_t band_hi = sub_hi < hi ? sorted_[sub_hi][level] - 1 : dom_max;
+      EmitBand(p, level, band_lo, band_hi, out);
+      return;
+    }
+    lo = sub_lo;
+    hi = sub_hi;
+  }
+  // Probe present: no gap.
+}
+
+void SortedIndex::AllGapsRec(size_t lo, size_t hi, int level, Tuple* prefix,
+                             std::vector<DyadicBox>* out) const {
+  if (level == k_) return;
+  const uint64_t dom_max = (uint64_t{1} << d_) - 1;
+  uint64_t next_free = 0;  // lowest value not yet covered by key or gap
+  size_t i = lo;
+  while (i < hi) {
+    uint64_t v = sorted_[i][level];
+    if (v > next_free) EmitBand(*prefix, level, next_free, v - 1, out);
+    size_t j = i;
+    while (j < hi && sorted_[j][level] == v) ++j;
+    (*prefix)[level] = v;
+    AllGapsRec(i, j, level + 1, prefix, out);
+    next_free = v + 1;
+    i = j;
+  }
+  if (next_free <= dom_max) {
+    EmitBand(*prefix, level, next_free, dom_max, out);
+  }
+}
+
+void SortedIndex::AllGaps(std::vector<DyadicBox>* out) const {
+  Tuple prefix(k_);
+  AllGapsRec(0, sorted_.size(), 0, &prefix, out);
+}
+
+std::string SortedIndex::Describe() const {
+  std::string s = "btree(";
+  for (int i = 0; i < k_; ++i) {
+    if (i) s += ",";
+    s += "c" + std::to_string(order_[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace tetris

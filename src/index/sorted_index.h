@@ -1,0 +1,53 @@
+// Sorted (B-tree / trie) index over a relation, in an arbitrary column
+// order (paper, Section 3.2, Figures 1 and 3a; Appendix B.1).
+//
+// Semantically a B-tree keyed by the permuted tuple: probing a missing
+// tuple finds the first level at which the probe diverges from the stored
+// tuples and returns the *band* gap between the neighbouring keys at that
+// level — exactly the GAO-consistent gap boxes of Minesweeper [50] —
+// dyadically decomposed per Proposition B.14.
+#ifndef TETRIS_INDEX_SORTED_INDEX_H_
+#define TETRIS_INDEX_SORTED_INDEX_H_
+
+#include "index/index.h"
+
+namespace tetris {
+
+/// B-tree/trie-style index with a fixed sort order over the columns.
+class SortedIndex : public Index {
+ public:
+  /// `order[level]` is the relation column compared at trie level `level`;
+  /// it must be a permutation of [0, arity). `depth` is the domain bit
+  /// width d.
+  SortedIndex(const Relation& rel, std::vector<int> order, int depth);
+
+  /// Convenience: index in relation column order (identity permutation).
+  SortedIndex(const Relation& rel, int depth);
+
+  int arity() const override { return k_; }
+  int depth() const override { return d_; }
+  bool Contains(const Tuple& t) const override;
+  void GapsContaining(const Tuple& t,
+                      std::vector<DyadicBox>* out) const override;
+  void AllGaps(std::vector<DyadicBox>* out) const override;
+  std::string Describe() const override;
+
+  const std::vector<int>& order() const { return order_; }
+
+ private:
+  // Emits the dyadic decomposition of the band gap [lo_val, hi_val] at
+  // trie `level`, with the probe's unit intervals above it.
+  void EmitBand(const Tuple& permuted_prefix, int level, uint64_t lo_val,
+                uint64_t hi_val, std::vector<DyadicBox>* out) const;
+  void AllGapsRec(size_t lo, size_t hi, int level, Tuple* prefix,
+                  std::vector<DyadicBox>* out) const;
+
+  int k_;
+  int d_;
+  std::vector<int> order_;       // level -> relation column
+  std::vector<Tuple> sorted_;    // tuples permuted into index order, sorted
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_INDEX_SORTED_INDEX_H_

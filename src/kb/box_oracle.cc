@@ -1,0 +1,38 @@
+#include "kb/box_oracle.h"
+
+namespace tetris {
+
+void KeepMaximalBoxes(std::vector<DyadicBox>* boxes) {
+  std::vector<DyadicBox>& v = *boxes;
+  std::vector<bool> dead(v.size(), false);
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (dead[i]) continue;
+    for (size_t j = 0; j < v.size(); ++j) {
+      if (i == j || dead[j]) continue;
+      if (v[j].Contains(v[i]) && !(v[i] == v[j] && j > i)) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  size_t w = 0;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (!dead[i]) v[w++] = v[i];
+  }
+  v.resize(w);
+}
+
+void MaterializedOracle::Probe(const DyadicBox& point,
+                               std::vector<DyadicBox>* out) const {
+  ++probe_count_;
+  size_t start = out->size();
+  store_.CollectContaining(point, out);
+  if (maximal_only_ && out->size() - start > 1) {
+    std::vector<DyadicBox> tmp(out->begin() + start, out->end());
+    KeepMaximalBoxes(&tmp);
+    out->resize(start);
+    out->insert(out->end(), tmp.begin(), tmp.end());
+  }
+}
+
+}  // namespace tetris

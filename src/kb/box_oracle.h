@@ -1,0 +1,88 @@
+// Oracle access to the input box set B of a BCP instance (paper, §3.4).
+//
+// Tetris never scans B; it only asks, for a candidate output point, which
+// gap boxes of B contain it (paper, Algorithm 2, line 4). The oracle
+// abstraction lets the same engine run over a materialized box set (raw
+// BCP instances, certificate experiments) or a live view of relation
+// indices (the join runner in src/engine).
+#ifndef TETRIS_KB_BOX_ORACLE_H_
+#define TETRIS_KB_BOX_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "kb/dyadic_tree_store.h"
+
+namespace tetris {
+
+/// Oracle interface over a set of gap boxes B.
+class BoxOracle {
+ public:
+  virtual ~BoxOracle() = default;
+
+  /// Appends the gap boxes of B that contain the unit box `point`.
+  /// An empty result certifies that `point` is an output tuple.
+  virtual void Probe(const DyadicBox& point,
+                     std::vector<DyadicBox>* out) const = 0;
+
+  /// Dimensionality of the output space.
+  virtual int dims() const = 0;
+
+  /// Appends *all* gap boxes of B (used by Tetris-Preloaded to initialize
+  /// A := B). Returns false if the oracle cannot enumerate its box set.
+  virtual bool EnumerateAll(std::vector<DyadicBox>* out) const {
+    (void)out;
+    return false;
+  }
+
+  /// Number of Probe calls served (oracle-access accounting, footnote 4).
+  int64_t probe_count() const { return probe_count_; }
+
+ protected:
+  mutable int64_t probe_count_ = 0;
+};
+
+/// Oracle over an explicitly materialized box set, indexed by a multilevel
+/// dyadic tree. Optionally filters probe results down to maximal boxes.
+class MaterializedOracle : public BoxOracle {
+ public:
+  explicit MaterializedOracle(int dims, bool maximal_only = true)
+      : store_(dims), maximal_only_(maximal_only) {}
+
+  /// Adds a gap box to B. Duplicates are ignored.
+  void Add(const DyadicBox& b) {
+    if (store_.Insert(b)) ++size_;
+  }
+  void AddAll(const std::vector<DyadicBox>& boxes) {
+    for (const auto& b : boxes) Add(b);
+  }
+
+  void Probe(const DyadicBox& point,
+             std::vector<DyadicBox>* out) const override;
+
+  int dims() const override { return store_.dims(); }
+
+  bool EnumerateAll(std::vector<DyadicBox>* out) const override {
+    auto all = store_.AllBoxes();
+    out->insert(out->end(), all.begin(), all.end());
+    return true;
+  }
+
+  /// Number of distinct boxes in B.
+  size_t size() const { return size_; }
+
+  /// The underlying store (used by Tetris-Preloaded to bulk-load A := B).
+  const DyadicTreeStore& store() const { return store_; }
+
+ private:
+  DyadicTreeStore store_;
+  bool maximal_only_;
+  size_t size_ = 0;
+};
+
+/// Removes from `boxes` every box strictly contained in another element.
+void KeepMaximalBoxes(std::vector<DyadicBox>* boxes);
+
+}  // namespace tetris
+
+#endif  // TETRIS_KB_BOX_ORACLE_H_

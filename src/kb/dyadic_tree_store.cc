@@ -1,0 +1,123 @@
+#include "kb/dyadic_tree_store.h"
+
+namespace tetris {
+
+DyadicTreeStore::DyadicTreeStore(int dims) : dims_(dims) {
+  root_ = NewNode();
+}
+
+int32_t DyadicTreeStore::NewNode() {
+  nodes_.emplace_back();
+  return static_cast<int32_t>(nodes_.size()) - 1;
+}
+
+bool DyadicTreeStore::Insert(const DyadicBox& b) {
+  int32_t node = root_;
+  for (int level = 0; level < dims_; ++level) {
+    const DyadicInterval& iv = b[level];
+    for (int i = 0; i < iv.len; ++i) {
+      int bit = static_cast<int>((iv.bits >> (iv.len - 1 - i)) & 1);
+      int32_t next = nodes_[node].child[bit];
+      if (next < 0) {
+        next = NewNode();
+        nodes_[node].child[bit] = next;
+      }
+      node = next;
+    }
+    if (level + 1 < dims_) {
+      int32_t next = nodes_[node].next_level;
+      if (next < 0) {
+        next = NewNode();
+        nodes_[node].next_level = next;
+      }
+      node = next;
+    }
+  }
+  if (nodes_[node].stored >= 0) return false;  // identical box present
+  nodes_[node].stored = static_cast<int32_t>(boxes_.size());
+  boxes_.push_back(b);
+  ++count_;
+  return true;
+}
+
+int32_t DyadicTreeStore::FindRec(int32_t node, const DyadicBox& b,
+                                 int level) const {
+  const DyadicInterval& iv = b[level];
+  // Walk the prefix path of b's component at this level, from λ downward;
+  // every node on the path is a stored prefix candidate.
+  for (int i = 0;; ++i) {
+    const Node& nd = nodes_[node];
+    if (level + 1 == dims_) {
+      if (nd.stored >= 0) return nd.stored;
+    } else if (nd.next_level >= 0) {
+      int32_t found = FindRec(nd.next_level, b, level + 1);
+      if (found >= 0) return found;
+    }
+    if (i == iv.len) break;
+    int bit = static_cast<int>((iv.bits >> (iv.len - 1 - i)) & 1);
+    int32_t next = nd.child[bit];
+    if (next < 0) break;
+    node = next;
+  }
+  return -1;
+}
+
+const DyadicBox* DyadicTreeStore::FindContaining(const DyadicBox& b) const {
+  int32_t idx = FindRec(root_, b, 0);
+  return idx >= 0 ? &boxes_[idx] : nullptr;
+}
+
+void DyadicTreeStore::CollectRec(int32_t node, const DyadicBox& b, int level,
+                                 std::vector<DyadicBox>* out) const {
+  const DyadicInterval& iv = b[level];
+  for (int i = 0;; ++i) {
+    const Node& nd = nodes_[node];
+    if (level + 1 == dims_) {
+      if (nd.stored >= 0) out->push_back(boxes_[nd.stored]);
+    } else if (nd.next_level >= 0) {
+      CollectRec(nd.next_level, b, level + 1, out);
+    }
+    if (i == iv.len) break;
+    int bit = static_cast<int>((iv.bits >> (iv.len - 1 - i)) & 1);
+    int32_t next = nd.child[bit];
+    if (next < 0) break;
+    node = next;
+  }
+}
+
+void DyadicTreeStore::CollectContaining(const DyadicBox& b,
+                                        std::vector<DyadicBox>* out) const {
+  CollectRec(root_, b, 0, out);
+}
+
+bool DyadicTreeStore::ContainsExact(const DyadicBox& b) const {
+  std::vector<DyadicBox> sup;
+  CollectContaining(b, &sup);
+  for (const auto& s : sup) {
+    if (s == b) return true;
+  }
+  return false;
+}
+
+void DyadicTreeStore::AllRec(int32_t node, std::vector<DyadicBox>* out) const {
+  const Node& nd = nodes_[node];
+  if (nd.stored >= 0) out->push_back(boxes_[nd.stored]);
+  if (nd.next_level >= 0) AllRec(nd.next_level, out);
+  for (int bit = 0; bit < 2; ++bit) {
+    if (nd.child[bit] >= 0) AllRec(nd.child[bit], out);
+  }
+}
+
+std::vector<DyadicBox> DyadicTreeStore::AllBoxes() const {
+  std::vector<DyadicBox> out;
+  out.reserve(count_);
+  AllRec(root_, &out);
+  return out;
+}
+
+size_t DyadicTreeStore::MemoryBytes() const {
+  return nodes_.capacity() * sizeof(Node) +
+         boxes_.capacity() * sizeof(DyadicBox) + sizeof(*this);
+}
+
+}  // namespace tetris

@@ -1,0 +1,83 @@
+// Multilevel dyadic tree (paper, Appendix C.1, Figure 16).
+//
+// Stores a set of n-dimensional dyadic boxes so that the two operations
+// Tetris performs constantly are cheap:
+//
+//   * Insert(box)            — O(n·d) pointer walks.
+//   * FindContaining(box)    — is some stored box a superset of `box`?
+//                              Visits only *existing* prefix nodes, so the
+//                              cost is O~(1) per Proposition B.12.
+//   * CollectContaining(box) — all stored supersets (the oracle operation).
+//
+// One binary trie per dimension; a trie node that terminates some box's
+// i-th component points to the root of a (i+1)-level trie. Boxes sharing a
+// prefix of components share subtrees. Level order equals component order,
+// so the engine keeps boxes in SAO coordinate order.
+#ifndef TETRIS_KB_DYADIC_TREE_STORE_H_
+#define TETRIS_KB_DYADIC_TREE_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// A pooled-node multilevel dyadic tree over boxes of a fixed dimension.
+class DyadicTreeStore {
+ public:
+  /// Creates an empty store for `dims`-dimensional boxes.
+  explicit DyadicTreeStore(int dims);
+
+  /// Inserts `b`. Returns false (and stores nothing) if an identical box is
+  /// already present.
+  bool Insert(const DyadicBox& b);
+
+  /// Returns a pointer to some stored box that contains `b`, or nullptr.
+  /// Prefers coarser (shorter-prefix) boxes, which tend to cover more of
+  /// the target's siblings on backtracking.
+  const DyadicBox* FindContaining(const DyadicBox& b) const;
+
+  /// Appends every stored box that contains `b` to `out`.
+  void CollectContaining(const DyadicBox& b,
+                         std::vector<DyadicBox>* out) const;
+
+  /// True iff an identical box is stored.
+  bool ContainsExact(const DyadicBox& b) const;
+
+  /// Number of stored boxes.
+  size_t size() const { return count_; }
+
+  int dims() const { return dims_; }
+
+  /// All stored boxes, in insertion-independent tree order.
+  std::vector<DyadicBox> AllBoxes() const;
+
+  /// Approximate memory footprint in bytes (for the memory experiments).
+  size_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    int32_t child[2] = {-1, -1};
+    int32_t next_level = -1;  ///< Root node of the (level+1) trie, or -1.
+    int32_t stored = -1;      ///< boxes_ index if a box ends here (last level).
+  };
+
+  int32_t NewNode();
+  // Walks b's component `level` from `node`, recursing into deeper levels;
+  // returns the index of a containing box or -1.
+  int32_t FindRec(int32_t node, const DyadicBox& b, int level) const;
+  void CollectRec(int32_t node, const DyadicBox& b, int level,
+                  std::vector<DyadicBox>* out) const;
+  void AllRec(int32_t node, std::vector<DyadicBox>* out) const;
+
+  int dims_;
+  size_t count_ = 0;
+  std::vector<Node> nodes_;
+  std::vector<DyadicBox> boxes_;
+  int32_t root_;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_KB_DYADIC_TREE_STORE_H_

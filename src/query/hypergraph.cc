@@ -1,0 +1,250 @@
+#include "query/hypergraph.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <unordered_map>
+
+#include "util/simplex.h"
+
+namespace tetris {
+
+Hypergraph::Hypergraph(int num_vertices, std::vector<std::vector<int>> edges)
+    : n_(num_vertices), edges_(std::move(edges)) {
+  assert(n_ <= 30);
+  for (auto& e : edges_) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+  }
+  edge_masks_.reserve(edges_.size());
+  for (const auto& e : edges_) {
+    uint32_t m = 0;
+    for (int v : e) m |= uint32_t{1} << v;
+    edge_masks_.push_back(m);
+  }
+  adjacency_.assign(n_, 0);
+  for (uint32_t m : edge_masks_) {
+    for (int v = 0; v < n_; ++v) {
+      if (m & (uint32_t{1} << v)) adjacency_[v] |= m;
+    }
+  }
+  for (int v = 0; v < n_; ++v) adjacency_[v] &= ~(uint32_t{1} << v);
+}
+
+bool Hypergraph::GyoEliminationOrder(std::vector<int>* order) const {
+  // Work on mutable copies: repeatedly (1) drop vertices private to one
+  // edge, (2) drop edges contained in other edges.
+  std::vector<uint32_t> live_edges = edge_masks_;
+  std::vector<bool> vertex_alive(n_, true);
+  if (order) order->clear();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // (1) Remove vertices contained in at most one live edge.
+    for (int v = 0; v < n_; ++v) {
+      if (!vertex_alive[v]) continue;
+      int cnt = 0;
+      for (uint32_t e : live_edges) {
+        if (e & (uint32_t{1} << v)) ++cnt;
+      }
+      if (cnt <= 1) {
+        vertex_alive[v] = false;
+        for (uint32_t& e : live_edges) e &= ~(uint32_t{1} << v);
+        if (order) order->push_back(v);
+        changed = true;
+      }
+    }
+    // (2) Remove edges contained in another edge (and empty edges).
+    for (size_t i = 0; i < live_edges.size(); ++i) {
+      bool dead = live_edges[i] == 0;
+      for (size_t j = 0; !dead && j < live_edges.size(); ++j) {
+        if (i == j) continue;
+        if ((live_edges[i] | live_edges[j]) == live_edges[j] &&
+            (live_edges[i] != live_edges[j] || j < i)) {
+          dead = true;
+        }
+      }
+      if (dead) {
+        live_edges.erase(live_edges.begin() + i);
+        --i;
+        changed = true;
+      }
+    }
+  }
+  for (int v = 0; v < n_; ++v) {
+    if (vertex_alive[v]) return false;
+  }
+  return true;
+}
+
+bool Hypergraph::IsBetaAcyclic() const {
+  const size_t m = edges_.size();
+  assert(m <= 20);
+  // A hypergraph is β-acyclic iff every sub-hypergraph (edge subset) is
+  // α-acyclic. It suffices to check subsets of size >= 3 (any <= 2 edges
+  // are trivially α-acyclic), and failure is monotone-witnessed by some
+  // subset, so a direct sweep is simplest and exact.
+  for (uint32_t subset = 0; subset < (uint32_t{1} << m); ++subset) {
+    if (__builtin_popcount(subset) < 3) continue;
+    std::vector<std::vector<int>> sub;
+    for (size_t e = 0; e < m; ++e) {
+      if (subset & (uint32_t{1} << e)) sub.push_back(edges_[e]);
+    }
+    if (!Hypergraph(n_, std::move(sub)).IsAlphaAcyclic()) return false;
+  }
+  return true;
+}
+
+uint32_t Hypergraph::EliminationClique(int v, uint32_t eliminated_mask)
+    const {
+  // BFS from v through eliminated vertices; collect live neighbors.
+  uint32_t visited = uint32_t{1} << v;
+  uint32_t frontier = uint32_t{1} << v;
+  uint32_t clique = 0;
+  while (frontier) {
+    uint32_t next = 0;
+    for (int u = 0; u < n_; ++u) {
+      if (frontier & (uint32_t{1} << u)) next |= adjacency_[u];
+    }
+    next &= ~visited;
+    visited |= next;
+    clique |= next & ~eliminated_mask;
+    frontier = next & eliminated_mask;  // continue only through eliminated
+  }
+  return clique & ~(uint32_t{1} << v);
+}
+
+int Hypergraph::InducedWidth(const std::vector<int>& elim_order) const {
+  assert(static_cast<int>(elim_order.size()) == n_);
+  uint32_t eliminated = 0;
+  int width = 0;
+  for (int v : elim_order) {
+    uint32_t clique = EliminationClique(v, eliminated);
+    width = std::max(width, __builtin_popcount(clique));
+    eliminated |= uint32_t{1} << v;
+  }
+  return width;
+}
+
+int Hypergraph::Treewidth(std::vector<int>* elim_order) const {
+  assert(n_ <= 20);
+  const uint32_t full = (uint32_t{1} << n_) - 1;
+  // dp[S] = min over orders eliminating exactly S first of the max clique
+  // size seen so far.
+  std::vector<int> dp(full + 1, n_ + 1);
+  std::vector<int8_t> choice(full + 1, -1);
+  dp[0] = 0;
+  for (uint32_t s = 0; s <= full; ++s) {
+    if (dp[s] > n_) continue;
+    for (int v = 0; v < n_; ++v) {
+      if (s & (uint32_t{1} << v)) continue;
+      int cost = __builtin_popcount(EliminationClique(v, s));
+      int val = std::max(dp[s], cost);
+      uint32_t t = s | (uint32_t{1} << v);
+      if (val < dp[t]) {
+        dp[t] = val;
+        choice[t] = static_cast<int8_t>(v);
+      }
+    }
+  }
+  if (elim_order) {
+    elim_order->clear();
+    uint32_t s = full;
+    while (s) {
+      int v = choice[s];
+      elim_order->push_back(v);
+      s &= ~(uint32_t{1} << v);
+    }
+    std::reverse(elim_order->begin(), elim_order->end());
+  }
+  return dp[full];
+}
+
+double Hypergraph::FractionalCoverNumber(uint32_t vertex_mask) const {
+  std::vector<double> c;
+  std::vector<int> cols;  // edge index per LP column
+  for (size_t e = 0; e < edges_.size(); ++e) {
+    if (edge_masks_[e] & vertex_mask) {
+      cols.push_back(static_cast<int>(e));
+      c.push_back(1.0);
+    }
+  }
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (int v = 0; v < n_; ++v) {
+    if (!(vertex_mask & (uint32_t{1} << v))) continue;
+    std::vector<double> row(cols.size(), 0.0);
+    for (size_t j = 0; j < cols.size(); ++j) {
+      if (edge_masks_[cols[j]] & (uint32_t{1} << v)) row[j] = 1.0;
+    }
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  LpResult r = SolveMinCoverLp(a, b, c);
+  if (r.status != LpResult::Status::kOptimal) return -1.0;
+  return r.objective;
+}
+
+double Hypergraph::AgmBoundLog2(const std::vector<double>& log2_sizes) const {
+  assert(log2_sizes.size() == edges_.size());
+  std::vector<std::vector<double>> a;
+  std::vector<double> b;
+  for (int v = 0; v < n_; ++v) {
+    std::vector<double> row(edges_.size(), 0.0);
+    for (size_t e = 0; e < edges_.size(); ++e) {
+      if (edge_masks_[e] & (uint32_t{1} << v)) row[e] = 1.0;
+    }
+    a.push_back(std::move(row));
+    b.push_back(1.0);
+  }
+  LpResult r = SolveMinCoverLp(a, b, log2_sizes);
+  assert(r.status == LpResult::Status::kOptimal);
+  return r.objective;
+}
+
+double Hypergraph::FractionalHypertreeWidth(
+    std::vector<int>* elim_order) const {
+  assert(n_ <= 20);
+  const uint32_t full = (uint32_t{1} << n_) - 1;
+  const double inf = 1e18;
+  std::vector<double> dp(full + 1, inf);
+  std::vector<int8_t> choice(full + 1, -1);
+  dp[0] = 0.0;
+  // Memoize bag costs: many (v, s) pairs produce the same bag.
+  std::unordered_map<uint32_t, double> bag_cost;
+  auto rho = [&](uint32_t bag) {
+    auto it = bag_cost.find(bag);
+    if (it != bag_cost.end()) return it->second;
+    double c = FractionalCoverNumber(bag);
+    if (c < 0) c = inf;  // uncoverable bag
+    bag_cost.emplace(bag, c);
+    return c;
+  };
+  for (uint32_t s = 0; s <= full; ++s) {
+    if (dp[s] >= inf) continue;
+    for (int v = 0; v < n_; ++v) {
+      if (s & (uint32_t{1} << v)) continue;
+      uint32_t bag = EliminationClique(v, s) | (uint32_t{1} << v);
+      double cost = rho(bag);
+      double val = std::max(dp[s], cost);
+      uint32_t t = s | (uint32_t{1} << v);
+      if (val < dp[t] - 1e-12) {
+        dp[t] = val;
+        choice[t] = static_cast<int8_t>(v);
+      }
+    }
+  }
+  if (elim_order) {
+    elim_order->clear();
+    uint32_t s = full;
+    while (s) {
+      int v = choice[s];
+      elim_order->push_back(v);
+      s &= ~(uint32_t{1} << v);
+    }
+    std::reverse(elim_order->begin(), elim_order->end());
+  }
+  return dp[full];
+}
+
+}  // namespace tetris

@@ -1,0 +1,71 @@
+// Natural join queries (paper, Section 3.1).
+//
+// A JoinQuery binds a set of relation atoms to a shared attribute
+// universe vars(Q), derives the query hypergraph, and selects the
+// attribute orders the paper's theorems require:
+//
+//   * reverse-GYO SAO for α-acyclic queries (Theorem D.8),
+//   * minimum-induced-width SAO for treewidth-based certificate bounds
+//     (Theorems 4.7 / 4.9),
+//   * minimum-fhtw SAO for the worst-case bound (Theorem 4.6).
+#ifndef TETRIS_QUERY_JOIN_QUERY_H_
+#define TETRIS_QUERY_JOIN_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "query/hypergraph.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// One atom R(vars) of a join query.
+struct Atom {
+  const Relation* rel = nullptr;
+  /// var_ids[c] = index into JoinQuery::attrs() of relation column c.
+  std::vector<int> var_ids;
+};
+
+/// A natural join query over externally owned relations.
+class JoinQuery {
+ public:
+  /// Builds the query ⋈_R rels; attributes are matched by name and
+  /// ordered by first appearance.
+  static JoinQuery Build(std::vector<const Relation*> rels);
+
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  int num_attrs() const { return static_cast<int>(attrs_.size()); }
+  const std::vector<Atom>& atoms() const { return atoms_; }
+
+  /// The query hypergraph H(Q): one vertex per attribute, one edge per
+  /// atom's vars(R).
+  Hypergraph ToHypergraph() const;
+
+  /// Minimal uniform domain depth d covering every value in every
+  /// relation (at least 1).
+  int MinDepth() const;
+
+  /// SAO choices (attribute-id permutations, first split first).
+  /// Reverse of a GYO elimination order; falls back to MinWidthSao for
+  /// cyclic queries.
+  std::vector<int> AcyclicSao() const;
+  /// Reverse of a minimum-induced-width elimination order.
+  std::vector<int> MinWidthSao() const;
+  /// Reverse of a minimum-fhtw elimination order.
+  std::vector<int> MinFhtwSao() const;
+
+  /// log2 of the tightest AGM bound for the instance (Definition A.1).
+  double AgmBoundLog2() const;
+
+  /// Brute-force reference output size helper for tests (enumerates the
+  /// full grid; only usable for tiny n * d).
+  std::vector<Tuple> BruteForceJoin(int depth) const;
+
+ private:
+  std::vector<std::string> attrs_;
+  std::vector<Atom> atoms_;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_QUERY_JOIN_QUERY_H_

@@ -1,0 +1,39 @@
+#include "relation/relation.h"
+
+#include <algorithm>
+
+namespace tetris {
+
+Relation Relation::Make(std::string name, std::vector<std::string> attrs,
+                        std::vector<Tuple> tuples) {
+  Relation r(std::move(name), std::move(attrs));
+  r.tuples_ = std::move(tuples);
+  r.Canonicalize();
+  return r;
+}
+
+void Relation::Canonicalize() {
+  std::sort(tuples_.begin(), tuples_.end());
+  tuples_.erase(std::unique(tuples_.begin(), tuples_.end()), tuples_.end());
+}
+
+bool Relation::Contains(const Tuple& t) const {
+  return std::binary_search(tuples_.begin(), tuples_.end(), t);
+}
+
+int Relation::AttrIndex(const std::string& name) const {
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+uint64_t Relation::MaxValue() const {
+  uint64_t m = 0;
+  for (const auto& t : tuples_) {
+    for (uint64_t v : t) m = std::max(m, v);
+  }
+  return m;
+}
+
+}  // namespace tetris

@@ -1,0 +1,59 @@
+// Relations over discrete ordered domains (paper, Section 3.1).
+//
+// Attribute domains are {0,1}^d — equivalently the integers [0, 2^d) — with
+// d logarithmic in the data. A Relation is a named, deduplicated set of
+// arity-k tuples; indexing structures over relations live in src/index.
+#ifndef TETRIS_RELATION_RELATION_H_
+#define TETRIS_RELATION_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tetris {
+
+/// A tuple of attribute values.
+using Tuple = std::vector<uint64_t>;
+
+/// A relation instance: a set of tuples plus the names of its attributes.
+/// Attribute names tie relation columns to query attributes (vars(R)).
+class Relation {
+ public:
+  Relation(std::string name, std::vector<std::string> attrs)
+      : name_(std::move(name)), attrs_(std::move(attrs)) {}
+
+  /// Builds a relation and canonicalizes it (sorts and deduplicates).
+  static Relation Make(std::string name, std::vector<std::string> attrs,
+                       std::vector<Tuple> tuples);
+
+  const std::string& name() const { return name_; }
+  const std::vector<std::string>& attrs() const { return attrs_; }
+  int arity() const { return static_cast<int>(attrs_.size()); }
+
+  const std::vector<Tuple>& tuples() const { return tuples_; }
+  size_t size() const { return tuples_.size(); }
+
+  /// Adds a tuple (does not deduplicate; call Canonicalize after bulk adds).
+  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+
+  /// Sorts lexicographically and removes duplicates.
+  void Canonicalize();
+
+  /// True iff `t` is a tuple of the relation. Requires canonical form.
+  bool Contains(const Tuple& t) const;
+
+  /// Index of attribute `name` within this relation, or -1.
+  int AttrIndex(const std::string& name) const;
+
+  /// Largest value appearing in any column (used to size domains).
+  uint64_t MaxValue() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> attrs_;
+  std::vector<Tuple> tuples_;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_RELATION_RELATION_H_

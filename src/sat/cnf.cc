@@ -1,0 +1,114 @@
+#include "sat/cnf.h"
+
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace tetris {
+
+Cnf Cnf::ParseDimacs(const std::string& text) {
+  Cnf f;
+  std::istringstream in(text);
+  std::string line;
+  std::vector<int> clause;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == 'c') continue;
+    std::istringstream ls(line);
+    if (line[0] == 'p') {
+      std::string p, fmt;
+      int nc;
+      ls >> p >> fmt >> f.num_vars >> nc;
+      continue;
+    }
+    int lit;
+    while (ls >> lit) {
+      if (lit == 0) {
+        f.clauses.push_back(clause);
+        clause.clear();
+      } else {
+        clause.push_back(lit);
+        int v = lit > 0 ? lit : -lit;
+        if (v > f.num_vars) f.num_vars = v;
+      }
+    }
+  }
+  if (!clause.empty()) f.clauses.push_back(clause);
+  return f;
+}
+
+std::string Cnf::ToDimacs() const {
+  std::ostringstream out;
+  out << "p cnf " << num_vars << " " << clauses.size() << "\n";
+  for (const auto& c : clauses) {
+    for (int lit : c) out << lit << " ";
+    out << "0\n";
+  }
+  return out.str();
+}
+
+bool Cnf::IsSatisfiedBy(uint64_t mask) const {
+  for (const auto& c : clauses) {
+    bool sat = false;
+    for (int lit : c) {
+      int v = lit > 0 ? lit : -lit;
+      bool val = (mask >> (v - 1)) & 1;
+      if ((lit > 0) == val) {
+        sat = true;
+        break;
+      }
+    }
+    if (!sat) return false;
+  }
+  return true;
+}
+
+uint64_t Cnf::BruteForceCount() const {
+  uint64_t count = 0;
+  for (uint64_t mask = 0; mask < (uint64_t{1} << num_vars); ++mask) {
+    if (IsSatisfiedBy(mask)) ++count;
+  }
+  return count;
+}
+
+Cnf PigeonholeCnf(int pigeons, int holes) {
+  Cnf f;
+  f.num_vars = pigeons * holes;
+  auto var = [holes](int p, int h) { return p * holes + h + 1; };
+  // Every pigeon sits in some hole.
+  for (int p = 0; p < pigeons; ++p) {
+    std::vector<int> c;
+    for (int h = 0; h < holes; ++h) c.push_back(var(p, h));
+    f.clauses.push_back(std::move(c));
+  }
+  // No two pigeons share a hole.
+  for (int h = 0; h < holes; ++h) {
+    for (int p1 = 0; p1 < pigeons; ++p1) {
+      for (int p2 = p1 + 1; p2 < pigeons; ++p2) {
+        f.clauses.push_back({-var(p1, h), -var(p2, h)});
+      }
+    }
+  }
+  return f;
+}
+
+Cnf RandomKSat(int vars, int k, int clauses, uint64_t seed) {
+  Rng rng(seed);
+  Cnf f;
+  f.num_vars = vars;
+  for (int i = 0; i < clauses; ++i) {
+    std::vector<int> c;
+    while (static_cast<int>(c.size()) < k) {
+      int v = 1 + static_cast<int>(rng.Below(vars));
+      bool dup = false;
+      for (int lit : c) {
+        if (lit == v || lit == -v) dup = true;
+      }
+      if (dup) continue;
+      c.push_back(rng.Chance(0.5) ? v : -v);
+    }
+    f.clauses.push_back(std::move(c));
+  }
+  return f;
+}
+
+}  // namespace tetris

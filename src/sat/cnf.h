@@ -1,0 +1,44 @@
+// CNF formulas for the Tetris ↔ DPLL correspondence
+// (paper, Section 4.2.4 and Appendix I).
+#ifndef TETRIS_SAT_CNF_H_
+#define TETRIS_SAT_CNF_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace tetris {
+
+/// A CNF formula in DIMACS conventions: literals are non-zero ints,
+/// +v / -v for variable v in [1, num_vars].
+struct Cnf {
+  int num_vars = 0;
+  std::vector<std::vector<int>> clauses;
+
+  /// Parses DIMACS CNF text ("c" comments, "p cnf V C" header, clauses
+  /// terminated by 0). Throws nothing; malformed input yields a best
+  /// effort formula.
+  static Cnf ParseDimacs(const std::string& text);
+
+  /// Serializes to DIMACS.
+  std::string ToDimacs() const;
+
+  /// True iff the assignment (bit v-1 of `mask` = value of variable v)
+  /// satisfies every clause.
+  bool IsSatisfiedBy(uint64_t mask) const;
+
+  /// Exhaustive model count (for testing; num_vars <= 24).
+  uint64_t BruteForceCount() const;
+};
+
+/// The pigeonhole principle PHP(pigeons, holes): satisfiable iff
+/// pigeons <= holes. Variable p*holes + h + 1 means "pigeon p in hole h".
+/// The classic hard family for resolution.
+Cnf PigeonholeCnf(int pigeons, int holes);
+
+/// Uniform random k-SAT with `clauses` clauses over `vars` variables.
+Cnf RandomKSat(int vars, int k, int clauses, uint64_t seed);
+
+}  // namespace tetris
+
+#endif  // TETRIS_SAT_CNF_H_

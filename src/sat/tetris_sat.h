@@ -1,0 +1,47 @@
+// Tetris as a #SAT model counter (paper, Section 4.2.4 and Appendix I):
+// "Tetris can be cast as a DPLL algorithm for #SAT with a fixed variable
+// ordering and with a particular way of learning new clauses."
+//
+// The encoding is the paper's Figure 8 correspondence: each clause's
+// *negation* is a conjunction of literal assignments, i.e. a box in the
+// Boolean cube (one depth-1 dimension per variable). The gap boxes are
+// exactly the falsifying regions, so the BCP output — points covered by
+// no clause box — is exactly the set of models. Resolvent caching is
+// clause learning; splitting the target box is branching on a variable.
+//
+// Restriction: num_vars <= kMaxDims (one dimension per variable). This
+// module demonstrates the correspondence; it is not a competitive SAT
+// solver.
+#ifndef TETRIS_SAT_TETRIS_SAT_H_
+#define TETRIS_SAT_TETRIS_SAT_H_
+
+#include <optional>
+
+#include "engine/proof_log.h"
+#include "engine/tetris.h"
+#include "sat/cnf.h"
+
+namespace tetris {
+
+/// The clause's falsifying region as a dyadic box over num_vars depth-1
+/// dimensions: dimension v-1 is pinned to the literal's *negation*.
+DyadicBox ClauseToGapBox(const std::vector<int>& clause, int num_vars);
+
+/// Result of a Tetris SAT run.
+struct SatResult {
+  uint64_t model_count = 0;
+  std::optional<uint64_t> first_model;  ///< assignment bitmask, if SAT
+  TetrisStats stats;                    ///< resolutions = learned clauses
+};
+
+/// Counts models of `f` with Tetris (full enumeration under the hood).
+/// When `proof` is non-null and the formula is UNSAT, the log holds a
+/// verifiable geometric-resolution refutation.
+SatResult CountModels(const Cnf& f, ProofLog* proof = nullptr);
+
+/// Decision variant: stops at the first model.
+SatResult Solve(const Cnf& f, ProofLog* proof = nullptr);
+
+}  // namespace tetris
+
+#endif  // TETRIS_SAT_TETRIS_SAT_H_

@@ -1,0 +1,166 @@
+#include "util/simplex.h"
+
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+namespace tetris {
+namespace {
+
+constexpr double kEps = 1e-9;
+
+// Dense tableau simplex over the standard-form problem
+//   min c.x  s.t.  A x >= b, x >= 0
+// converted to equalities with surplus variables and solved in two phases
+// with artificial variables. Bland's rule guarantees termination.
+class Tableau {
+ public:
+  Tableau(const std::vector<std::vector<double>>& a,
+          const std::vector<double>& b, const std::vector<double>& c)
+      : m_(a.size()), n_(c.size()) {
+    // Columns: n_ structural + m_ surplus + m_ artificial + 1 rhs.
+    cols_ = n_ + 2 * m_ + 1;
+    t_.assign(m_ + 1, std::vector<double>(cols_, 0.0));
+    basis_.resize(m_);
+    for (int i = 0; i < m_; ++i) {
+      // Normalize so rhs >= 0: A x - s = b. If b < 0, negate the row,
+      // giving -A x + s = -b with s still a valid slack direction.
+      double bi = b[i];
+      double rs = 1.0;
+      if (bi < 0) {
+        rs = -1.0;
+        bi = -bi;
+      }
+      for (int j = 0; j < n_; ++j) t_[i][j] = rs * a[i][j];
+      t_[i][n_ + i] = rs * -1.0;  // surplus
+      t_[i][n_ + m_ + i] = 1.0;   // artificial
+      t_[i][cols_ - 1] = bi;
+      basis_[i] = n_ + m_ + i;
+    }
+    // Phase-1 objective: minimize sum of artificials.
+    for (int j = 0; j < cols_; ++j) {
+      double s = 0;
+      for (int i = 0; i < m_; ++i) s += t_[i][j];
+      // artificial columns contribute 1 to their own coefficient; reduced
+      // cost row = (sum of constraint rows) restricted to non-artificials.
+      t_[m_][j] = (j >= n_ + m_ && j < n_ + 2 * m_) ? 0.0 : s;
+    }
+    c_ = c;
+  }
+
+  LpResult Solve() {
+    LpResult r;
+    // Phase 1: drive artificials out.
+    if (!Iterate(/*phase1=*/true)) {
+      r.status = LpResult::Status::kUnbounded;  // cannot happen in phase 1
+      return r;
+    }
+    if (t_[m_][cols_ - 1] > kEps) {
+      r.status = LpResult::Status::kInfeasible;
+      return r;
+    }
+    // Pivot any artificial still (degenerately) in the basis out of it.
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] >= n_ + m_) {
+        int enter = -1;
+        for (int j = 0; j < n_ + m_; ++j) {
+          if (std::fabs(t_[i][j]) > kEps) {
+            enter = j;
+            break;
+          }
+        }
+        if (enter >= 0) Pivot(i, enter);
+        // else: the row is all-zero and redundant; leave it.
+      }
+    }
+    // Phase 2: install the real objective (minimize c.x).
+    for (int j = 0; j < cols_; ++j) t_[m_][j] = 0.0;
+    for (int j = 0; j < n_; ++j) t_[m_][j] = -c_[j];
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_ && std::fabs(c_[basis_[i]]) > 0) {
+        double f = c_[basis_[i]];
+        for (int j = 0; j < cols_; ++j) t_[m_][j] += f * t_[i][j];
+      }
+    }
+    if (!Iterate(/*phase1=*/false)) {
+      r.status = LpResult::Status::kUnbounded;
+      return r;
+    }
+    r.status = LpResult::Status::kOptimal;
+    r.x.assign(n_, 0.0);
+    for (int i = 0; i < m_; ++i) {
+      if (basis_[i] < n_) r.x[basis_[i]] = t_[i][cols_ - 1];
+    }
+    r.objective = 0.0;
+    for (int j = 0; j < n_; ++j) r.objective += c_[j] * r.x[j];
+    return r;
+  }
+
+ private:
+  // Runs simplex iterations with Bland's rule. In phase 1 artificial
+  // columns are allowed to leave but never to enter. Returns false on
+  // unboundedness.
+  bool Iterate(bool phase1) {
+    const int enter_limit = phase1 ? n_ + m_ : n_ + m_;
+    for (;;) {
+      int enter = -1;
+      for (int j = 0; j < enter_limit; ++j) {
+        if (t_[m_][j] > kEps) {
+          enter = j;
+          break;
+        }
+      }
+      if (enter < 0) return true;  // optimal
+      int leave = -1;
+      double best = std::numeric_limits<double>::infinity();
+      for (int i = 0; i < m_; ++i) {
+        if (t_[i][enter] > kEps) {
+          double ratio = t_[i][cols_ - 1] / t_[i][enter];
+          if (ratio < best - kEps ||
+              (ratio < best + kEps &&
+               (leave < 0 || basis_[i] < basis_[leave]))) {
+            best = ratio;
+            leave = i;
+          }
+        }
+      }
+      if (leave < 0) return false;  // unbounded
+      Pivot(leave, enter);
+    }
+  }
+
+  void Pivot(int row, int col) {
+    double p = t_[row][col];
+    assert(std::fabs(p) > kEps);
+    for (double& v : t_[row]) v /= p;
+    for (int i = 0; i <= m_; ++i) {
+      if (i == row) continue;
+      double f = t_[i][col];
+      if (std::fabs(f) < kEps) continue;
+      for (int j = 0; j < cols_; ++j) t_[i][j] -= f * t_[row][j];
+    }
+    basis_[row] = col;
+  }
+
+  int m_, n_, cols_;
+  std::vector<std::vector<double>> t_;
+  std::vector<int> basis_;
+  std::vector<double> c_;
+};
+
+}  // namespace
+
+LpResult SolveMinCoverLp(const std::vector<std::vector<double>>& a,
+                         const std::vector<double>& b,
+                         const std::vector<double>& c) {
+  if (a.empty()) {
+    LpResult r;
+    r.status = LpResult::Status::kOptimal;
+    r.x.assign(c.size(), 0.0);
+    r.objective = 0.0;
+    return r;
+  }
+  return Tableau(a, b, c).Solve();
+}
+
+}  // namespace tetris

@@ -1,0 +1,34 @@
+// A small dense two-phase simplex solver for linear programs of the form
+//
+//     minimize    c^T x
+//     subject to  A x >= b,  x >= 0.
+//
+// This is exactly the shape of the fractional-edge-cover LP behind the AGM
+// bound (paper, Appendix A.1): one >= 1 constraint per attribute, one
+// variable per relation. Problems are tiny (tens of rows/columns), so a
+// dense tableau with Bland's rule is simple, exact enough in double
+// precision, and cycling-free.
+#ifndef TETRIS_UTIL_SIMPLEX_H_
+#define TETRIS_UTIL_SIMPLEX_H_
+
+#include <vector>
+
+namespace tetris {
+
+/// Result of an LP solve.
+struct LpResult {
+  enum class Status { kOptimal, kInfeasible, kUnbounded };
+  Status status = Status::kInfeasible;
+  double objective = 0.0;
+  std::vector<double> x;  ///< Primal solution (empty unless optimal).
+};
+
+/// Minimize c.x subject to A x >= b, x >= 0.
+/// `a` is row-major with `a.size()` rows of `c.size()` entries each.
+LpResult SolveMinCoverLp(const std::vector<std::vector<double>>& a,
+                         const std::vector<double>& b,
+                         const std::vector<double>& c);
+
+}  // namespace tetris
+
+#endif  // TETRIS_UTIL_SIMPLEX_H_

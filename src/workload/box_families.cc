@@ -1,0 +1,108 @@
+#include "workload/box_families.h"
+
+#include <cassert>
+
+#include "util/rng.h"
+
+namespace tetris {
+
+std::vector<DyadicBox> ExampleF1Boxes(int d) {
+  assert(d >= 3);
+  std::vector<DyadicBox> out;
+  const uint64_t half = uint64_t{1} << (d - 2);
+  auto iv = [](uint64_t bits, int len) {
+    return DyadicInterval{bits, static_cast<uint8_t>(len)};
+  };
+  const DyadicInterval lam = DyadicInterval::Lambda();
+  // C1 covers <0, λ, λ>:
+  //   {<0x, λ, 0> | x ∈ {0,1}^{d-2}} ∪ {<0, y, 1> | y ∈ {0,1}^{d-2}}.
+  for (uint64_t x = 0; x < half; ++x) {
+    out.push_back(DyadicBox::Of({iv(x, d - 1), lam, iv(0, 1)}));
+    out.push_back(DyadicBox::Of({iv(0, 1), iv(x, d - 2), iv(1, 1)}));
+  }
+  // C2 covers <10, λ, λ>:
+  //   {<10x, 0, λ>} ∪ {<10, 1, z>}.
+  for (uint64_t x = 0; x < half; ++x) {
+    out.push_back(DyadicBox::Of({iv((uint64_t{0b10} << (d - 2)) | x, d),
+                                 iv(0, 1), lam}));
+    out.push_back(DyadicBox::Of({iv(0b10, 2), iv(1, 1), iv(x, d - 2)}));
+  }
+  // C3 covers <11, λ, λ>:
+  //   {<110, y, λ>} ∪ {<111, λ, z>}.
+  for (uint64_t y = 0; y < half; ++y) {
+    out.push_back(DyadicBox::Of({iv(0b110, 3), iv(y, d - 2), lam}));
+    out.push_back(DyadicBox::Of({iv(0b111, 3), lam, iv(y, d - 2)}));
+  }
+  return out;
+}
+
+std::vector<DyadicBox> TreeOrderedHardFamily(int d) {
+  assert(d >= 3);
+  std::vector<DyadicBox> out;
+  auto iv = [](uint64_t bits, int len) {
+    return DyadicInterval{bits, static_cast<uint8_t>(len)};
+  };
+  const DyadicInterval lam = DyadicInterval::Lambda();
+  // Per-A boxes: <a, 0, λ> for every unit a (covers the B-half "0").
+  for (uint64_t a = 0; a < (uint64_t{1} << d); ++a) {
+    out.push_back(DyadicBox::Of({iv(a, d), iv(0, 1), lam}));
+  }
+  // Shared sub-family covering <λ, 1, λ> through a long resolution chain:
+  //   {<λ, 1x, 0> | x ∈ {0,1}^{d-2}} ∪ {<λ, 1, 1z> | z ∈ {0,1}^{d-2}}.
+  const uint64_t quarter = uint64_t{1} << (d - 2);
+  for (uint64_t x = 0; x < quarter; ++x) {
+    out.push_back(
+        DyadicBox::Of({lam, iv(quarter | x, d - 1), iv(0, 1)}));
+    out.push_back(
+        DyadicBox::Of({lam, iv(1, 1), iv(quarter | x, d - 1)}));
+  }
+  return out;
+}
+
+std::vector<DyadicBox> RandomBoxes(int n, int d, size_t count, int min_len,
+                                   int max_len, uint64_t seed) {
+  assert(max_len <= d);
+  (void)d;
+  Rng rng(seed);
+  std::vector<DyadicBox> out;
+  out.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    DyadicBox b = DyadicBox::Universal(n);
+    for (int j = 0; j < n; ++j) {
+      int len = min_len + static_cast<int>(rng.Below(max_len - min_len + 1));
+      b[j] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+std::vector<DyadicBox> PlantedCertificateCover(int n, int d, int cert_log2,
+                                               size_t noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<DyadicBox> out;
+  // Tiling: split dimension 0 into 2^cert_log2 slabs (each a dyadic
+  // interval of length cert_log2); the slabs cover the cube.
+  const uint64_t slabs = uint64_t{1} << cert_log2;
+  for (uint64_t s = 0; s < slabs; ++s) {
+    DyadicBox b = DyadicBox::Universal(n);
+    b[0] = {s, static_cast<uint8_t>(cert_log2)};
+    out.push_back(b);
+  }
+  // Noise: finer boxes strictly inside random slabs (redundant).
+  for (size_t i = 0; i < noise; ++i) {
+    DyadicBox b = DyadicBox::Universal(n);
+    int len = cert_log2 + 1 +
+              static_cast<int>(rng.Below(std::max(1, d - cert_log2)));
+    if (len > d) len = d;
+    b[0] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+    for (int j = 1; j < n; ++j) {
+      int l = static_cast<int>(rng.Below(d + 1));
+      b[j] = {rng.Below(uint64_t{1} << l), static_cast<uint8_t>(l)};
+    }
+    out.push_back(b);
+  }
+  return out;
+}
+
+}  // namespace tetris

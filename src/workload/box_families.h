@@ -1,0 +1,38 @@
+// Direct BCP box families used by the resolution-complexity experiments.
+#ifndef TETRIS_WORKLOAD_BOX_FAMILIES_H_
+#define TETRIS_WORKLOAD_BOX_FAMILIES_H_
+
+#include <vector>
+
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// The paper's Example F.1 family (3 dimensions, |C| = 6 · 2^{d-2}):
+/// covers the whole cube, but any *ordered* geometric resolution strategy
+/// needs Ω(|C|^2) resolutions while general geometric resolution (the
+/// Balance lift) needs only O~(|C|^{3/2}).
+std::vector<DyadicBox> ExampleF1Boxes(int d);
+
+/// Random dyadic boxes: each component independently gets a random length
+/// in [min_len, max_len] and random bits.
+std::vector<DyadicBox> RandomBoxes(int n, int d, size_t count, int min_len,
+                                   int max_len, uint64_t seed);
+
+/// A covering family with a planted small certificate: `cert` coarse
+/// boxes that tile the cube (a kd-split), plus `noise` redundant finer
+/// boxes contained in them. The optimal certificate is the tiling.
+std::vector<DyadicBox> PlantedCertificateCover(int n, int d, int cert_log2,
+                                               size_t noise, uint64_t seed);
+
+/// A treewidth-1-flavoured family separating Ordered from Tree-Ordered
+/// resolution (the Theorem 5.2 phenomenon): 2^d boxes <a, 0, λ> pin
+/// dimension A, and a shared F.1-style sub-family covers <λ, 1, λ> only
+/// through a chain of ~2^{d-1} resolutions. With caching the chain is
+/// derived once (O~(|C|) total); without caching it is re-derived under
+/// every unit value of A.
+std::vector<DyadicBox> TreeOrderedHardFamily(int d);
+
+}  // namespace tetris
+
+#endif  // TETRIS_WORKLOAD_BOX_FAMILIES_H_

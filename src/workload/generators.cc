@@ -1,0 +1,201 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+std::string AttrName(int i) { return "A" + std::to_string(i); }
+
+// Top-`s`-bit block index of value v in a depth-d domain.
+uint64_t BlockOf(uint64_t v, int d, int s) { return v >> (d - s); }
+
+}  // namespace
+
+Relation RandomRelation(std::string name, std::vector<std::string> attrs,
+                        size_t tuples, int d, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Tuple> ts;
+  ts.reserve(tuples);
+  for (size_t i = 0; i < tuples; ++i) {
+    Tuple t(attrs.size());
+    for (auto& v : t) v = rng.Below(uint64_t{1} << d);
+    ts.push_back(std::move(t));
+  }
+  return Relation::Make(std::move(name), std::move(attrs), std::move(ts));
+}
+
+QueryInstance RandomTriangle(size_t tuples_per_rel, int d, uint64_t seed) {
+  QueryInstance qi;
+  qi.storage.push_back(std::make_unique<Relation>(
+      RandomRelation("R", {"A", "B"}, tuples_per_rel, d, seed)));
+  qi.storage.push_back(std::make_unique<Relation>(
+      RandomRelation("S", {"B", "C"}, tuples_per_rel, d, seed + 1)));
+  qi.storage.push_back(std::make_unique<Relation>(
+      RandomRelation("T", {"A", "C"}, tuples_per_rel, d, seed + 2)));
+  qi.Bind();
+  return qi;
+}
+
+QueryInstance FullGridTriangle(uint64_t m) {
+  std::vector<Tuple> grid;
+  grid.reserve(m * m);
+  for (uint64_t a = 0; a < m; ++a) {
+    for (uint64_t b = 0; b < m; ++b) grid.push_back({a, b});
+  }
+  QueryInstance qi;
+  qi.storage.push_back(std::make_unique<Relation>(
+      Relation::Make("R", {"A", "B"}, grid)));
+  qi.storage.push_back(std::make_unique<Relation>(
+      Relation::Make("S", {"B", "C"}, grid)));
+  qi.storage.push_back(std::make_unique<Relation>(
+      Relation::Make("T", {"A", "C"}, grid)));
+  qi.Bind();
+  return qi;
+}
+
+QueryInstance MsbTriangle(int d, bool closed_variant) {
+  const uint64_t dom = uint64_t{1} << d;
+  std::vector<Tuple> diff, same;
+  for (uint64_t a = 0; a < dom; ++a) {
+    for (uint64_t b = 0; b < dom; ++b) {
+      if ((a >> (d - 1)) != (b >> (d - 1))) {
+        diff.push_back({a, b});
+      } else {
+        same.push_back({a, b});
+      }
+    }
+  }
+  QueryInstance qi;
+  qi.storage.push_back(std::make_unique<Relation>(
+      Relation::Make("R", {"A", "B"}, diff)));
+  qi.storage.push_back(std::make_unique<Relation>(
+      Relation::Make("S", {"B", "C"}, diff)));
+  qi.storage.push_back(std::make_unique<Relation>(
+      Relation::Make("T", {"A", "C"}, closed_variant ? same : diff)));
+  qi.Bind();
+  qi.depth = d;
+  return qi;
+}
+
+QueryInstance RandomPath(int hops, size_t tuples_per_rel, int d,
+                         uint64_t seed) {
+  QueryInstance qi;
+  for (int h = 0; h < hops; ++h) {
+    qi.storage.push_back(std::make_unique<Relation>(
+        RandomRelation("R" + std::to_string(h),
+                       {AttrName(h), AttrName(h + 1)}, tuples_per_rel, d,
+                       seed + h)));
+  }
+  qi.Bind();
+  return qi;
+}
+
+QueryInstance RandomCycle(int len, size_t tuples_per_rel, int d,
+                          uint64_t seed) {
+  QueryInstance qi;
+  for (int h = 0; h < len; ++h) {
+    qi.storage.push_back(std::make_unique<Relation>(
+        RandomRelation("R" + std::to_string(h),
+                       {AttrName(h), AttrName((h + 1) % len)},
+                       tuples_per_rel, d, seed + h)));
+  }
+  qi.Bind();
+  return qi;
+}
+
+Relation RandomGraphEdges(std::string name, std::string a, std::string b,
+                          uint64_t nodes, size_t edges, uint64_t seed) {
+  Rng rng(seed);
+  std::unordered_set<uint64_t> seen;
+  std::vector<Tuple> ts;
+  size_t guard = 0;
+  while (seen.size() < edges && guard++ < edges * 50) {
+    uint64_t u = rng.Below(nodes), v = rng.Below(nodes);
+    if (u == v) continue;
+    uint64_t key = std::min(u, v) * nodes + std::max(u, v);
+    if (!seen.insert(key).second) continue;
+    ts.push_back({u, v});
+    ts.push_back({v, u});  // symmetric closure for pattern queries
+  }
+  return Relation::Make(std::move(name), {std::move(a), std::move(b)},
+                        std::move(ts));
+}
+
+QueryInstance CliqueOnRandomGraph(int k, uint64_t nodes, size_t edges,
+                                  uint64_t seed) {
+  QueryInstance qi;
+  for (int i = 0; i < k; ++i) {
+    for (int j = i + 1; j < k; ++j) {
+      qi.storage.push_back(std::make_unique<Relation>(RandomGraphEdges(
+          "E" + std::to_string(i) + std::to_string(j), "V" + std::to_string(i),
+          "V" + std::to_string(j), nodes, edges, seed)));
+    }
+  }
+  qi.Bind();
+  return qi;
+}
+
+namespace {
+
+// Fills a relation whose `striped_col` values fall only in blocks with the
+// given parity (block = top `s` bits).
+Relation StripedRelation(std::string name, std::vector<std::string> attrs,
+                         int striped_col, int parity, int s,
+                         size_t tuples, int d, uint64_t seed) {
+  Rng rng(seed);
+  const uint64_t dom = uint64_t{1} << d;
+  std::vector<Tuple> ts;
+  ts.reserve(tuples);
+  for (size_t i = 0; i < tuples; ++i) {
+    Tuple t(attrs.size());
+    for (auto& v : t) v = rng.Below(dom);
+    // Force the striped column into a block of the right parity.
+    uint64_t v = t[striped_col];
+    if ((BlockOf(v, d, s) & 1) != static_cast<uint64_t>(parity)) {
+      v ^= uint64_t{1} << (d - s);  // flip the lowest block bit
+    }
+    t[striped_col] = v;
+    ts.push_back(std::move(t));
+  }
+  return Relation::Make(std::move(name), std::move(attrs), std::move(ts));
+}
+
+}  // namespace
+
+QueryInstance StripedEmptyPath(int stripes_log2, size_t tuples_per_rel,
+                               int d, uint64_t seed) {
+  const int s = stripes_log2;
+  QueryInstance qi;
+  qi.storage.push_back(std::make_unique<Relation>(
+      StripedRelation("R", {"A", "B"}, /*striped_col=*/1, /*parity=*/0, s,
+                      tuples_per_rel, d, seed)));
+  qi.storage.push_back(std::make_unique<Relation>(
+      StripedRelation("S", {"B", "C"}, /*striped_col=*/0, /*parity=*/1, s,
+                      tuples_per_rel, d, seed + 1)));
+  qi.Bind();
+  qi.depth = d;
+  return qi;
+}
+
+QueryInstance StripedEmptyCycle(int stripes_log2, size_t tuples_per_rel,
+                                int d, uint64_t seed) {
+  const int s = stripes_log2;
+  QueryInstance qi;
+  qi.storage.push_back(std::make_unique<Relation>(
+      StripedRelation("R0", {"A0", "A1"}, 1, 0, s, tuples_per_rel, d, seed)));
+  qi.storage.push_back(std::make_unique<Relation>(StripedRelation(
+      "R1", {"A1", "A2"}, 0, 1, s, tuples_per_rel, d, seed + 1)));
+  qi.storage.push_back(std::make_unique<Relation>(StripedRelation(
+      "R2", {"A2", "A3"}, 1, 0, s, tuples_per_rel, d, seed + 2)));
+  qi.storage.push_back(std::make_unique<Relation>(StripedRelation(
+      "R3", {"A3", "A0"}, 0, 1, s, tuples_per_rel, d, seed + 3)));
+  qi.Bind();
+  qi.depth = d;
+  return qi;
+}
+
+}  // namespace tetris

@@ -1,0 +1,90 @@
+// Workload generators for the tests, examples and benches.
+//
+// Each generator reproduces a construction the paper uses:
+//   * full-grid / random triangles      — AGM-tight worst cases (§4.3)
+//   * MSB-complement relations          — Figures 5/6
+//   * striped (tiny-certificate) inputs — Appendix B (certificates can be
+//                                         O(1) while N grows without bound)
+//   * path / cycle / clique queries     — the treewidth families of
+//                                         Table 1 and Section 4.4
+//   * random graphs                     — the subgraph-listing motivation
+#ifndef TETRIS_WORKLOAD_GENERATORS_H_
+#define TETRIS_WORKLOAD_GENERATORS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "query/join_query.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// A self-contained query instance: owns its relations.
+struct QueryInstance {
+  std::vector<std::unique_ptr<Relation>> storage;
+  JoinQuery query = JoinQuery::Build({});
+  int depth = 1;
+
+  void Bind() {
+    std::vector<const Relation*> ptrs;
+    ptrs.reserve(storage.size());
+    for (const auto& r : storage) ptrs.push_back(r.get());
+    query = JoinQuery::Build(ptrs);
+    depth = query.MinDepth();
+  }
+};
+
+/// Uniform random k-ary relation over [0, 2^d).
+Relation RandomRelation(std::string name, std::vector<std::string> attrs,
+                        size_t tuples, int d, uint64_t seed);
+
+/// Triangle query R(A,B) ⋈ S(B,C) ⋈ T(A,C) with random relations of the
+/// given size.
+QueryInstance RandomTriangle(size_t tuples_per_rel, int d, uint64_t seed);
+
+/// AGM-tight triangle: every relation is the full m × m grid, so
+/// N = m^2 per relation and |output| = m^3 = N^{3/2} = AGM.
+QueryInstance FullGridTriangle(uint64_t m);
+
+/// The Figure 5 instance: R, S, T are the MSB-complement relations over
+/// {0,1}^d; the join is empty and six dyadic gap boxes certify it.
+/// With `closed_variant` (Figure 6's T'), T requires *equal* MSBs and the
+/// output is non-empty.
+QueryInstance MsbTriangle(int d, bool closed_variant);
+
+/// Path query R1(A1,A2) ⋈ ... ⋈ Rk(Ak,Ak+1) with random relations
+/// (treewidth 1).
+QueryInstance RandomPath(int hops, size_t tuples_per_rel, int d,
+                         uint64_t seed);
+
+/// Cycle query over `len` attributes with random relations
+/// (treewidth 2 for len >= 4, fhtw 2 for len = 4).
+QueryInstance RandomCycle(int len, size_t tuples_per_rel, int d,
+                          uint64_t seed);
+
+/// k-clique query over random graph edges: one binary relation per vertex
+/// pair, all equal to the edge set of G(nodes, edges, seed).
+QueryInstance CliqueOnRandomGraph(int k, uint64_t nodes, size_t edges,
+                                  uint64_t seed);
+
+/// Beyond-worst-case path instance: R(A,B) keeps B inside `stripes`
+/// dyadic stripes, S(B,C) keeps B inside the complementary stripes, so
+/// the join is empty, the (B-first) box certificate has O(stripes) boxes,
+/// and N = tuples_per_rel is unbounded relative to it.
+QueryInstance StripedEmptyPath(int stripes_log2, size_t tuples_per_rel,
+                               int d, uint64_t seed);
+
+/// Beyond-worst-case 4-cycle instance (treewidth 2), striped on two
+/// opposite attributes the same way.
+QueryInstance StripedEmptyCycle(int stripes_log2, size_t tuples_per_rel,
+                                int d, uint64_t seed);
+
+/// Random graph edge relation (symmetric pairs, no self loops) with
+/// attribute names `a` and `b`.
+Relation RandomGraphEdges(std::string name, std::string a, std::string b,
+                          uint64_t nodes, size_t edges, uint64_t seed);
+
+}  // namespace tetris
+
+#endif  // TETRIS_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,251 @@
+#include "engine/balance.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "engine/measure.h"
+#include "workload/box_families.h"
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+DyadicInterval Iv(uint64_t bits, int len) {
+  return {bits, static_cast<uint8_t>(len)};
+}
+const DyadicInterval kLam = DyadicInterval::Lambda();
+
+TEST(DimPartition, TrivialPartition) {
+  DimPartition p = DimPartition::Trivial(4);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_TRUE(p.IsElement(kLam));
+  auto [s1, s2] = p.Factor(Iv(0b101, 3));
+  EXPECT_EQ(s1, kLam);
+  EXPECT_EQ(s2, Iv(0b101, 3));
+}
+
+TEST(DimPartition, FactorPrefixOfElement) {
+  // Partition {0, 10, 11} of a d=3 domain.
+  DimPartition p({Iv(0b0, 1), Iv(0b10, 2), Iv(0b11, 2)}, 3);
+  // "1" is a strict prefix of elements 10 and 11 -> stays whole.
+  auto [s1, s2] = p.Factor(Iv(0b1, 1));
+  EXPECT_EQ(s1, Iv(0b1, 1));
+  EXPECT_TRUE(s2.IsLambda());
+  // λ is a prefix of everything.
+  auto [t1, t2] = p.Factor(kLam);
+  EXPECT_TRUE(t1.IsLambda());
+  EXPECT_TRUE(t2.IsLambda());
+}
+
+TEST(DimPartition, FactorSplitsBeyondElement) {
+  DimPartition p({Iv(0b0, 1), Iv(0b10, 2), Iv(0b11, 2)}, 3);
+  // "010" extends element "0": factor as 0 · 10.
+  auto [s1, s2] = p.Factor(Iv(0b010, 3));
+  EXPECT_EQ(s1, Iv(0b0, 1));
+  EXPECT_EQ(s2, Iv(0b10, 2));
+  EXPECT_EQ(s1.Concat(s2), Iv(0b010, 3));
+  // An element factors as itself.
+  auto [t1, t2] = p.Factor(Iv(0b10, 2));
+  EXPECT_EQ(t1, Iv(0b10, 2));
+  EXPECT_TRUE(t2.IsLambda());
+}
+
+TEST(BalancedPartition, RespectsDefinitionF3) {
+  // 64 boxes stacked strictly inside the "0..." half of dimension 0.
+  const int d = 8;
+  std::vector<DyadicBox> boxes;
+  Rng rng(7);
+  for (int i = 0; i < 64; ++i) {
+    DyadicBox b = DyadicBox::Universal(3);
+    b[0] = {rng.Below(uint64_t{1} << (d - 1)), static_cast<uint8_t>(d)};
+    boxes.push_back(b);
+  }
+  DimPartition p = ComputeBalancedPartition(boxes, 0, d);
+  const double sqrt_c = std::sqrt(64.0);
+  // Condition (b): each element has at most √|C| strictly-inside boxes.
+  for (const DyadicInterval& x : p.elements()) {
+    int64_t cnt = 0;
+    for (const DyadicBox& b : boxes) {
+      if (x.Contains(b[0]) && !(x == b[0])) ++cnt;
+    }
+    EXPECT_LE(static_cast<double>(cnt), sqrt_c) << x.ToString();
+  }
+  // Partition completeness: every domain value in exactly one element.
+  for (uint64_t v = 0; v < (uint64_t{1} << d); ++v) {
+    int owners = 0;
+    for (const DyadicInterval& x : p.elements()) {
+      if (x.ContainsValue(v, d)) ++owners;
+    }
+    EXPECT_EQ(owners, 1) << v;
+  }
+}
+
+TEST(BalanceMap, LiftUnliftRoundTripOnPoints) {
+  const int n = 3, d = 4;
+  Rng rng(17);
+  std::vector<DyadicBox> boxes;
+  for (int i = 0; i < 40; ++i) {
+    DyadicBox b = DyadicBox::Universal(n);
+    for (int j = 0; j < n; ++j) {
+      int len = static_cast<int>(rng.Below(d + 1));
+      b[j] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+    }
+    boxes.push_back(b);
+  }
+  BalanceMap map(boxes, n, d);
+  BalancedSpace space(&map);
+  EXPECT_EQ(map.lifted_dims(), 2 * n - 2);
+  EXPECT_EQ(space.dims(), 2 * n - 2);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint64_t> vals(n);
+    for (int j = 0; j < n; ++j) vals[j] = rng.Below(uint64_t{1} << d);
+    DyadicBox pt = DyadicBox::Point(vals, d);
+    DyadicBox lifted = map.Lift(pt);
+    EXPECT_TRUE(space.IsUnitBox(lifted)) << lifted.ToString();
+    DyadicBox back = map.UnliftPoint(lifted);
+    EXPECT_EQ(back, pt);
+  }
+}
+
+TEST(BalanceMap, LiftPreservesContainmentOfPoints) {
+  const int n = 3, d = 3;
+  Rng rng(23);
+  std::vector<DyadicBox> boxes;
+  for (int i = 0; i < 30; ++i) {
+    DyadicBox b = DyadicBox::Universal(n);
+    for (int j = 0; j < n; ++j) {
+      int len = static_cast<int>(rng.Below(d + 1));
+      b[j] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+    }
+    boxes.push_back(b);
+  }
+  BalanceMap map(boxes, n, d);
+  // For every box b and point p: p ∈ b  <=>  Lift(p) ∈ Lift(b).
+  for (const DyadicBox& b : boxes) {
+    DyadicBox lifted_b = map.Lift(b);
+    for (int i = 0; i < 100; ++i) {
+      std::vector<uint64_t> vals(n);
+      for (int j = 0; j < n; ++j) vals[j] = rng.Below(uint64_t{1} << d);
+      DyadicBox pt = DyadicBox::Point(vals, d);
+      EXPECT_EQ(b.Contains(pt), lifted_b.Contains(map.Lift(pt)))
+          << b.ToString() << " vs point " << pt.ToString();
+    }
+  }
+}
+
+// Full-engine property: Tetris-LB (both modes) matches brute force.
+struct LbCase {
+  int n;
+  int d;
+  int boxes;
+  uint64_t seed;
+};
+
+class TetrisLbProperty : public ::testing::TestWithParam<LbCase> {};
+
+TEST_P(TetrisLbProperty, MatchesBruteForce) {
+  const auto [n, d, num_boxes, seed] = GetParam();
+  Rng rng(seed);
+  for (int iter = 0; iter < 6; ++iter) {
+    std::vector<DyadicBox> boxes;
+    for (int i = 0; i < num_boxes; ++i) {
+      DyadicBox b = DyadicBox::Universal(n);
+      for (int j = 0; j < n; ++j) {
+        int len = static_cast<int>(rng.Below(d + 1));
+        if (rng.Chance(0.3)) len = d;
+        b[j] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+      }
+      boxes.push_back(b);
+    }
+    MaterializedOracle oracle(n);
+    oracle.AddAll(boxes);
+
+    std::vector<std::vector<uint64_t>> expected;
+    {
+      std::vector<uint64_t> t(n, 0);
+      const uint64_t dom = uint64_t{1} << d;
+      for (;;) {
+        bool cov = false;
+        for (const auto& b : boxes) {
+          if (b.ContainsPoint(t, d)) {
+            cov = true;
+            break;
+          }
+        }
+        if (!cov) expected.push_back(t);
+        int i = n - 1;
+        while (i >= 0 && ++t[i] == dom) t[i--] = 0;
+        if (i < 0) break;
+      }
+      std::sort(expected.begin(), expected.end());
+    }
+
+    for (bool preloaded : {true, false}) {
+      TetrisLB lb(&oracle, n, d, preloaded);
+      std::vector<std::vector<uint64_t>> out;
+      RunStatus status = lb.Run([&](const DyadicBox& p) {
+        out.push_back(p.ToPoint());
+        return true;
+      });
+      EXPECT_EQ(status, RunStatus::kCompleted);
+      std::sort(out.begin(), out.end());
+      ASSERT_EQ(out, expected)
+          << "n=" << n << " d=" << d << " iter=" << iter
+          << " preloaded=" << preloaded;
+      EXPECT_EQ(lb.stats().outputs, static_cast<int64_t>(expected.size()));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TetrisLbProperty,
+    ::testing::Values(LbCase{3, 2, 8, 31}, LbCase{3, 3, 20, 32},
+                      LbCase{4, 2, 12, 33}, LbCase{3, 4, 40, 34},
+                      LbCase{5, 2, 20, 35}, LbCase{2, 4, 10, 36},
+                      LbCase{1, 4, 5, 37}));
+
+TEST(TetrisLB, OnlineModeRebuildsPartitionsAndStaysCorrect) {
+  // Example F.1 at d=6 has 96 boxes; the online variant starts with a
+  // 16-box load budget, so it must trip the budget, rebuild partitions,
+  // and restart at least once — and still certify the (empty) output.
+  auto boxes = ExampleF1Boxes(6);
+  MaterializedOracle oracle(3);
+  oracle.AddAll(boxes);
+  TetrisLB lb(&oracle, 3, 6, /*preloaded=*/false);
+  int64_t outputs = 0;
+  RunStatus status = lb.Run([&](const DyadicBox&) {
+    ++outputs;
+    return true;
+  });
+  EXPECT_EQ(status, RunStatus::kCompleted);
+  EXPECT_EQ(outputs, 0);
+  EXPECT_GE(lb.stats().restarts, 1);
+  EXPECT_LE(lb.stats().boxes_loaded,
+            static_cast<int64_t>(8 * boxes.size()))
+      << "restart doubling must keep total loads within a constant "
+         "factor of |B|";
+}
+
+TEST(KleeCoversSpace, AgreesWithMeasure) {
+  Rng rng(99);
+  const int n = 3, d = 3;
+  for (int iter = 0; iter < 20; ++iter) {
+    std::vector<DyadicBox> boxes;
+    int count = 4 + static_cast<int>(rng.Below(20));
+    for (int i = 0; i < count; ++i) {
+      DyadicBox b = DyadicBox::Universal(n);
+      for (int j = 0; j < n; ++j) {
+        int len = static_cast<int>(rng.Below(2));
+        b[j] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+      }
+      boxes.push_back(b);
+    }
+    double uncovered = UncoveredMeasure(boxes, n, d);
+    EXPECT_EQ(KleeCoversSpace(boxes, n, d), uncovered == 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace tetris

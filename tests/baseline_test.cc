@@ -1,0 +1,210 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baseline/generic_join.h"
+#include "baseline/leapfrog.h"
+#include "baseline/pairwise_join.h"
+#include "baseline/yannakakis.h"
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+std::vector<Tuple> Sorted(std::vector<Tuple> v) {
+  std::sort(v.begin(), v.end());
+  return v;
+}
+
+struct Workload {
+  std::vector<Relation> rels;
+  JoinQuery query = JoinQuery::Build({});
+
+  static Workload Triangle(int n_tuples, int d, uint64_t seed) {
+    Workload w;
+    Rng rng(seed);
+    auto mk = [&](std::string n, std::vector<std::string> a) {
+      std::vector<Tuple> ts;
+      for (int i = 0; i < n_tuples; ++i) {
+        ts.push_back({rng.Below(uint64_t{1} << d),
+                      rng.Below(uint64_t{1} << d)});
+      }
+      return Relation::Make(std::move(n), std::move(a), std::move(ts));
+    };
+    w.rels.push_back(mk("R", {"A", "B"}));
+    w.rels.push_back(mk("S", {"B", "C"}));
+    w.rels.push_back(mk("T", {"A", "C"}));
+    w.Bind();
+    return w;
+  }
+
+  static Workload Path(int hops, int n_tuples, int d, uint64_t seed) {
+    Workload w;
+    Rng rng(seed);
+    for (int h = 0; h < hops; ++h) {
+      std::vector<Tuple> ts;
+      for (int i = 0; i < n_tuples; ++i) {
+        ts.push_back({rng.Below(uint64_t{1} << d),
+                      rng.Below(uint64_t{1} << d)});
+      }
+      w.rels.push_back(Relation::Make(
+          "R" + std::to_string(h),
+          {"A" + std::to_string(h), "A" + std::to_string(h + 1)},
+          std::move(ts)));
+    }
+    w.Bind();
+    return w;
+  }
+
+  void Bind() {
+    std::vector<const Relation*> ptrs;
+    for (const auto& r : rels) ptrs.push_back(&r);
+    query = JoinQuery::Build(ptrs);
+  }
+};
+
+TEST(PairwiseJoin, AllMethodsMatchBruteForceOnTriangle) {
+  Workload w = Workload::Triangle(20, 3, 1);
+  auto expected = Sorted(w.query.BruteForceJoin(3));
+  for (auto m : {PairwiseMethod::kNestedLoop, PairwiseMethod::kHash,
+                 PairwiseMethod::kSortMerge}) {
+    BaselineStats stats;
+    auto out = Sorted(PairwiseJoinPlan(w.query, m, &stats));
+    EXPECT_EQ(out, expected) << static_cast<int>(m);
+    EXPECT_GE(stats.max_intermediate, expected.size());
+  }
+}
+
+TEST(PairwiseJoin, CrossProductWhenNoSharedVars) {
+  Relation r = Relation::Make("R", {"A"}, {{0}, {1}});
+  Relation s = Relation::Make("S", {"B"}, {{5}, {6}, {7}});
+  JoinQuery q = JoinQuery::Build({&r, &s});
+  auto out = PairwiseJoinPlan(q, PairwiseMethod::kHash);
+  EXPECT_EQ(out.size(), 6u);
+}
+
+TEST(Leapfrog, TriangleMatchesBruteForce) {
+  Workload w = Workload::Triangle(25, 3, 2);
+  auto expected = Sorted(w.query.BruteForceJoin(3));
+  int64_t seeks = 0;
+  auto out = Sorted(LeapfrogTriejoin(w.query, {}, &seeks));
+  EXPECT_EQ(out, expected);
+  EXPECT_GT(seeks, 0);
+}
+
+TEST(Leapfrog, WorksUnderAnyGao) {
+  Workload w = Workload::Triangle(15, 2, 3);
+  auto expected = Sorted(w.query.BruteForceJoin(2));
+  std::vector<int> gao = {0, 1, 2};
+  do {
+    auto out = Sorted(LeapfrogTriejoin(w.query, gao));
+    EXPECT_EQ(out, expected) << gao[0] << gao[1] << gao[2];
+  } while (std::next_permutation(gao.begin(), gao.end()));
+}
+
+TEST(Leapfrog, EmptyRelationShortCircuits) {
+  Relation r = Relation::Make("R", {"A", "B"}, {{0, 1}});
+  Relation e("E", {"B", "C"});
+  JoinQuery q = JoinQuery::Build({&r, &e});
+  EXPECT_TRUE(LeapfrogTriejoin(q).empty());
+}
+
+TEST(GenericJoin, TriangleMatchesBruteForce) {
+  Workload w = Workload::Triangle(25, 3, 4);
+  auto expected = Sorted(w.query.BruteForceJoin(3));
+  int64_t probes = 0;
+  auto out = Sorted(GenericJoin(w.query, {}, &probes));
+  EXPECT_EQ(out, expected);
+  EXPECT_GT(probes, 0);
+}
+
+TEST(GenericJoin, WorksUnderAnyGao) {
+  Workload w = Workload::Triangle(15, 2, 5);
+  auto expected = Sorted(w.query.BruteForceJoin(2));
+  std::vector<int> gao = {0, 1, 2};
+  do {
+    auto out = Sorted(GenericJoin(w.query, gao));
+    EXPECT_EQ(out, expected);
+  } while (std::next_permutation(gao.begin(), gao.end()));
+}
+
+TEST(Yannakakis, PathQueryMatches) {
+  Workload w = Workload::Path(3, 30, 3, 6);
+  auto expected = Sorted(w.query.BruteForceJoin(3));
+  auto out = YannakakisJoin(w.query);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(Sorted(*out), expected);
+}
+
+TEST(Yannakakis, RejectsCyclicQuery) {
+  Workload w = Workload::Triangle(5, 2, 7);
+  EXPECT_FALSE(YannakakisJoin(w.query).has_value());
+}
+
+TEST(Yannakakis, BowtieWithUnaryRelations) {
+  Relation r = Relation::Make("R", {"A"}, {{1}, {2}, {5}});
+  Relation s = Relation::Make("S", {"A", "B"}, {{1, 3}, {2, 9}, {4, 4}});
+  Relation t = Relation::Make("T", {"B"}, {{3}, {4}});
+  JoinQuery q = JoinQuery::Build({&r, &s, &t});
+  auto out = YannakakisJoin(q);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, (std::vector<Tuple>{{1, 3}}));
+}
+
+TEST(Yannakakis, SemijoinsBoundIntermediates) {
+  // A path query with an empty final hop: the full reducer empties
+  // everything; no intermediate may exceed the input size.
+  Workload w = Workload::Path(2, 50, 3, 8);
+  Relation dead("D", {"A2", "A3"});
+  w.rels.push_back(std::move(dead));
+  w.Bind();
+  BaselineStats stats;
+  auto out = YannakakisJoin(w.query, &stats);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+  EXPECT_LE(stats.max_intermediate, 50u);
+}
+
+TEST(Yannakakis, StarQuery) {
+  Rng rng(9);
+  std::vector<Relation> rels;
+  for (int i = 0; i < 3; ++i) {
+    std::vector<Tuple> ts;
+    for (int j = 0; j < 20; ++j) ts.push_back({rng.Below(4), rng.Below(4)});
+    rels.push_back(Relation::Make("R" + std::to_string(i),
+                                  {"H", "L" + std::to_string(i)},
+                                  std::move(ts)));
+  }
+  std::vector<const Relation*> ptrs;
+  for (auto& r : rels) ptrs.push_back(&r);
+  JoinQuery q = JoinQuery::Build(ptrs);
+  auto expected = Sorted(q.BruteForceJoin(2));
+  auto out = YannakakisJoin(q);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(Sorted(*out), expected);
+}
+
+// Cross-validation: all baselines agree with each other on random inputs.
+class BaselineAgreement : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BaselineAgreement, AllAlgorithmsAgree) {
+  Workload w = Workload::Path(2, 25, 3, GetParam());
+  auto expected = Sorted(w.query.BruteForceJoin(3));
+  EXPECT_EQ(Sorted(PairwiseJoinPlan(w.query, PairwiseMethod::kHash)),
+            expected);
+  EXPECT_EQ(Sorted(PairwiseJoinPlan(w.query, PairwiseMethod::kSortMerge)),
+            expected);
+  EXPECT_EQ(Sorted(PairwiseJoinPlan(w.query, PairwiseMethod::kNestedLoop)),
+            expected);
+  EXPECT_EQ(Sorted(LeapfrogTriejoin(w.query)), expected);
+  EXPECT_EQ(Sorted(GenericJoin(w.query)), expected);
+  auto y = YannakakisJoin(w.query);
+  ASSERT_TRUE(y.has_value());
+  EXPECT_EQ(Sorted(*y), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BaselineAgreement,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,106 @@
+#include "geometry/decompose.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+TEST(DyadicCover, EmptyRange) {
+  EXPECT_TRUE(DyadicCover(5, 4, 4).empty());
+}
+
+TEST(DyadicCover, FullDomainIsLambda) {
+  auto v = DyadicCover(0, 15, 4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_TRUE(v[0].IsLambda());
+}
+
+TEST(DyadicCover, SinglePoint) {
+  auto v = DyadicCover(9, 9, 4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], DyadicInterval::Unit(9, 4));
+}
+
+TEST(DyadicCover, AlignedBlock) {
+  auto v = DyadicCover(4, 7, 4);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0], (DyadicInterval{0b01, 2}));
+}
+
+TEST(DyadicCover, PaperBoundAtMost2d) {
+  // Worst case [1, 2^d - 2] needs 2(d-1) blocks.
+  for (int d = 1; d <= 16; ++d) {
+    uint64_t max = (uint64_t{1} << d) - 1;
+    if (max < 2) continue;
+    auto v = DyadicCover(1, max - 1, d);
+    EXPECT_LE(v.size(), static_cast<size_t>(2 * d));
+  }
+}
+
+// Property: the cover is disjoint, exact, and ordered.
+class CoverProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverProperty, DisjointExactOrdered) {
+  const int d = GetParam();
+  Rng rng(99 + d);
+  const uint64_t dom = uint64_t{1} << d;
+  for (int iter = 0; iter < 400; ++iter) {
+    uint64_t a = rng.Below(dom), b = rng.Below(dom);
+    if (a > b) std::swap(a, b);
+    auto v = DyadicCover(a, b, d);
+    ASSERT_FALSE(v.empty());
+    // Exactness: blocks tile [a, b] left to right with no gaps/overlap.
+    uint64_t cur = a;
+    for (const auto& iv : v) {
+      EXPECT_EQ(iv.Low(d), cur);
+      cur = iv.High(d) + 1;
+    }
+    EXPECT_EQ(cur, b + 1);
+    EXPECT_LE(v.size(), static_cast<size_t>(2 * d));
+    // Maximality: merging two adjacent blocks never yields a dyadic block.
+    for (size_t i = 0; i + 1 < v.size(); ++i) {
+      EXPECT_FALSE(v[i].IsSiblingOf(v[i + 1]))
+          << "non-canonical cover at " << i;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CoverProperty,
+                         ::testing::Values(1, 2, 3, 4, 8, 16, 40));
+
+TEST(DecomposeBox, EmptyDimensionGivesNothing) {
+  IntBox b{{3, 5}, {2, 9}};  // first range empty
+  EXPECT_TRUE(DecomposeBox(b, 4).empty());
+}
+
+TEST(DecomposeBox, CartesianProductCount) {
+  IntBox b{{1, 0}, {2, 15}};  // [1,2] x [0,15] at d=4
+  auto v = DecomposeBox(b, 4);
+  // [1,2] -> {1}, {2}; [0,15] -> λ. 2 boxes total.
+  ASSERT_EQ(v.size(), 2u);
+  for (const auto& box : v) {
+    EXPECT_TRUE(box[1].IsLambda());
+  }
+}
+
+TEST(DecomposeBox, CoversExactlyTheIntBox) {
+  const int d = 4;
+  IntBox ib{{3, 6}, {9, 12}};
+  auto v = DecomposeBox(ib, d);
+  for (uint64_t x = 0; x < 16; ++x) {
+    for (uint64_t y = 0; y < 16; ++y) {
+      bool in_ib = x >= ib.lo[0] && x <= ib.hi[0] && y >= ib.lo[1] &&
+                   y <= ib.hi[1];
+      int cover = 0;
+      for (const auto& box : v) {
+        if (box.ContainsPoint({x, y}, d)) ++cover;
+      }
+      EXPECT_EQ(cover, in_ib ? 1 : 0) << x << "," << y;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tetris

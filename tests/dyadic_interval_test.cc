@@ -1,0 +1,109 @@
+#include "geometry/dyadic_interval.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+TEST(DyadicInterval, LambdaIsWholeDomain) {
+  DyadicInterval lam = DyadicInterval::Lambda();
+  EXPECT_TRUE(lam.IsLambda());
+  EXPECT_EQ(lam.Low(4), 0u);
+  EXPECT_EQ(lam.High(4), 15u);
+  EXPECT_EQ(lam.SizeAt(4), 16u);
+  EXPECT_EQ(lam.ToString(), "λ");
+}
+
+TEST(DyadicInterval, UnitIsPoint) {
+  DyadicInterval u = DyadicInterval::Unit(5, 4);
+  EXPECT_TRUE(u.IsUnitAt(4));
+  EXPECT_FALSE(u.IsUnitAt(5));
+  EXPECT_EQ(u.Low(4), 5u);
+  EXPECT_EQ(u.High(4), 5u);
+  EXPECT_EQ(u.SizeAt(4), 1u);
+  EXPECT_EQ(u.ToString(), "0101");
+}
+
+TEST(DyadicInterval, ContainmentIsPrefix) {
+  DyadicInterval p{0b01, 2};   // "01" covers [4,7] at d=4
+  DyadicInterval c{0b0110, 4};  // "0110" = 6
+  EXPECT_TRUE(p.Contains(c));
+  EXPECT_FALSE(c.Contains(p));
+  EXPECT_TRUE(p.Contains(p));
+  EXPECT_TRUE(DyadicInterval::Lambda().Contains(p));
+  DyadicInterval q{0b10, 2};
+  EXPECT_FALSE(p.Contains(q));
+  EXPECT_FALSE(q.Contains(p));
+  EXPECT_FALSE(p.ComparableWith(q));
+  EXPECT_TRUE(p.ComparableWith(c));
+}
+
+TEST(DyadicInterval, ChildParentRoundTrip) {
+  DyadicInterval x{0b101, 3};
+  EXPECT_EQ(x.Child(0), (DyadicInterval{0b1010, 4}));
+  EXPECT_EQ(x.Child(1), (DyadicInterval{0b1011, 4}));
+  EXPECT_EQ(x.Child(0).Parent(), x);
+  EXPECT_EQ(x.Child(1).Parent(), x);
+  EXPECT_EQ(x.Child(1).LastBit(), 1);
+  EXPECT_EQ(x.Child(0).LastBit(), 0);
+}
+
+TEST(DyadicInterval, Siblings) {
+  DyadicInterval x{0b101, 3};
+  EXPECT_TRUE(x.Child(0).IsSiblingOf(x.Child(1)));
+  EXPECT_TRUE(x.Child(1).IsSiblingOf(x.Child(0)));
+  EXPECT_FALSE(x.Child(0).IsSiblingOf(x.Child(0)));
+  EXPECT_FALSE(x.IsSiblingOf(x.Child(0)));
+  DyadicInterval lam = DyadicInterval::Lambda();
+  EXPECT_FALSE(lam.IsSiblingOf(lam));
+}
+
+TEST(DyadicInterval, IntersectComparablePicksLonger) {
+  DyadicInterval p{0b01, 2};
+  DyadicInterval c{0b0110, 4};
+  EXPECT_EQ(p.IntersectComparable(c), c);
+  EXPECT_EQ(c.IntersectComparable(p), c);
+}
+
+TEST(DyadicInterval, PrefixSuffixConcat) {
+  DyadicInterval x{0b10110, 5};
+  EXPECT_EQ(x.Prefix(2), (DyadicInterval{0b10, 2}));
+  EXPECT_EQ(x.Suffix(2), (DyadicInterval{0b110, 3}));
+  EXPECT_EQ(x.Prefix(2).Concat(x.Suffix(2)), x);
+  EXPECT_EQ(x.Prefix(0), DyadicInterval::Lambda());
+  EXPECT_EQ(x.Prefix(5), x);
+}
+
+TEST(DyadicInterval, ContainsValue) {
+  DyadicInterval p{0b01, 2};  // [4,7] at d=4
+  for (uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(p.ContainsValue(v, 4), v >= 4 && v <= 7) << v;
+  }
+}
+
+// Property sweep: containment agrees with the integer-range semantics.
+class IntervalPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(IntervalPropertyTest, ContainmentMatchesRanges) {
+  const int d = GetParam();
+  Rng rng(42 + d);
+  for (int iter = 0; iter < 500; ++iter) {
+    int la = static_cast<int>(rng.Below(d + 1));
+    int lb = static_cast<int>(rng.Below(d + 1));
+    DyadicInterval a{rng.Below(uint64_t{1} << la), static_cast<uint8_t>(la)};
+    DyadicInterval b{rng.Below(uint64_t{1} << lb), static_cast<uint8_t>(lb)};
+    bool range_contains = a.Low(d) <= b.Low(d) && b.High(d) <= a.High(d);
+    EXPECT_EQ(a.Contains(b), range_contains)
+        << a.ToString() << " vs " << b.ToString();
+    bool range_overlap = a.Low(d) <= b.High(d) && b.Low(d) <= a.High(d);
+    EXPECT_EQ(a.Intersects(b), range_overlap);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, IntervalPropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 16, 31, 62));
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,162 @@
+#include "kb/dyadic_tree_store.h"
+
+#include <gtest/gtest.h>
+
+#include "kb/box_oracle.h"
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+DyadicInterval Iv(uint64_t bits, int len) {
+  return {bits, static_cast<uint8_t>(len)};
+}
+const DyadicInterval kLam = DyadicInterval::Lambda();
+
+TEST(DyadicTreeStore, EmptyFindsNothing) {
+  DyadicTreeStore store(2);
+  EXPECT_EQ(store.size(), 0u);
+  EXPECT_EQ(store.FindContaining(DyadicBox::Universal(2)), nullptr);
+}
+
+TEST(DyadicTreeStore, InsertAndFindExact) {
+  DyadicTreeStore store(2);
+  DyadicBox b = DyadicBox::Of({Iv(0b01, 2), Iv(0b1, 1)});
+  EXPECT_TRUE(store.Insert(b));
+  EXPECT_FALSE(store.Insert(b)) << "duplicate must be rejected";
+  EXPECT_EQ(store.size(), 1u);
+  const DyadicBox* f = store.FindContaining(b);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(*f, b);
+  EXPECT_TRUE(store.ContainsExact(b));
+}
+
+TEST(DyadicTreeStore, FindsCoarserBox) {
+  DyadicTreeStore store(3);
+  DyadicBox coarse = DyadicBox::Of({Iv(0b0, 1), kLam, kLam});
+  store.Insert(coarse);
+  DyadicBox fine = DyadicBox::Of({Iv(0b0110, 4), Iv(0b10, 2), Iv(0b1, 1)});
+  const DyadicBox* f = store.FindContaining(fine);
+  ASSERT_NE(f, nullptr);
+  EXPECT_EQ(*f, coarse);
+  // A box outside dim-0 prefix 0 is not covered.
+  DyadicBox other = DyadicBox::Of({Iv(0b1, 1), kLam, kLam});
+  EXPECT_EQ(store.FindContaining(other), nullptr);
+}
+
+TEST(DyadicTreeStore, UniversalBoxCoversAll) {
+  DyadicTreeStore store(2);
+  store.Insert(DyadicBox::Universal(2));
+  EXPECT_NE(store.FindContaining(DyadicBox::Point({3, 9}, 4)), nullptr);
+}
+
+TEST(DyadicTreeStore, CollectContainingFindsAllSupersets) {
+  DyadicTreeStore store(2);
+  DyadicBox a = DyadicBox::Of({kLam, Iv(0b1, 1)});
+  DyadicBox b = DyadicBox::Of({Iv(0b1, 1), Iv(0b11, 2)});
+  DyadicBox c = DyadicBox::Of({Iv(0b0, 1), kLam});  // disjoint from probe
+  store.Insert(a);
+  store.Insert(b);
+  store.Insert(c);
+  std::vector<DyadicBox> out;
+  store.CollectContaining(DyadicBox::Point({3, 3}, 2), &out);  // (11, 11)
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(DyadicTreeStore, AllBoxesReturnsEverything) {
+  DyadicTreeStore store(2);
+  std::vector<DyadicBox> in = {
+      DyadicBox::Of({Iv(0b0, 1), kLam}),
+      DyadicBox::Of({Iv(0b1, 1), Iv(0b0, 1)}),
+      DyadicBox::Universal(2),
+  };
+  for (const auto& b : in) store.Insert(b);
+  auto all = store.AllBoxes();
+  EXPECT_EQ(all.size(), in.size());
+  for (const auto& b : in) {
+    EXPECT_NE(std::find(all.begin(), all.end(), b), all.end());
+  }
+}
+
+// Property: FindContaining / CollectContaining agree with a linear scan.
+class StoreProperty : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(StoreProperty, AgreesWithLinearScan) {
+  const auto [n, d] = GetParam();
+  Rng rng(5 * n + d);
+  DyadicTreeStore store(n);
+  std::vector<DyadicBox> ref;
+  auto random_box = [&] {
+    DyadicBox b = DyadicBox::Universal(n);
+    for (int i = 0; i < n; ++i) {
+      int len = static_cast<int>(rng.Below(d + 1));
+      b[i] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+    }
+    return b;
+  };
+  for (int i = 0; i < 200; ++i) {
+    DyadicBox b = random_box();
+    bool inserted = store.Insert(b);
+    bool was_new = std::find(ref.begin(), ref.end(), b) == ref.end();
+    EXPECT_EQ(inserted, was_new);
+    if (was_new) ref.push_back(b);
+  }
+  EXPECT_EQ(store.size(), ref.size());
+  for (int i = 0; i < 300; ++i) {
+    DyadicBox probe = random_box();
+    std::vector<DyadicBox> got;
+    store.CollectContaining(probe, &got);
+    size_t expected = 0;
+    for (const auto& r : ref) {
+      if (r.Contains(probe)) ++expected;
+    }
+    EXPECT_EQ(got.size(), expected);
+    const DyadicBox* f = store.FindContaining(probe);
+    EXPECT_EQ(f != nullptr, expected > 0);
+    if (f != nullptr) {
+      EXPECT_TRUE(f->Contains(probe));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, StoreProperty,
+    ::testing::Values(std::pair{1, 4}, std::pair{2, 3}, std::pair{3, 3},
+                      std::pair{4, 2}, std::pair{2, 8}));
+
+TEST(KeepMaximalBoxes, RemovesDominated) {
+  std::vector<DyadicBox> v = {
+      DyadicBox::Of({Iv(0b01, 2), kLam}),
+      DyadicBox::Of({Iv(0b0, 1), kLam}),
+      DyadicBox::Of({Iv(0b1, 1), Iv(0b1, 1)}),
+  };
+  KeepMaximalBoxes(&v);
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_NE(std::find(v.begin(), v.end(),
+                      DyadicBox::Of({Iv(0b0, 1), kLam})),
+            v.end());
+}
+
+TEST(MaterializedOracle, ProbeReturnsMaximalContainers) {
+  MaterializedOracle oracle(2);
+  oracle.Add(DyadicBox::Of({Iv(0b0, 1), kLam}));
+  oracle.Add(DyadicBox::Of({Iv(0b01, 2), kLam}));  // dominated
+  oracle.Add(DyadicBox::Of({Iv(0b1, 1), kLam}));   // doesn't contain probe
+  std::vector<DyadicBox> out;
+  oracle.Probe(DyadicBox::Point({1, 2}, 2), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], DyadicBox::Of({Iv(0b0, 1), kLam}));
+  EXPECT_EQ(oracle.probe_count(), 1);
+  EXPECT_EQ(oracle.size(), 3u);
+}
+
+TEST(MaterializedOracle, EmptyProbeMeansOutputTuple) {
+  MaterializedOracle oracle(2);
+  oracle.Add(DyadicBox::Of({Iv(0b0, 1), kLam}));
+  std::vector<DyadicBox> out;
+  oracle.Probe(DyadicBox::Point({3, 0}, 2), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,156 @@
+#include "query/hypergraph.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris {
+namespace {
+
+Hypergraph Triangle() {
+  return Hypergraph(3, {{0, 1}, {1, 2}, {0, 2}});
+}
+Hypergraph Path(int n) {
+  std::vector<std::vector<int>> e;
+  for (int i = 0; i + 1 < n; ++i) e.push_back({i, i + 1});
+  return Hypergraph(n, e);
+}
+Hypergraph Cycle(int n) {
+  std::vector<std::vector<int>> e;
+  for (int i = 0; i < n; ++i) e.push_back({i, (i + 1) % n});
+  return Hypergraph(n, e);
+}
+Hypergraph Clique(int n) {
+  std::vector<std::vector<int>> e;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) e.push_back({i, j});
+  }
+  return Hypergraph(n, e);
+}
+
+TEST(Gyo, PathIsAcyclic) {
+  for (int n = 2; n <= 6; ++n) {
+    std::vector<int> order;
+    EXPECT_TRUE(Path(n).GyoEliminationOrder(&order)) << n;
+    EXPECT_EQ(static_cast<int>(order.size()), n);
+  }
+}
+
+TEST(Gyo, TriangleIsCyclic) {
+  EXPECT_FALSE(Triangle().IsAlphaAcyclic());
+  EXPECT_FALSE(Cycle(4).IsAlphaAcyclic());
+  EXPECT_FALSE(Cycle(5).IsAlphaAcyclic());
+}
+
+TEST(Gyo, TriangleWithCoveringEdgeIsAcyclic) {
+  // Adding the edge {0,1,2} makes the triangle α-acyclic.
+  Hypergraph h(3, {{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}});
+  EXPECT_TRUE(h.IsAlphaAcyclic());
+}
+
+TEST(Gyo, StarIsAcyclic) {
+  Hypergraph h(4, {{0, 1}, {0, 2}, {0, 3}});
+  std::vector<int> order;
+  EXPECT_TRUE(h.GyoEliminationOrder(&order));
+}
+
+TEST(BetaAcyclicity, KnownClassifications) {
+  // Paths and stars are β-acyclic.
+  EXPECT_TRUE(Path(5).IsBetaAcyclic());
+  Hypergraph star(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_TRUE(star.IsBetaAcyclic());
+  // A triangle with a covering edge is α- but NOT β-acyclic (drop the
+  // big edge and the triangle remains).
+  Hypergraph covered(3, {{0, 1}, {1, 2}, {0, 2}, {0, 1, 2}});
+  EXPECT_TRUE(covered.IsAlphaAcyclic());
+  EXPECT_FALSE(covered.IsBetaAcyclic());
+  // Cyclic hypergraphs are not β-acyclic either.
+  EXPECT_FALSE(Triangle().IsBetaAcyclic());
+  // Nested arity-3 chain (the §5.2 setting) is β-acyclic.
+  Hypergraph chain(5, {{0, 1, 2}, {1, 2, 3}, {2, 3, 4}});
+  EXPECT_TRUE(chain.IsBetaAcyclic());
+}
+
+TEST(Treewidth, KnownValues) {
+  EXPECT_EQ(Path(5).Treewidth(), 1);
+  EXPECT_EQ(Triangle().Treewidth(), 2);
+  EXPECT_EQ(Cycle(4).Treewidth(), 2);
+  EXPECT_EQ(Cycle(6).Treewidth(), 2);
+  EXPECT_EQ(Clique(4).Treewidth(), 3);
+  EXPECT_EQ(Clique(5).Treewidth(), 4);
+}
+
+TEST(Treewidth, OptimalOrderAchievesWidth) {
+  for (auto h : {Path(6), Cycle(5), Clique(4), Triangle()}) {
+    std::vector<int> order;
+    int tw = h.Treewidth(&order);
+    EXPECT_EQ(h.InducedWidth(order), tw);
+  }
+}
+
+TEST(Treewidth, BadOrderCanBeWorse) {
+  // Eliminating the middle of a path first creates fill: width 2 > 1.
+  Hypergraph p = Path(3);
+  EXPECT_EQ(p.InducedWidth({1, 0, 2}), 2);
+  EXPECT_EQ(p.InducedWidth({0, 1, 2}), 1);
+}
+
+TEST(FractionalCover, TriangleIsThreeHalves) {
+  EXPECT_NEAR(Triangle().FractionalCoverNumber(), 1.5, 1e-7);
+}
+
+TEST(FractionalCover, SubsetRestriction) {
+  // ρ* of one edge's endpoints is 1.
+  EXPECT_NEAR(Triangle().FractionalCoverNumber(0b011), 1.0, 1e-7);
+  // A single vertex costs 1 (any incident edge).
+  EXPECT_NEAR(Triangle().FractionalCoverNumber(0b001), 1.0, 1e-7);
+  // Empty set costs 0.
+  EXPECT_NEAR(Triangle().FractionalCoverNumber(0), 0.0, 1e-9);
+}
+
+TEST(FractionalCover, OddCycle) {
+  EXPECT_NEAR(Cycle(5).FractionalCoverNumber(), 2.5, 1e-7);
+  EXPECT_NEAR(Cycle(7).FractionalCoverNumber(), 3.5, 1e-7);
+}
+
+TEST(AgmBound, TriangleSqrtProduct) {
+  // Equal sizes N: AGM = N^(3/2), i.e. log2 = 1.5 * log2 N.
+  double log_n = 10.0;
+  double agm = Triangle().AgmBoundLog2({log_n, log_n, log_n});
+  EXPECT_NEAR(agm, 1.5 * log_n, 1e-6);
+}
+
+TEST(AgmBound, SkewedSizesPickCheapCover) {
+  // One huge relation: avoid it. Triangle with |AB| = 2^20, others 2^2:
+  // cover with x_BC = x_AC = 1 covers all three vertices at cost 4.
+  double agm = Triangle().AgmBoundLog2({20.0, 2.0, 2.0});
+  EXPECT_NEAR(agm, 4.0, 1e-6);
+}
+
+TEST(Fhtw, AcyclicIsOne) {
+  EXPECT_NEAR(Path(5).FractionalHypertreeWidth(), 1.0, 1e-7);
+  Hypergraph star(4, {{0, 1}, {0, 2}, {0, 3}});
+  EXPECT_NEAR(star.FractionalHypertreeWidth(), 1.0, 1e-7);
+}
+
+TEST(Fhtw, TriangleIsThreeHalves) {
+  // The only bag is the triangle itself: fhtw = ρ*(triangle) = 3/2.
+  EXPECT_NEAR(Triangle().FractionalHypertreeWidth(), 1.5, 1e-7);
+}
+
+TEST(Fhtw, FourCycleIsTwo) {
+  // Known: fhtw(C4) = 2 (bags {A,B,C}, {A,C,D}; each needs 2 edges).
+  std::vector<int> order;
+  EXPECT_NEAR(Cycle(4).FractionalHypertreeWidth(&order), 2.0, 1e-7);
+  EXPECT_EQ(order.size(), 4u);
+}
+
+TEST(Fhtw, AtMostTreewidthPlusOneBound) {
+  for (auto h : {Cycle(5), Clique(4), Path(6)}) {
+    double fhtw = h.FractionalHypertreeWidth();
+    int tw = h.Treewidth();
+    EXPECT_LE(fhtw, tw + 1 + 1e-9);
+    EXPECT_GE(fhtw, 1.0 - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,82 @@
+#include "query/join_query.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris {
+namespace {
+
+TEST(JoinQuery, BuildSharesAttributesByName) {
+  Relation r = Relation::Make("R", {"A", "B"}, {{0, 1}});
+  Relation s = Relation::Make("S", {"B", "C"}, {{1, 2}});
+  Relation t = Relation::Make("T", {"A", "C"}, {{0, 2}});
+  JoinQuery q = JoinQuery::Build({&r, &s, &t});
+  EXPECT_EQ(q.attrs(), (std::vector<std::string>{"A", "B", "C"}));
+  ASSERT_EQ(q.atoms().size(), 3u);
+  EXPECT_EQ(q.atoms()[0].var_ids, (std::vector<int>{0, 1}));
+  EXPECT_EQ(q.atoms()[1].var_ids, (std::vector<int>{1, 2}));
+  EXPECT_EQ(q.atoms()[2].var_ids, (std::vector<int>{0, 2}));
+}
+
+TEST(JoinQuery, MinDepthCoversValues) {
+  Relation r = Relation::Make("R", {"A"}, {{7}});
+  JoinQuery q = JoinQuery::Build({&r});
+  EXPECT_EQ(q.MinDepth(), 3);
+  Relation s = Relation::Make("S", {"A"}, {{8}});
+  JoinQuery q2 = JoinQuery::Build({&s});
+  EXPECT_EQ(q2.MinDepth(), 4);
+  Relation e("E", {"A"});
+  JoinQuery q3 = JoinQuery::Build({&e});
+  EXPECT_GE(q3.MinDepth(), 1);
+}
+
+TEST(JoinQuery, SaoPermutations) {
+  Relation r = Relation::Make("R", {"A", "B"}, {});
+  Relation s = Relation::Make("S", {"B", "C"}, {});
+  JoinQuery q = JoinQuery::Build({&r, &s});
+  for (auto sao : {q.AcyclicSao(), q.MinWidthSao(), q.MinFhtwSao()}) {
+    ASSERT_EQ(sao.size(), 3u);
+    std::vector<int> sorted = sao;
+    std::sort(sorted.begin(), sorted.end());
+    EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2}));
+  }
+}
+
+TEST(JoinQuery, TriangleAgmBound) {
+  // Three relations of size 4 => AGM = 4^(3/2) = 8, log2 = 3.
+  std::vector<Tuple> four = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  Relation r = Relation::Make("R", {"A", "B"}, four);
+  Relation s = Relation::Make("S", {"B", "C"}, four);
+  Relation t = Relation::Make("T", {"A", "C"}, four);
+  JoinQuery q = JoinQuery::Build({&r, &s, &t});
+  EXPECT_NEAR(q.AgmBoundLog2(), 3.0, 1e-6);
+}
+
+TEST(JoinQuery, BruteForceJoinTriangle) {
+  // R = S = T = {0,1}^2 -> full triangle output {0,1}^3 at d=1.
+  std::vector<Tuple> all = {{0, 0}, {0, 1}, {1, 0}, {1, 1}};
+  Relation r = Relation::Make("R", {"A", "B"}, all);
+  Relation s = Relation::Make("S", {"B", "C"}, all);
+  Relation t = Relation::Make("T", {"A", "C"}, all);
+  JoinQuery q = JoinQuery::Build({&r, &s, &t});
+  EXPECT_EQ(q.BruteForceJoin(1).size(), 8u);
+}
+
+TEST(JoinQuery, BruteForceJoinRespectsAllAtoms) {
+  Relation r = Relation::Make("R", {"A", "B"}, {{0, 1}, {1, 1}});
+  Relation s = Relation::Make("S", {"B", "C"}, {{1, 0}});
+  JoinQuery q = JoinQuery::Build({&r, &s});
+  auto out = q.BruteForceJoin(1);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (Tuple{0, 1, 0}));
+  EXPECT_EQ(out[1], (Tuple{1, 1, 0}));
+}
+
+TEST(JoinQuery, EmptyRelationGivesEmptyJoin) {
+  Relation r = Relation::Make("R", {"A", "B"}, {{0, 0}});
+  Relation e("E", {"B", "C"});
+  JoinQuery q = JoinQuery::Build({&r, &e});
+  EXPECT_TRUE(q.BruteForceJoin(2).empty());
+}
+
+}  // namespace
+}  // namespace tetris

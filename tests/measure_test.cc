@@ -1,0 +1,85 @@
+#include "engine/measure.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+DyadicInterval Iv(uint64_t bits, int len) {
+  return {bits, static_cast<uint8_t>(len)};
+}
+const DyadicInterval kLam = DyadicInterval::Lambda();
+
+TEST(UncoveredMeasure, EmptySetIsFullVolume) {
+  EXPECT_DOUBLE_EQ(UncoveredMeasure({}, 2, 3), 64.0);
+  EXPECT_DOUBLE_EQ(UncoveredMeasure({}, 3, 2), 64.0);
+}
+
+TEST(UncoveredMeasure, UniversalBoxCoversAll) {
+  EXPECT_DOUBLE_EQ(UncoveredMeasure({DyadicBox::Universal(2)}, 2, 5), 0.0);
+}
+
+TEST(UncoveredMeasure, HalfSpace) {
+  std::vector<DyadicBox> boxes = {DyadicBox::Of({Iv(0, 1), kLam})};
+  EXPECT_DOUBLE_EQ(UncoveredMeasure(boxes, 2, 4), 128.0);  // half of 256
+}
+
+TEST(UncoveredMeasure, OverlappingBoxesNotDoubleCounted) {
+  std::vector<DyadicBox> boxes = {
+      DyadicBox::Of({Iv(0, 1), kLam}),
+      DyadicBox::Of({kLam, Iv(0, 1)}),
+  };
+  // Union covers 3/4 of the square.
+  EXPECT_DOUBLE_EQ(UncoveredMeasure(boxes, 2, 3), 16.0);
+}
+
+TEST(UncoveredMeasure, PaperExample44) {
+  std::vector<DyadicBox> boxes = {
+      DyadicBox::Of({kLam, Iv(0b0, 1)}),
+      DyadicBox::Of({Iv(0b00, 2), kLam}),
+      DyadicBox::Of({kLam, Iv(0b11, 2)}),
+      DyadicBox::Of({Iv(0b10, 2), Iv(0b1, 1)}),
+  };
+  EXPECT_DOUBLE_EQ(UncoveredMeasure(boxes, 2, 2), 2.0);
+}
+
+TEST(KleeCoversSpace, DetectsFullCover) {
+  // Figure 5: six boxes covering the cube.
+  std::vector<DyadicBox> boxes = {
+      DyadicBox::Of({Iv(0, 1), Iv(0, 1), kLam}),
+      DyadicBox::Of({Iv(1, 1), Iv(1, 1), kLam}),
+      DyadicBox::Of({kLam, Iv(0, 1), Iv(0, 1)}),
+      DyadicBox::Of({kLam, Iv(1, 1), Iv(1, 1)}),
+      DyadicBox::Of({Iv(0, 1), kLam, Iv(0, 1)}),
+      DyadicBox::Of({Iv(1, 1), kLam, Iv(1, 1)}),
+  };
+  EXPECT_TRUE(KleeCoversSpace(boxes, 3, 5));
+  // Remove one box: a gap opens.
+  boxes.pop_back();
+  EXPECT_FALSE(KleeCoversSpace(boxes, 3, 5));
+}
+
+TEST(KleeCoversSpace, RandomAgreesWithMeasure) {
+  Rng rng(2024);
+  for (int iter = 0; iter < 30; ++iter) {
+    const int n = 2 + static_cast<int>(rng.Below(3));
+    const int d = 2 + static_cast<int>(rng.Below(2));
+    std::vector<DyadicBox> boxes;
+    const int count = 2 + static_cast<int>(rng.Below(24));
+    for (int i = 0; i < count; ++i) {
+      DyadicBox b = DyadicBox::Universal(n);
+      for (int j = 0; j < n; ++j) {
+        int len = static_cast<int>(rng.Below(2));
+        b[j] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+      }
+      boxes.push_back(b);
+    }
+    bool covered = UncoveredMeasure(boxes, n, d) == 0.0;
+    EXPECT_EQ(KleeCoversSpace(boxes, n, d), covered) << "iter " << iter;
+  }
+}
+
+}  // namespace
+}  // namespace tetris

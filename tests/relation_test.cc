@@ -1,0 +1,51 @@
+#include "relation/relation.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris {
+namespace {
+
+TEST(Relation, MakeCanonicalizes) {
+  Relation r = Relation::Make("R", {"A", "B"},
+                              {{3, 1}, {1, 3}, {3, 1}, {0, 0}});
+  EXPECT_EQ(r.size(), 3u);
+  EXPECT_EQ(r.tuples()[0], (Tuple{0, 0}));
+  EXPECT_EQ(r.tuples()[1], (Tuple{1, 3}));
+  EXPECT_EQ(r.tuples()[2], (Tuple{3, 1}));
+}
+
+TEST(Relation, ContainsUsesBinarySearch) {
+  Relation r = Relation::Make("R", {"A", "B"}, {{1, 2}, {3, 4}});
+  EXPECT_TRUE(r.Contains({1, 2}));
+  EXPECT_TRUE(r.Contains({3, 4}));
+  EXPECT_FALSE(r.Contains({1, 4}));
+  EXPECT_FALSE(r.Contains({0, 0}));
+}
+
+TEST(Relation, AttrIndex) {
+  Relation r("S", {"B", "C", "A"});
+  EXPECT_EQ(r.AttrIndex("B"), 0);
+  EXPECT_EQ(r.AttrIndex("C"), 1);
+  EXPECT_EQ(r.AttrIndex("A"), 2);
+  EXPECT_EQ(r.AttrIndex("Z"), -1);
+}
+
+TEST(Relation, MaxValue) {
+  Relation r = Relation::Make("R", {"A"}, {{5}, {17}, {2}});
+  EXPECT_EQ(r.MaxValue(), 17u);
+  Relation empty("E", {"A"});
+  EXPECT_EQ(empty.MaxValue(), 0u);
+}
+
+TEST(Relation, IncrementalAddThenCanonicalize) {
+  Relation r("R", {"A", "B"});
+  r.Add({2, 2});
+  r.Add({1, 1});
+  r.Add({2, 2});
+  r.Canonicalize();
+  EXPECT_EQ(r.size(), 2u);
+  EXPECT_TRUE(r.Contains({1, 1}));
+}
+
+}  // namespace
+}  // namespace tetris

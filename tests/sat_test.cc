@@ -1,0 +1,135 @@
+#include "sat/tetris_sat.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris {
+namespace {
+
+TEST(Cnf, DimacsRoundTrip) {
+  std::string text = "c comment\np cnf 3 2\n1 -2 0\n2 3 0\n";
+  Cnf f = Cnf::ParseDimacs(text);
+  EXPECT_EQ(f.num_vars, 3);
+  ASSERT_EQ(f.clauses.size(), 2u);
+  EXPECT_EQ(f.clauses[0], (std::vector<int>{1, -2}));
+  EXPECT_EQ(f.clauses[1], (std::vector<int>{2, 3}));
+  Cnf g = Cnf::ParseDimacs(f.ToDimacs());
+  EXPECT_EQ(g.clauses, f.clauses);
+  EXPECT_EQ(g.num_vars, f.num_vars);
+}
+
+TEST(Cnf, SatisfactionSemantics) {
+  Cnf f;
+  f.num_vars = 2;
+  f.clauses = {{1}, {-2}};
+  EXPECT_TRUE(f.IsSatisfiedBy(0b01));   // x1=1, x2=0
+  EXPECT_FALSE(f.IsSatisfiedBy(0b11));  // x2=1 violates -2
+  EXPECT_FALSE(f.IsSatisfiedBy(0b00));  // x1=0 violates 1
+  EXPECT_EQ(f.BruteForceCount(), 1u);
+}
+
+TEST(ClauseToGapBox, PinsFalsifyingAssignments) {
+  // Clause (x1 ∨ ¬x2) over 3 vars: falsified iff x1=0 ∧ x2=1.
+  DyadicBox b = ClauseToGapBox({1, -2}, 3);
+  EXPECT_EQ(b[0], (DyadicInterval{0, 1}));
+  EXPECT_EQ(b[1], (DyadicInterval{1, 1}));
+  EXPECT_TRUE(b[2].IsLambda());
+}
+
+TEST(TetrisSat, PaperExample41Clauses) {
+  // Example 4.1's D1 = (y1 ∨ y2), D2 = (¬x1 ∨ x2 ∨ y1 ∨ ¬y2) over
+  // variables (x1, x2, y1, y2) = vars 1..4.
+  Cnf f;
+  f.num_vars = 4;
+  f.clauses = {{3, 4}, {-1, 2, 3, -4}};
+  SatResult r = CountModels(f);
+  EXPECT_EQ(r.model_count, f.BruteForceCount());
+}
+
+TEST(TetrisSat, EmptyFormulaCountsAllAssignments) {
+  Cnf f;
+  f.num_vars = 4;
+  SatResult r = CountModels(f);
+  EXPECT_EQ(r.model_count, 16u);
+}
+
+TEST(TetrisSat, EmptyClauseIsUnsat) {
+  Cnf f;
+  f.num_vars = 3;
+  f.clauses = {{}};
+  SatResult r = CountModels(f);
+  EXPECT_EQ(r.model_count, 0u);
+  EXPECT_FALSE(r.first_model.has_value());
+}
+
+TEST(TetrisSat, UnitPropagationChain) {
+  // x1, x1->x2, x2->x3, ..., forcing all true: exactly one model.
+  Cnf f;
+  f.num_vars = 8;
+  f.clauses.push_back({1});
+  for (int v = 1; v < 8; ++v) f.clauses.push_back({-v, v + 1});
+  SatResult r = CountModels(f);
+  EXPECT_EQ(r.model_count, 1u);
+  ASSERT_TRUE(r.first_model.has_value());
+  EXPECT_EQ(*r.first_model, 0xFFu);
+}
+
+TEST(TetrisSat, PigeonholeSatisfiableIffFits) {
+  EXPECT_GT(CountModels(PigeonholeCnf(2, 2)).model_count, 0u);
+  EXPECT_GT(CountModels(PigeonholeCnf(3, 3)).model_count, 0u);
+  EXPECT_EQ(CountModels(PigeonholeCnf(3, 2)).model_count, 0u);
+  EXPECT_EQ(CountModels(PigeonholeCnf(4, 3)).model_count, 0u);
+}
+
+TEST(TetrisSat, UnsatRefutationVerifies) {
+  Cnf f = PigeonholeCnf(3, 2);
+  ProofLog proof(f.num_vars, 1);
+  SatResult r = CountModels(f, &proof);
+  EXPECT_EQ(r.model_count, 0u);
+  std::string err;
+  EXPECT_TRUE(proof.Verify(&err)) << err;
+  // A refutation derives the whole Boolean cube as falsified.
+  EXPECT_TRUE(proof.Derives(DyadicBox::Universal(f.num_vars)));
+  EXPECT_GT(proof.step_count(), 0u);
+}
+
+TEST(TetrisSat, SolveStopsAtFirstModel) {
+  Cnf f;
+  f.num_vars = 6;  // tautology-free but trivially satisfiable
+  f.clauses = {{1, 2}, {3, 4}, {5, 6}};
+  SatResult r = Solve(f);
+  ASSERT_TRUE(r.first_model.has_value());
+  EXPECT_TRUE(f.IsSatisfiedBy(*r.first_model));
+  EXPECT_EQ(r.model_count, 1u);  // stopped after the first
+}
+
+// Property sweep: model counts match brute force on random 3-SAT at
+// several clause densities (under, near, over the SAT threshold).
+struct SatCase {
+  int vars;
+  int clauses;
+  uint64_t seed;
+};
+
+class TetrisSatProperty : public ::testing::TestWithParam<SatCase> {};
+
+TEST_P(TetrisSatProperty, CountMatchesBruteForce) {
+  const auto [vars, clauses, seed] = GetParam();
+  for (int iter = 0; iter < 10; ++iter) {
+    Cnf f = RandomKSat(vars, 3, clauses, seed + iter);
+    ProofLog proof(vars, 1);
+    SatResult r = CountModels(f, &proof);
+    EXPECT_EQ(r.model_count, f.BruteForceCount()) << f.ToDimacs();
+    std::string err;
+    EXPECT_TRUE(proof.Verify(&err)) << err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Densities, TetrisSatProperty,
+    ::testing::Values(SatCase{8, 16, 100}, SatCase{8, 34, 200},
+                      SatCase{8, 60, 300}, SatCase{12, 40, 400},
+                      SatCase{12, 51, 500}, SatCase{14, 60, 600},
+                      SatCase{16, 70, 700}, SatCase{10, 5, 800}));
+
+}  // namespace
+}  // namespace tetris

@@ -1,0 +1,108 @@
+#include "util/simplex.h"
+
+#include <gtest/gtest.h>
+
+namespace tetris {
+namespace {
+
+using Status = LpResult::Status;
+
+TEST(Simplex, TrivialEmpty) {
+  auto r = SolveMinCoverLp({}, {}, {1.0, 2.0});
+  EXPECT_EQ(r.status, Status::kOptimal);
+  EXPECT_DOUBLE_EQ(r.objective, 0.0);
+}
+
+TEST(Simplex, SingleConstraint) {
+  // min x st x >= 1 -> x = 1.
+  auto r = SolveMinCoverLp({{1.0}}, {1.0}, {1.0});
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 1.0, 1e-7);
+  EXPECT_NEAR(r.x[0], 1.0, 1e-7);
+}
+
+TEST(Simplex, TriangleFractionalCover) {
+  // Triangle query hypergraph: vertices A,B,C; edges AB, BC, AC.
+  // min x1+x2+x3 s.t. each vertex covered; optimum 3/2 (all x=1/2).
+  std::vector<std::vector<double>> a = {
+      {1, 0, 1},  // A in AB, AC
+      {1, 1, 0},  // B in AB, BC
+      {0, 1, 1},  // C in BC, AC
+  };
+  auto r = SolveMinCoverLp(a, {1, 1, 1}, {1, 1, 1});
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 1.5, 1e-7);
+}
+
+TEST(Simplex, PathCoverIsInteger) {
+  // Path A-B-C with edges AB, BC: optimum 2? No: vertex B covered by both;
+  // need x_AB >= 1 (A) and x_BC >= 1 (C) -> objective 2.
+  std::vector<std::vector<double>> a = {
+      {1, 0},  // A
+      {1, 1},  // B
+      {0, 1},  // C
+  };
+  auto r = SolveMinCoverLp(a, {1, 1, 1}, {1, 1});
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, WeightedObjective) {
+  // Same triangle but one relation is free: put all weight there.
+  std::vector<std::vector<double>> a = {
+      {1, 0, 1},
+      {1, 1, 0},
+      {0, 1, 1},
+  };
+  auto r = SolveMinCoverLp(a, {1, 1, 1}, {0.0, 1.0, 1.0});
+  ASSERT_EQ(r.status, Status::kOptimal);
+  // x_AB = 1 covers A,B at cost 0; C needs 1 more from BC or AC at cost 1.
+  EXPECT_NEAR(r.objective, 1.0, 1e-7);
+}
+
+TEST(Simplex, InfeasibleWhenVertexUncoverable) {
+  // A vertex that appears in no edge cannot be covered.
+  std::vector<std::vector<double>> a = {
+      {1.0},
+      {0.0},
+  };
+  auto r = SolveMinCoverLp(a, {1, 1}, {1.0});
+  EXPECT_EQ(r.status, Status::kInfeasible);
+}
+
+TEST(Simplex, LooseConstraintsAllowZero) {
+  // b = 0: x = 0 is optimal.
+  auto r = SolveMinCoverLp({{1.0, 1.0}}, {0.0}, {1.0, 1.0});
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 0.0, 1e-9);
+}
+
+TEST(Simplex, FourCycleFractionalCoverIsTwo) {
+  // 4-cycle A-B-C-D: edges AB, BC, CD, DA. ρ* = 2.
+  std::vector<std::vector<double>> a = {
+      {1, 0, 0, 1},  // A
+      {1, 1, 0, 0},  // B
+      {0, 1, 1, 0},  // C
+      {0, 0, 1, 1},  // D
+  };
+  auto r = SolveMinCoverLp(a, {1, 1, 1, 1}, {1, 1, 1, 1});
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, FiveCycleFractionalCoverIsHalfN) {
+  // Odd cycle C5: ρ* = 5/2.
+  std::vector<std::vector<double>> a(5, std::vector<double>(5, 0.0));
+  for (int v = 0; v < 5; ++v) {
+    // vertex v belongs to edges (v-1, v) and (v, v+1) — index edges by
+    // their first endpoint.
+    a[v][v] = 1.0;
+    a[v][(v + 4) % 5] = 1.0;
+  }
+  auto r = SolveMinCoverLp(a, {1, 1, 1, 1, 1}, {1, 1, 1, 1, 1});
+  ASSERT_EQ(r.status, Status::kOptimal);
+  EXPECT_NEAR(r.objective, 2.5, 1e-7);
+}
+
+}  // namespace
+}  // namespace tetris

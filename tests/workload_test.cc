@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "engine/measure.h"
+#include "workload/box_families.h"
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+TEST(Generators, RandomRelationSizeAndDomain) {
+  Relation r = RandomRelation("R", {"A", "B"}, 100, 4, 1);
+  EXPECT_LE(r.size(), 100u);  // dedup may shrink
+  EXPECT_GE(r.size(), 50u);
+  EXPECT_LT(r.MaxValue(), 16u);
+}
+
+TEST(Generators, FullGridTriangleIsAgmTight) {
+  QueryInstance qi = FullGridTriangle(4);
+  EXPECT_EQ(qi.storage[0]->size(), 16u);
+  auto out = qi.query.BruteForceJoin(qi.depth);
+  EXPECT_EQ(out.size(), 64u);  // m^3 = N^{3/2}
+}
+
+TEST(Generators, MsbTriangleOpenIsEmpty) {
+  QueryInstance qi = MsbTriangle(3, /*closed_variant=*/false);
+  EXPECT_TRUE(qi.query.BruteForceJoin(3).empty());
+}
+
+TEST(Generators, MsbTriangleClosedIsNonEmpty) {
+  QueryInstance qi = MsbTriangle(3, /*closed_variant=*/true);
+  auto out = qi.query.BruteForceJoin(3);
+  EXPECT_FALSE(out.empty());
+  // Every output tuple: msb(a) != msb(b), msb(b) != msb(c), msb(a)==msb(c).
+  for (const Tuple& t : out) {
+    EXPECT_NE(t[0] >> 2, t[1] >> 2);
+    EXPECT_NE(t[1] >> 2, t[2] >> 2);
+    EXPECT_EQ(t[0] >> 2, t[2] >> 2);
+  }
+}
+
+TEST(Generators, StripedEmptyPathIsEmptyWithBigN) {
+  QueryInstance qi = StripedEmptyPath(2, 200, 6, 3);
+  EXPECT_GE(qi.storage[0]->size(), 100u);
+  EXPECT_TRUE(qi.query.BruteForceJoin(6).empty());
+}
+
+TEST(Generators, StripedEmptyCycleIsEmpty) {
+  QueryInstance qi = StripedEmptyCycle(2, 60, 5, 4);
+  EXPECT_TRUE(qi.query.BruteForceJoin(5).empty());
+}
+
+TEST(Generators, CliqueOnRandomGraphSymmetric) {
+  QueryInstance qi = CliqueOnRandomGraph(3, 8, 12, 5);
+  EXPECT_EQ(qi.storage.size(), 3u);
+  for (const auto& r : qi.storage) {
+    for (const Tuple& t : r->tuples()) {
+      EXPECT_TRUE(r->Contains({t[1], t[0]}));
+      EXPECT_NE(t[0], t[1]);
+    }
+  }
+  // Triangles in the symmetric edge relation are consistent with brute
+  // force over the query.
+  auto out = qi.query.BruteForceJoin(qi.depth);
+  for (const Tuple& t : out) {
+    EXPECT_TRUE(qi.storage[0]->Contains({t[0], t[1]}));
+    EXPECT_TRUE(qi.storage[1]->Contains({t[0], t[2]}));
+    EXPECT_TRUE(qi.storage[2]->Contains({t[1], t[2]}));
+  }
+}
+
+TEST(BoxFamilies, ExampleF1CoversTheCube) {
+  for (int d = 3; d <= 6; ++d) {
+    auto boxes = ExampleF1Boxes(d);
+    EXPECT_EQ(boxes.size(), 6u * (uint64_t{1} << (d - 2)));
+    EXPECT_DOUBLE_EQ(UncoveredMeasure(boxes, 3, d), 0.0) << "d=" << d;
+  }
+}
+
+TEST(BoxFamilies, TreeOrderedHardFamilyCoversTheCube) {
+  for (int d = 3; d <= 6; ++d) {
+    auto boxes = TreeOrderedHardFamily(d);
+    EXPECT_EQ(boxes.size(),
+              (uint64_t{1} << d) + 2 * (uint64_t{1} << (d - 2)));
+    EXPECT_DOUBLE_EQ(UncoveredMeasure(boxes, 3, d), 0.0) << "d=" << d;
+  }
+}
+
+TEST(BoxFamilies, PlantedCertificateCoversAndNoiseIsRedundant) {
+  auto boxes = PlantedCertificateCover(3, 5, 2, 40, 6);
+  EXPECT_EQ(boxes.size(), 4u + 40u);
+  EXPECT_DOUBLE_EQ(UncoveredMeasure(boxes, 3, 5), 0.0);
+  // The first 4 slabs alone already cover.
+  std::vector<DyadicBox> cert(boxes.begin(), boxes.begin() + 4);
+  EXPECT_DOUBLE_EQ(UncoveredMeasure(cert, 3, 5), 0.0);
+}
+
+TEST(BoxFamilies, RandomBoxesRespectLengthBounds) {
+  auto boxes = RandomBoxes(2, 6, 50, 2, 4, 7);
+  for (const auto& b : boxes) {
+    for (int j = 0; j < 2; ++j) {
+      EXPECT_GE(b[j].len, 2);
+      EXPECT_LE(b[j].len, 4);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tetris
