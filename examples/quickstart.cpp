@@ -2,13 +2,14 @@
 //
 //   Q(A,B,C) = R(A,B) ⋈ S(B,C) ⋈ T(A,C)
 //
-// Build relations, bind them into a JoinQuery, pick an engine variant,
-// run. The run result carries the output tuples plus the paper's cost
-// counters (geometric resolutions, boxes loaded from the indexes, ...).
+// Build relations, bind them into a JoinQuery, pick an engine through the
+// JoinEngine facade, run. The result carries the output tuples plus the
+// paper's cost counters (geometric resolutions, boxes loaded, ...), and
+// swapping the EngineKind swaps the whole evaluator.
 
 #include <cstdio>
 
-#include "engine/join_runner.h"
+#include "engine/join_engine.h"
 
 using namespace tetris;
 
@@ -28,10 +29,15 @@ int main() {
   std::printf("\nlog2(AGM bound) = %.2f\n\n", q.AgmBoundLog2());
 
   // Tetris-Reloaded: starts with an empty knowledge base and pulls gap
-  // boxes from the B-tree indexes only as needed (certificate behavior).
-  JoinRunResult res =
-      RunTetrisJoinDefaultIndexes(q, JoinAlgorithm::kTetrisReloaded);
+  // boxes from the indexes only as needed (certificate behavior). Try
+  // kLeapfrog or kPairwiseHash here — same output, different counters.
+  EngineResult res = RunJoin(q, EngineKind::kTetrisReloaded);
+  if (!res.ok) {
+    std::printf("error: %s\n", res.error.c_str());
+    return 1;
+  }
 
+  std::printf("engine: %s\n", EngineKindName(res.stats.engine));
   std::printf("output (%zu tuples):\n", res.tuples.size());
   for (const Tuple& tu : res.tuples) {
     std::printf("  (A=%llu, B=%llu, C=%llu)\n",
@@ -41,10 +47,11 @@ int main() {
   }
   std::printf("\nengine counters:\n");
   std::printf("  geometric resolutions: %lld\n",
-              static_cast<long long>(res.stats.resolutions));
+              static_cast<long long>(res.stats.tetris.resolutions));
   std::printf("  gap boxes loaded:      %lld\n",
-              static_cast<long long>(res.stats.boxes_loaded));
+              static_cast<long long>(res.stats.tetris.boxes_loaded));
   std::printf("  oracle probes:         %lld\n",
-              static_cast<long long>(res.oracle_probes));
+              static_cast<long long>(res.stats.oracle_probes));
+  std::printf("  wall time:             %.3f ms\n", res.stats.wall_ms);
   return 0;
 }

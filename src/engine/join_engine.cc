@@ -1,0 +1,202 @@
+#include "engine/join_engine.h"
+
+#include <algorithm>
+#include <chrono>
+#include <optional>
+
+#include "baseline/generic_join.h"
+#include "baseline/leapfrog.h"
+#include "baseline/pairwise_join.h"
+#include "baseline/yannakakis.h"
+
+namespace tetris {
+
+namespace {
+
+// Maps the Tetris-family kinds to their join_runner algorithm; nullopt
+// for non-Tetris engines. Exhaustive switch: a new EngineKind fails the
+// -Werror build until it is routed here.
+std::optional<JoinAlgorithm> TetrisAlgorithm(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kTetrisPreloaded:
+      return JoinAlgorithm::kTetrisPreloaded;
+    case EngineKind::kTetrisReloaded:
+      return JoinAlgorithm::kTetrisReloaded;
+    case EngineKind::kTetrisPreloadedNoCache:
+      return JoinAlgorithm::kTetrisPreloadedNoCache;
+    case EngineKind::kTetrisPreloadedLB:
+      return JoinAlgorithm::kTetrisPreloadedLB;
+    case EngineKind::kTetrisReloadedLB:
+      return JoinAlgorithm::kTetrisReloadedLB;
+    case EngineKind::kLeapfrog:
+    case EngineKind::kGenericJoin:
+    case EngineKind::kYannakakis:
+    case EngineKind::kPairwiseHash:
+    case EngineKind::kPairwiseSortMerge:
+    case EngineKind::kPairwiseNestedLoop:
+      return std::nullopt;
+  }
+  return std::nullopt;
+}
+
+// The Balance-lifted variants choose their own SAO (join_runner asserts
+// sao.empty()), so an explicit order hint must be rejected up front.
+bool ChoosesOwnSao(EngineKind kind) {
+  return kind == EngineKind::kTetrisPreloadedLB ||
+         kind == EngineKind::kTetrisReloadedLB;
+}
+
+bool IsPermutation(const std::vector<int>& order, int n) {
+  if (order.size() != static_cast<size_t>(n)) return false;
+  std::vector<bool> seen(n, false);
+  for (int v : order) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+void Canonicalize(std::vector<Tuple>* tuples) {
+  std::sort(tuples->begin(), tuples->end());
+  tuples->erase(std::unique(tuples->begin(), tuples->end()), tuples->end());
+}
+
+}  // namespace
+
+const char* EngineKindName(EngineKind kind) {
+  switch (kind) {
+    case EngineKind::kTetrisPreloaded:
+      return "tetris-preloaded";
+    case EngineKind::kTetrisReloaded:
+      return "tetris-reloaded";
+    case EngineKind::kTetrisPreloadedNoCache:
+      return "tetris-preloaded-nocache";
+    case EngineKind::kTetrisPreloadedLB:
+      return "tetris-preloaded-lb";
+    case EngineKind::kTetrisReloadedLB:
+      return "tetris-reloaded-lb";
+    case EngineKind::kLeapfrog:
+      return "leapfrog";
+    case EngineKind::kGenericJoin:
+      return "generic-join";
+    case EngineKind::kYannakakis:
+      return "yannakakis";
+    case EngineKind::kPairwiseHash:
+      return "pairwise-hash";
+    case EngineKind::kPairwiseSortMerge:
+      return "pairwise-sortmerge";
+    case EngineKind::kPairwiseNestedLoop:
+      return "pairwise-nestedloop";
+  }
+  return "unknown";
+}
+
+const std::vector<EngineKind>& AllEngineKinds() {
+  static const std::vector<EngineKind> kAll = {
+      EngineKind::kTetrisPreloaded,
+      EngineKind::kTetrisReloaded,
+      EngineKind::kTetrisPreloadedNoCache,
+      EngineKind::kTetrisPreloadedLB,
+      EngineKind::kTetrisReloadedLB,
+      EngineKind::kLeapfrog,
+      EngineKind::kGenericJoin,
+      EngineKind::kYannakakis,
+      EngineKind::kPairwiseHash,
+      EngineKind::kPairwiseSortMerge,
+      EngineKind::kPairwiseNestedLoop,
+  };
+  return kAll;
+}
+
+bool EngineSupports(EngineKind kind, const JoinQuery& query) {
+  if (kind != EngineKind::kYannakakis) return true;
+  return query.ToHypergraph().IsAlphaAcyclic();
+}
+
+EngineResult RunJoin(const JoinQuery& query, EngineKind kind,
+                     const EngineOptions& options) {
+  EngineResult result;
+  result.stats.engine = kind;
+  const auto start = std::chrono::steady_clock::now();
+
+  const std::optional<JoinAlgorithm> tetris_algo = TetrisAlgorithm(kind);
+  if (!options.order.empty()) {
+    if (!IsPermutation(options.order, query.num_attrs())) {
+      result.error = "order: not a permutation of the query attribute ids";
+      return result;
+    }
+    if (ChoosesOwnSao(kind)) {
+      result.error = "order: Balance-lifted variants choose their own SAO";
+      return result;
+    }
+  }
+
+  if (tetris_algo.has_value()) {
+    JoinRunResult run;
+    if (options.order.empty()) {
+      run = RunTetrisJoinDefaultIndexes(query, *tetris_algo);
+    } else {
+      auto owned =
+          MakeSaoConsistentIndexes(query, options.order, query.MinDepth());
+      run = RunTetrisJoin(query, IndexPtrs(owned), query.MinDepth(),
+                          *tetris_algo, options.order);
+    }
+    result.tuples = std::move(run.tuples);
+    result.stats.tetris = run.stats;
+    result.stats.input_gap_boxes = run.input_gap_boxes;
+    result.stats.oracle_probes = run.oracle_probes;
+    result.ok = true;
+  } else {
+    switch (kind) {
+      case EngineKind::kLeapfrog:
+        result.tuples =
+            LeapfrogTriejoin(query, options.order, &result.stats.seeks);
+        result.ok = true;
+        break;
+      case EngineKind::kGenericJoin:
+        result.tuples =
+            GenericJoin(query, options.order, &result.stats.probes);
+        result.ok = true;
+        break;
+      case EngineKind::kYannakakis: {
+        auto out = YannakakisJoin(query, &result.stats.baseline);
+        if (out.has_value()) {
+          result.tuples = std::move(*out);
+          result.ok = true;
+        } else {
+          result.error = "yannakakis: query is not alpha-acyclic";
+        }
+        break;
+      }
+      case EngineKind::kPairwiseHash:
+        result.tuples = PairwiseJoinPlan(query, PairwiseMethod::kHash,
+                                         &result.stats.baseline);
+        result.ok = true;
+        break;
+      case EngineKind::kPairwiseSortMerge:
+        result.tuples = PairwiseJoinPlan(query, PairwiseMethod::kSortMerge,
+                                         &result.stats.baseline);
+        result.ok = true;
+        break;
+      case EngineKind::kPairwiseNestedLoop:
+        result.tuples = PairwiseJoinPlan(query, PairwiseMethod::kNestedLoop,
+                                         &result.stats.baseline);
+        result.ok = true;
+        break;
+      default:
+        result.error = "unknown engine kind";
+        break;
+    }
+  }
+
+  if (result.ok) {
+    Canonicalize(&result.tuples);
+    result.stats.output_tuples = result.tuples.size();
+  }
+  const auto end = std::chrono::steady_clock::now();
+  result.stats.wall_ms =
+      std::chrono::duration<double, std::milli>(end - start).count();
+  return result;
+}
+
+}  // namespace tetris

@@ -1,0 +1,98 @@
+// Unified join-engine facade.
+//
+// The repo grows several independent evaluators: the Tetris family
+// (preloaded / reloaded / no-cache / Balance-lifted, paper Sections 4-5),
+// the worst-case-optimal baselines (Leapfrog Triejoin, Generic Join),
+// Yannakakis for acyclic queries, and the classical pairwise plans. Each
+// has its own entry point and its own stats struct. JoinEngine puts them
+// behind one API with a common `RunStats` result so callers — tests,
+// benches, and the future sharding / batching / caching layers — select
+// an engine by enum instead of hard-coding a call site.
+//
+// All engines return output columns in query attribute-id order; the
+// facade canonicalizes (sorts + dedups) the tuples so results are
+// directly comparable across engines.
+#ifndef TETRIS_ENGINE_JOIN_ENGINE_H_
+#define TETRIS_ENGINE_JOIN_ENGINE_H_
+
+#include <string>
+#include <vector>
+
+#include "baseline/temp_relation.h"
+#include "engine/join_runner.h"
+#include "engine/tetris.h"
+#include "query/join_query.h"
+
+namespace tetris {
+
+/// Every evaluator the repo knows how to run.
+enum class EngineKind {
+  // Tetris family (engine/join_runner.h).
+  kTetrisPreloaded,
+  kTetrisReloaded,
+  kTetrisPreloadedNoCache,
+  kTetrisPreloadedLB,
+  kTetrisReloadedLB,
+  // Worst-case-optimal baselines.
+  kLeapfrog,
+  kGenericJoin,
+  // Acyclic-only baseline.
+  kYannakakis,
+  // Classical pairwise plans.
+  kPairwiseHash,
+  kPairwiseSortMerge,
+  kPairwiseNestedLoop,
+};
+
+/// Stable lowercase identifier (CLI flags, bench labels, logs).
+const char* EngineKindName(EngineKind kind);
+
+/// All engine kinds, in declaration order.
+const std::vector<EngineKind>& AllEngineKinds();
+
+/// True iff `kind` can evaluate `query` (Yannakakis requires α-acyclicity;
+/// everything else is universal).
+bool EngineSupports(EngineKind kind, const JoinQuery& query);
+
+/// Engine-agnostic run counters. Engine-specific measures are zero when
+/// the engine does not produce them.
+struct RunStats {
+  EngineKind engine = EngineKind::kTetrisPreloaded;
+  size_t output_tuples = 0;  ///< |Q(D)| after dedup
+  double wall_ms = 0.0;      ///< end-to-end evaluation time
+
+  TetrisStats tetris;          ///< Tetris family counters
+  size_t input_gap_boxes = 0;  ///< |B(Q)| (Tetris preloaded variants)
+  int64_t oracle_probes = 0;   ///< Tetris reloaded variants
+  int64_t probes = 0;          ///< Generic Join binary-search probes
+  int64_t seeks = 0;           ///< Leapfrog iterator seeks
+  BaselineStats baseline;      ///< pairwise / Yannakakis intermediates
+};
+
+/// Result of one facade run.
+struct EngineResult {
+  bool ok = false;            ///< false: engine unsupported for this query
+  std::string error;          ///< reason when !ok
+  std::vector<Tuple> tuples;  ///< sorted, deduplicated, attr-id order
+  RunStats stats;
+};
+
+/// Per-run knobs, all optional.
+struct EngineOptions {
+  /// Attribute-id order hint: SAO for the Tetris family, GAO for
+  /// Leapfrog / Generic Join. Empty = engine-appropriate default.
+  /// Ignored by Yannakakis and the pairwise plans. Non-empty orders
+  /// must be a permutation of [0, num_attrs), and are rejected
+  /// (`ok == false`) by the Balance-lifted variants, which choose
+  /// their own SAO.
+  std::vector<int> order;
+};
+
+/// Evaluates `query` with the chosen engine. Never throws: unsupported
+/// engine/query combinations come back with `ok == false`.
+EngineResult RunJoin(const JoinQuery& query, EngineKind kind,
+                     const EngineOptions& options = {});
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_JOIN_ENGINE_H_

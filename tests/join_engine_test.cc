@@ -1,0 +1,192 @@
+// Cross-validation of every evaluator behind the JoinEngine facade: on
+// random workloads from src/workload/generators.h, all supported engines
+// must produce the same canonical tuple set (engine-agnostic semantics).
+#include "engine/join_engine.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+// Runs every engine that supports `q` and checks all outputs agree with
+// the first engine's (and, when small enough, with brute force).
+void CrossValidate(const QueryInstance& q, bool check_brute_force = false) {
+  bool have_reference = false;
+  std::vector<Tuple> reference;
+  EngineKind reference_kind = EngineKind::kTetrisPreloaded;
+  for (EngineKind kind : AllEngineKinds()) {
+    SCOPED_TRACE(EngineKindName(kind));
+    if (!EngineSupports(kind, q.query)) {
+      EngineResult r = RunJoin(q.query, kind);
+      EXPECT_FALSE(r.ok);
+      EXPECT_FALSE(r.error.empty());
+      continue;
+    }
+    EngineResult r = RunJoin(q.query, kind);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.stats.output_tuples, r.tuples.size());
+    EXPECT_EQ(r.stats.engine, kind);
+    if (!have_reference) {
+      reference = r.tuples;
+      reference_kind = kind;
+      have_reference = true;
+    } else {
+      EXPECT_EQ(r.tuples, reference)
+          << EngineKindName(kind) << " disagrees with "
+          << EngineKindName(reference_kind);
+    }
+  }
+  ASSERT_TRUE(have_reference);
+  if (check_brute_force) {
+    std::vector<Tuple> brute = q.query.BruteForceJoin(q.depth);
+    std::sort(brute.begin(), brute.end());
+    brute.erase(std::unique(brute.begin(), brute.end()), brute.end());
+    EXPECT_EQ(reference, brute);
+  }
+}
+
+TEST(JoinEngineTest, EngineKindNamesAreUniqueAndStable) {
+  std::vector<std::string> names;
+  for (EngineKind kind : AllEngineKinds()) {
+    names.emplace_back(EngineKindName(kind));
+  }
+  EXPECT_EQ(names.size(), 11u);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(std::unique(names.begin(), names.end()), names.end());
+}
+
+TEST(JoinEngineTest, RandomTriangles) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    SCOPED_TRACE(seed);
+    QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4, seed);
+    CrossValidate(q, /*check_brute_force=*/true);
+  }
+}
+
+TEST(JoinEngineTest, FullGridTriangleMatchesAgmCount) {
+  QueryInstance q = FullGridTriangle(/*m=*/4);
+  CrossValidate(q);
+  EngineResult r = RunJoin(q.query, EngineKind::kLeapfrog);
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.tuples.size(), 64u);  // m^3
+}
+
+TEST(JoinEngineTest, MsbTriangleBothVariants) {
+  CrossValidate(MsbTriangle(/*d=*/4, /*closed_variant=*/false));
+  CrossValidate(MsbTriangle(/*d=*/4, /*closed_variant=*/true));
+}
+
+TEST(JoinEngineTest, RandomPathsAreAcyclic) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(seed);
+    QueryInstance q = RandomPath(/*hops=*/3, /*tuples_per_rel=*/60, /*d=*/4,
+                                 seed);
+    EXPECT_TRUE(EngineSupports(EngineKind::kYannakakis, q.query));
+    CrossValidate(q);
+  }
+}
+
+TEST(JoinEngineTest, RandomCyclesRejectYannakakis) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(seed);
+    QueryInstance q = RandomCycle(/*len=*/4, /*tuples_per_rel=*/50, /*d=*/4,
+                                  seed);
+    EXPECT_FALSE(EngineSupports(EngineKind::kYannakakis, q.query));
+    CrossValidate(q);
+  }
+}
+
+TEST(JoinEngineTest, StripedEmptyInstancesHaveEmptyOutput) {
+  QueryInstance path = StripedEmptyPath(/*stripes_log2=*/2,
+                                        /*tuples_per_rel=*/80, /*d=*/6,
+                                        /*seed=*/7);
+  CrossValidate(path);
+  EngineResult r = RunJoin(path.query, EngineKind::kTetrisReloaded);
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(r.tuples.empty());
+
+  QueryInstance cycle = StripedEmptyCycle(/*stripes_log2=*/2,
+                                          /*tuples_per_rel=*/80, /*d=*/6,
+                                          /*seed=*/7);
+  CrossValidate(cycle);
+}
+
+TEST(JoinEngineTest, CliqueOnRandomGraph) {
+  QueryInstance q = CliqueOnRandomGraph(/*k=*/3, /*nodes=*/24,
+                                        /*edges=*/80, /*seed=*/11);
+  CrossValidate(q);
+}
+
+TEST(JoinEngineTest, ExplicitOrderHintsAgree) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/5);
+  EngineResult base = RunJoin(q.query, EngineKind::kTetrisPreloaded);
+  ASSERT_TRUE(base.ok);
+  EngineOptions opt;
+  opt.order = {2, 0, 1};
+  for (EngineKind kind :
+       {EngineKind::kTetrisPreloaded, EngineKind::kTetrisReloaded,
+        EngineKind::kLeapfrog, EngineKind::kGenericJoin}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    EngineResult r = RunJoin(q.query, kind, opt);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_EQ(r.tuples, base.tuples);
+  }
+}
+
+TEST(JoinEngineTest, InvalidOrderHintsAreRejected) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/20, /*d=*/4,
+                                   /*seed=*/3);
+  EngineOptions opt;
+  for (std::vector<int> bad :
+       {std::vector<int>{0, 1}, std::vector<int>{0, 1, 3},
+        std::vector<int>{0, 1, 1}, std::vector<int>{0, -1, 2},
+        std::vector<int>{0, 1, 2, 2}}) {
+    opt.order = bad;
+    EngineResult r = RunJoin(q.query, EngineKind::kTetrisPreloaded, opt);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+  }
+  // The Balance-lifted variants choose their own SAO: even a valid
+  // permutation must be rejected rather than silently ignored.
+  opt.order = {2, 0, 1};
+  for (EngineKind kind :
+       {EngineKind::kTetrisPreloadedLB, EngineKind::kTetrisReloadedLB}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    EngineResult r = RunJoin(q.query, kind, opt);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(JoinEngineTest, StatsArePopulatedPerEngineFamily) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/60, /*d=*/4,
+                                   /*seed=*/9);
+
+  EngineResult pre = RunJoin(q.query, EngineKind::kTetrisPreloaded);
+  ASSERT_TRUE(pre.ok);
+  EXPECT_GT(pre.stats.input_gap_boxes, 0u);
+  EXPECT_GT(pre.stats.tetris.skeleton_nodes, 0);
+
+  EngineResult lf = RunJoin(q.query, EngineKind::kLeapfrog);
+  ASSERT_TRUE(lf.ok);
+  EXPECT_GT(lf.stats.seeks, 0);
+
+  EngineResult gj = RunJoin(q.query, EngineKind::kGenericJoin);
+  ASSERT_TRUE(gj.ok);
+  EXPECT_GT(gj.stats.probes, 0);
+
+  EngineResult hash = RunJoin(q.query, EngineKind::kPairwiseHash);
+  ASSERT_TRUE(hash.ok);
+  EXPECT_GT(hash.stats.baseline.max_intermediate, 0u);
+  EXPECT_GE(hash.stats.wall_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace tetris
