@@ -7,14 +7,17 @@
 // the join is empty. An S-index that can be read A-first (the (A,B)
 // B-tree, the quad-tree, the kd-tree) certifies emptiness with O(1) band
 // gaps; the (B,A)-ordered B-tree must emit one A-band *per B-value* —
-// Ω(min(N, dom)) gap boxes. We sweep N and report loaded boxes and
-// resolutions per index configuration.
+// Ω(min(N, dom)) gap boxes. We sweep N and report loaded boxes,
+// resolutions and index-resident bytes per configuration, with the
+// pre-built indexes handed to the engine through EngineOptions::indexes.
 
-#include <cinttypes>
+#include <cstdio>
 #include <memory>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "engine/join_runner.h"
+#include "engine/cli.h"
 #include "index/dyadic_index.h"
 #include "index/kdtree_index.h"
 #include "index/multi_index.h"
@@ -108,42 +111,63 @@ std::vector<std::unique_ptr<Index>> MakeRTree(const Instance& in, int d) {
 
 }  // namespace
 
-int main() {
-  Header("Appendix B ablation: certificate size depends on the indexes");
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisReloaded};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "bench_ablation_indexes — Appendix B: certificate size "
+                             "depends on the indexes\n\nNote: the index configurations "
+                             "only reach the Tetris-family engines; the baselines read "
+                             "the relations directly.")) {
+    return *exit_code;
+  }
+
+  cli::RunReporter rep(opts.format, "ablation_indexes");
   const Config configs[] = {
       {"btree S(A,B) only", MakeAB},   {"btree S(B,A) only", MakeBA},
       {"both btrees on S", MakeBoth},  {"quad-tree on S", MakeQuad},
       {"kd-tree on S", MakeKd},        {"r-tree on S", MakeRTree},
   };
   const int d = 12;
-  std::printf("%-20s %10s %10s %10s %10s\n", "index config", "N", "loaded",
-              "resolns", "ms");
+  const size_t max_n = opts.size ? opts.size : 32000;
+  bool ok = true;
   for (const Config& cfg : configs) {
+    rep.Section(cfg.name);
     std::vector<std::pair<double, double>> fit;
     for (size_t n : {2000u, 8000u, 32000u}) {
-      Instance in(n, d, n);
+      if (n > max_n) continue;
+      Instance in(n, d, opts.seed ? opts.seed : n);
       JoinQuery q = JoinQuery::Build({&in.r, &in.s, &in.t});
       auto owned = cfg.make(in, d);
+      std::vector<const Index*> ptrs;
+      for (const auto& ix : owned) ptrs.push_back(ix.get());
+      EngineOptions eopts;
       // SAO = (A, B): the bowtie eliminates B then A, width 1.
-      Timer t;
-      auto res = RunTetrisJoin(q, IndexPtrs(owned), d,
-                               JoinAlgorithm::kTetrisReloaded, {0, 1});
-      double ms = t.Ms();
-      std::printf("%-20s %10zu %10" PRId64 " %10" PRId64 " %10.2f\n",
-                  cfg.name, in.s.size(), res.stats.boxes_loaded,
-                  res.stats.resolutions, ms);
-      if (!res.tuples.empty()) {
-        std::printf("!! EXPECTED EMPTY JOIN\n");
-        return 1;
+      eopts.order = {0, 1};
+      eopts.depth = d;
+      eopts.indexes = ptrs;
+      const std::string scenario = "N=" + std::to_string(in.s.size());
+      for (const cli::EngineRun& run : cli::RunEngines(q, opts, eopts)) {
+        cli::Params params = {{"n", static_cast<double>(in.s.size())}};
+        rep.Row(scenario, params, run);
+        if (run.result.ok && !run.result.tuples.empty()) {
+          rep.Error("!! EXPECTED EMPTY JOIN (%s)", EngineKindName(run.kind));
+          ok = false;
+        }
+        if (run.result.ok && run.kind == EngineKind::kTetrisReloaded) {
+          fit.emplace_back(
+              static_cast<double>(in.s.size()),
+              static_cast<double>(run.result.stats.tetris.boxes_loaded + 1));
+        }
       }
-      fit.emplace_back(static_cast<double>(in.s.size()),
-                       static_cast<double>(res.stats.boxes_loaded + 1));
     }
-    Note("  -> loaded-boxes growth exponent vs N: %.2f", FitExponent(fit));
+    rep.Note("  -> loaded-boxes growth exponent vs N: %.2f",
+             FitExponent(fit));
   }
-  Note("\nOnly the (B,A)-ordered B-tree grows with the data: it can only"
-       "\ndescribe S's missing A-half one B-value at a time. Every"
-       "\nconfiguration that exposes A first — including the"
-       "\nmultidimensional indexes — keeps the certificate O(1).");
-  return 0;
+  rep.Note("\nOnly the (B,A)-ordered B-tree grows with the data: it can"
+           " only\ndescribe S's missing A-half one B-value at a time."
+           " Every\nconfiguration that exposes A first — including the"
+           "\nmultidimensional indexes — keeps the certificate O(1).");
+  return ok && rep.AllAgreed() ? 0 : 1;
 }

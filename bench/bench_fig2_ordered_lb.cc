@@ -5,17 +5,26 @@
 //   * Geometric upper bound: O~(|C|^{n/2}) via the Balance lift
 //     (paper, Theorem 4.11 / F.7) — exponent 3/2 for n = 3.
 //
-// Workload: the paper's own Example F.1 box family, |C| = 6·2^{d-2},
-// solved (a) by plain Tetris-Preloaded under all three cyclic SAOs and
-// (b) by Tetris-Preloaded-LB. The fitted exponents are the reproduction
-// of the Figure 2 separation.
+// Part 1 (raw BCP, engine-independent): the paper's own Example F.1 box
+// family, |C| = 6·2^{d-2}, solved (a) by plain Tetris-Preloaded under all
+// three cyclic SAOs and (b) by Tetris-Preloaded-LB. The fitted exponents
+// are the reproduction of the Figure 2 separation.
+//
+// Part 2 (JoinEngine facade): the same ordered-vs-lifted comparison on a
+// join instance — the MSB-complement triangle, whose empty output has a
+// six-box certificate — with engines selected by --engines.
 
 #include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "engine/balance.h"
+#include "engine/cli.h"
 #include "engine/tetris.h"
 #include "workload/box_families.h"
+#include "workload/generators.h"
 
 using namespace tetris;
 using namespace tetris::bench;
@@ -57,13 +66,25 @@ int64_t RunLifted(const std::vector<DyadicBox>& boxes, int d) {
 
 }  // namespace
 
-int main() {
-  Header("Figure 2: Example F.1 — Ordered Omega(|C|^2) vs Geometric "
-         "O~(|C|^{3/2})");
-  std::printf("%4s %8s %12s %12s %12s %12s %10s\n", "d", "|C|", "ord(ABC)",
-              "ord(BCA)", "ord(CAB)", "lifted", "lift_ms");
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded,
+                  EngineKind::kTetrisPreloadedLB};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "bench_fig2_ordered_lb — Figure 2: Ordered Omega(|C|^2) "
+                             "vs Geometric O~(|C|^{3/2})")) {
+    return *exit_code;
+  }
+
+  cli::RunReporter rep(opts.format, "fig2_ordered_lb");
+
+  rep.Section("Example F.1 BCP: ordered (3 cyclic SAOs) vs Balance lift");
+  rep.Note("%4s %8s %12s %12s %12s %12s %10s", "d", "|C|", "ord(ABC)",
+           "ord(BCA)", "ord(CAB)", "lifted", "lift_ms");
   std::vector<std::pair<double, double>> fit_ord, fit_lift;
-  for (int d = 4; d <= 9; ++d) {
+  const int max_d = opts.size ? static_cast<int>(opts.size) : 9;
+  for (int d = 4; d <= max_d; ++d) {
     auto boxes = ExampleF1Boxes(d);
     const double c = static_cast<double>(boxes.size());
     int64_t o1 = RunOrdered(boxes, d, {0, 1, 2});
@@ -72,15 +93,32 @@ int main() {
     Timer t;
     int64_t lifted = RunLifted(boxes, d);
     double lift_ms = t.Ms();
-    std::printf("%4d %8zu %12" PRId64 " %12" PRId64 " %12" PRId64
-                " %12" PRId64 " %10.1f\n",
-                d, boxes.size(), o1, o2, o3, lifted, lift_ms);
+    rep.Note("%4d %8zu %12" PRId64 " %12" PRId64 " %12" PRId64
+             " %12" PRId64 " %10.1f",
+             d, boxes.size(), o1, o2, o3, lifted, lift_ms);
     fit_ord.emplace_back(c, static_cast<double>(std::min({o1, o2, o3})));
     fit_lift.emplace_back(c, static_cast<double>(lifted));
   }
-  Note("fitted exponent, best ordered SAO vs |C|: %.2f (paper: 2)",
-       FitExponent(fit_ord));
-  Note("fitted exponent, Balance-lifted vs |C|:   %.2f (paper: 3/2)",
-       FitExponent(fit_lift));
-  return 0;
+  rep.Note("fitted exponent, best ordered SAO vs |C|: %.2f (paper: 2)",
+           FitExponent(fit_ord));
+  rep.Note("fitted exponent, Balance-lifted vs |C|:   %.2f (paper: 3/2)",
+           FitExponent(fit_lift));
+
+  rep.Section("facade: MSB triangle (six-box certificate), d sweep");
+  bool empty_ok = true;
+  for (int d = 3; d <= 6; ++d) {
+    QueryInstance qi = MsbTriangle(d, /*closed_variant=*/false);
+    const std::string scenario = "d=" + std::to_string(d);
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts)) {
+      cli::Params params = {
+          {"d", static_cast<double>(d)},
+          {"n", static_cast<double>(qi.storage[0]->size())}};
+      rep.Row(scenario, params, run);
+      if (run.result.ok && !run.result.tuples.empty()) {
+        rep.Error("!! EXPECTED EMPTY OUTPUT (%s)", EngineKindName(run.kind));
+        empty_ok = false;
+      }
+    }
+  }
+  return empty_ok && rep.AllAgreed() ? 0 : 1;
 }

@@ -4,58 +4,76 @@
 //   * lower:  Ω(N^{n/2}) for a tw-1 query     [Theorem 5.2]
 //
 // Tree-ordered resolution = Tetris with resolvent caching disabled.
-// Part 1 shows caching off still tracks AGM on AGM-tight triangles.
-// Part 2 shows the separation that caching buys on a treewidth-1 family:
-// the cached/uncached resolution ratio grows with N.
+// Part 1 (JoinEngine facade) shows caching off still tracks AGM on
+// AGM-tight triangles: rows for tetris-preloaded vs tetris-preloaded-
+// nocache, engine selection by flag. Part 2 (raw BCP) shows the
+// separation that caching buys on a treewidth-1 family: the
+// cached/uncached resolution ratio grows with N.
 
 #include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
 #include "bench_util.h"
-#include "engine/join_runner.h"
+#include "engine/cli.h"
+#include "engine/tetris.h"
 #include "workload/box_families.h"
 #include "workload/generators.h"
 
 using namespace tetris;
 using namespace tetris::bench;
 
-int main() {
-  Header("Figure 2: Tree-Ordered resolution (cache off) vs Ordered");
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded,
+                  EngineKind::kTetrisPreloadedNoCache};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "bench_fig2_tree_ordered — Figure 2: Tree-Ordered "
+                             "resolution (cache off) vs Ordered")) {
+    return *exit_code;
+  }
 
-  Header("Thm 5.1: tree-ordered still meets AGM on grid triangles");
-  std::printf("%8s %8s %10s %12s %12s\n", "N", "AGM", "res_cached",
-              "res_uncached", "unc/AGM");
+  cli::RunReporter rep(opts.format, "fig2_tree_ordered");
+
+  rep.Section("Thm 5.1: tree-ordered still meets AGM on grid triangles");
   std::vector<std::pair<double, double>> fit_unc;
+  const uint64_t max_m = opts.size ? opts.size : 24;
   for (uint64_t m : {4u, 8u, 16u, 24u}) {
+    if (m > max_m) continue;
     QueryInstance qi = FullGridTriangle(m);
-    const int d = qi.query.MinDepth();
-    std::vector<int> sao = {0, 1, 2};
-    auto owned = MakeSaoConsistentIndexes(qi.query, sao, d);
-    auto cached = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                                JoinAlgorithm::kTetrisPreloaded, sao);
-    auto uncached = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                                  JoinAlgorithm::kTetrisPreloadedNoCache,
-                                  sao);
+    EngineOptions eopts;
+    eopts.order = {0, 1, 2};
     const double agm = std::exp2(qi.query.AgmBoundLog2());
-    std::printf("%8zu %8.0f %10" PRId64 " %12" PRId64 " %12.2f\n",
-                qi.storage[0]->size(), agm, cached.stats.resolutions,
-                uncached.stats.resolutions, uncached.stats.resolutions / agm);
-    fit_unc.emplace_back(agm,
-                         static_cast<double>(uncached.stats.resolutions));
-    if (cached.tuples.size() != uncached.tuples.size()) {
-      std::printf("!! OUTPUT MISMATCH cached vs uncached\n");
-      return 1;
+    const std::string scenario = "m=" + std::to_string(m);
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts, eopts)) {
+      const double res =
+          static_cast<double>(run.result.stats.tetris.resolutions);
+      cli::Params params = {
+          {"n", static_cast<double>(qi.storage[0]->size())},
+          {"agm", agm},
+          {"res/agm", res > 0 ? res / agm : 0.0},
+      };
+      rep.Row(scenario, params, run);
+      if (run.result.ok &&
+          run.kind == EngineKind::kTetrisPreloadedNoCache) {
+        fit_unc.emplace_back(agm, res);
+      }
     }
   }
-  Note("fitted exponent of uncached resolutions vs AGM: %.2f "
-       "(paper: 1 + o(1))",
-       FitExponent(fit_unc));
+  rep.Note("fitted exponent of uncached resolutions vs AGM: %.2f "
+           "(paper: 1 + o(1))",
+           FitExponent(fit_unc));
 
-  Header("Thm 5.2 separation: shared-derivation family (tw=1 flavour)");
-  Note("per-A boxes <a,0,λ> + a shared chain covering <λ,1,λ>: caching "
-       "derives the chain once, tree-ordered re-derives it under every a");
-  std::printf("%4s %8s %12s %12s %10s\n", "d", "|C|", "res_cached",
-              "res_uncached", "ratio");
+  rep.Section("Thm 5.2 separation: shared-derivation family (tw=1 "
+              "flavour)");
+  rep.Note("per-A boxes <a,0,λ> + a shared chain covering <λ,1,λ>: caching "
+           "derives the chain once, tree-ordered re-derives it under "
+           "every a");
+  rep.Note("%4s %8s %12s %12s %10s", "d", "|C|", "res_cached",
+           "res_uncached", "ratio");
   std::vector<std::pair<double, double>> fit_cached, fit_uncached;
   for (int dd = 4; dd <= 8; ++dd) {
     auto boxes = TreeOrderedHardFamily(dd);
@@ -76,16 +94,16 @@ int main() {
       (cache ? cached : uncached) = stats;
     }
     const double c = static_cast<double>(boxes.size());
-    std::printf("%4d %8zu %12" PRId64 " %12" PRId64 " %10.2f\n", dd,
-                boxes.size(), cached.resolutions, uncached.resolutions,
-                static_cast<double>(uncached.resolutions) /
-                    static_cast<double>(cached.resolutions));
+    rep.Note("%4d %8zu %12" PRId64 " %12" PRId64 " %10.2f", dd,
+             boxes.size(), cached.resolutions, uncached.resolutions,
+             static_cast<double>(uncached.resolutions) /
+                 static_cast<double>(cached.resolutions));
     fit_cached.emplace_back(c, static_cast<double>(cached.resolutions));
     fit_uncached.emplace_back(c, static_cast<double>(uncached.resolutions));
   }
-  Note("fitted exponent vs |C|: cached (Ordered) %.2f, uncached "
-       "(Tree-Ordered) %.2f (paper: 1 vs >= n/2 — caching is what makes "
-       "certificate bounds possible)",
-       FitExponent(fit_cached), FitExponent(fit_uncached));
-  return 0;
+  rep.Note("fitted exponent vs |C|: cached (Ordered) %.2f, uncached "
+           "(Tree-Ordered) %.2f (paper: 1 vs >= n/2 — caching is what "
+           "makes certificate bounds possible)",
+           FitExponent(fit_cached), FitExponent(fit_uncached));
+  return rep.AllAgreed() ? 0 : 1;
 }

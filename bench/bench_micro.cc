@@ -2,10 +2,20 @@
 // knowledge-base insert / containment query, index probing, dyadic
 // decomposition. These are the O~(1) primitives Lemma 4.5 charges each
 // resolution with.
+//
+// End-to-end joins are covered too: a BM_RunJoin/<engine> benchmark is
+// registered per engine selected with --engine/--engines (default: one
+// per engine family), each driving a random triangle through the
+// JoinEngine facade. Harness flags are stripped before google-benchmark
+// parses its own (e.g. --benchmark_filter).
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <string>
+
 #include "engine/balance.h"
+#include "engine/cli.h"
 #include "geometry/decompose.h"
 #include "geometry/resolution.h"
 #include "index/sorted_index.h"
@@ -124,7 +134,51 @@ void BM_BalancedPartitionBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_BalancedPartitionBuild);
 
+// One end-to-end facade join per selected engine: the price of a full
+// RunJoin (index build + evaluation + canonicalization) on a random
+// triangle, comparable across the engine matrix.
+void RegisterFacadeJoins(const cli::HarnessOptions& opts) {
+  const size_t tuples = opts.size ? opts.size : 200;
+  const uint64_t seed = opts.seed ? opts.seed : 42;
+  for (EngineKind kind : opts.engines) {
+    std::string name = std::string("BM_RunJoin/") + EngineKindName(kind);
+    benchmark::RegisterBenchmark(
+        name.c_str(), [kind, tuples, seed](benchmark::State& state) {
+          QueryInstance qi = RandomTriangle(tuples, /*d=*/8, seed);
+          for (auto _ : state) {
+            EngineResult r = RunJoin(qi.query, kind);
+            if (!r.ok) {
+              state.SkipWithError(r.error.c_str());
+              return;
+            }
+            benchmark::DoNotOptimize(r.tuples.size());
+          }
+        });
+  }
+}
+
 }  // namespace
 }  // namespace tetris
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  tetris::cli::HarnessOptions opts;
+  opts.engines = {tetris::EngineKind::kTetrisPreloaded,
+                  tetris::EngineKind::kTetrisReloaded,
+                  tetris::EngineKind::kLeapfrog,
+                  tetris::EngineKind::kGenericJoin,
+                  tetris::EngineKind::kPairwiseHash};
+  if (auto exit_code = tetris::cli::HandleStartup(
+          &argc, argv, &opts,
+          "bench_micro — geometric-core micro-benchmarks plus "
+          "BM_RunJoin/<engine> facade joins\n(google-benchmark flags, "
+          "e.g. --benchmark_filter, pass through)",
+          /*allow_unknown_flags=*/true)) {
+    return *exit_code;
+  }
+  tetris::RegisterFacadeJoins(opts);
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

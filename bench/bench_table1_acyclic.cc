@@ -2,67 +2,67 @@
 // reverse-GYO SAO recovers Yannakakis (paper, Theorem D.8).
 //
 // Workload: 3-hop path queries (4 attributes), random relations, N sweep.
-// Printed: Tetris resolutions vs N + Z (ratio should stay polylog-flat,
-// i.e. the fitted exponent of resolutions vs N stays near 1), plus wall
-// times against the Yannakakis and hash-join baselines.
+// One row per (instance, engine) via the JoinEngine facade; the Tetris
+// rows carry the resolutions-vs-(N + Z·d) ratio that must stay
+// polylog-flat (each output tuple costs Θ(d) resolutions — the skeleton
+// re-descends d levels per point).
 
-#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "baseline/pairwise_join.h"
-#include "baseline/yannakakis.h"
 #include "bench_util.h"
-#include "engine/join_runner.h"
+#include "engine/cli.h"
 #include "workload/generators.h"
 
 using namespace tetris;
 using namespace tetris::bench;
 
-int main() {
-  Header("Table 1 row 1: alpha-acyclic, O~(N + Z) [Theorem D.8]");
-  // Note: O~ hides polylog(N) factors; empirically each output tuple costs
-  // Θ(d) resolutions (the skeleton re-descends d levels per point), so the
-  // clean flat ratio is resolutions / (N + Z·d).
-  std::printf("%8s %8s %10s %12s %12s %10s %10s %10s\n", "N", "Z", "resolns",
-              "res/(N+Z)", "res/(N+Zd)", "tetris_ms", "yann_ms", "hash_ms");
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kYannakakis,
+                  EngineKind::kPairwiseHash};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "bench_table1_acyclic — Table 1 row 1, O~(N + Z) "
+                             "[Theorem D.8]")) {
+    return *exit_code;
+  }
+
+  cli::RunReporter rep(opts.format, "table1_acyclic");
+  rep.Section("3-hop random paths, N sweep");
   std::vector<std::pair<double, double>> fit;
   const int d = 12;
+  const size_t max_n = opts.size ? opts.size : 8192;
   for (size_t n : {512u, 1024u, 2048u, 4096u, 8192u}) {
-    QueryInstance qi = RandomPath(3, n, d, /*seed=*/n);
-    qi.depth = d;
-    std::vector<int> sao = qi.query.AcyclicSao();
-    auto owned = MakeSaoConsistentIndexes(qi.query, sao, d);
-
-    Timer t1;
-    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                             JoinAlgorithm::kTetrisPreloaded, sao);
-    double tetris_ms = t1.Ms();
-
-    Timer t2;
-    auto y = YannakakisJoin(qi.query);
-    double yann_ms = t2.Ms();
-
-    Timer t3;
-    auto h = PairwiseJoinPlan(qi.query, PairwiseMethod::kHash);
-    double hash_ms = t3.Ms();
-
+    if (n > max_n) continue;
+    QueryInstance qi =
+        RandomPath(3, n, d, /*seed=*/opts.seed ? opts.seed : n);
+    EngineOptions eopts;
+    eopts.order = qi.query.AcyclicSao();  // reverse GYO: width 1
+    eopts.depth = d;
     size_t total_n = 0;
     for (const auto& r : qi.storage) total_n += r->size();
-    const double z = static_cast<double>(res.tuples.size());
-    const double nz = static_cast<double>(total_n) + z;
-    const double nzd = static_cast<double>(total_n) + z * d;
-    std::printf("%8zu %8zu %10" PRId64 " %12.2f %12.2f %10.1f %10.1f %10.1f\n",
-                total_n, res.tuples.size(), res.stats.resolutions,
-                res.stats.resolutions / nz, res.stats.resolutions / nzd,
-                tetris_ms, yann_ms, hash_ms);
-    fit.emplace_back(nzd, static_cast<double>(res.stats.resolutions));
-    if (!y || y->size() != res.tuples.size() ||
-        h.size() != res.tuples.size()) {
-      std::printf("!! OUTPUT MISMATCH vs baselines\n");
-      return 1;
+    const std::string scenario = "N=" + std::to_string(total_n);
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts, eopts)) {
+      const double z = static_cast<double>(run.result.tuples.size());
+      const double nzd = static_cast<double>(total_n) + z * d;
+      const double res =
+          static_cast<double>(run.result.stats.tetris.resolutions);
+      cli::Params params = {
+          {"n", static_cast<double>(total_n)},
+          {"z", z},
+          {"res/(n+zd)", res > 0 ? res / nzd : 0.0},
+      };
+      rep.Row(scenario, params, run);
+      if (run.result.ok && run.kind == EngineKind::kTetrisPreloaded) {
+        fit.emplace_back(nzd, res);
+      }
     }
   }
-  Note("fitted exponent of resolutions vs (N + Z*d): %.2f "
-       "(paper: 1 + o(1), with O~ hiding the polylog-per-output factor)",
-       FitExponent(fit));
-  return 0;
+  rep.Note("fitted exponent of resolutions vs (N + Z*d): %.2f "
+           "(paper: 1 + o(1), with O~ hiding the polylog-per-output "
+           "factor)",
+           FitExponent(fit));
+  return rep.AllAgreed() ? 0 : 1;
 }

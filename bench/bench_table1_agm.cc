@@ -3,18 +3,17 @@
 // joins NPRR and Leapfrog Triejoin, and unlike any pairwise plan.
 //
 // Workload: AGM-tight full-grid triangles (N = m^2 per relation,
-// Z = AGM = m^3) plus random triangles. Printed: Tetris resolutions vs
-// AGM, wall times for Tetris / LFTJ / Generic Join / hash join. The
-// hash-join column is the one that blows past AGM on the grid family.
+// Z = AGM = m^3) plus random triangles. One row per (instance, engine)
+// via the JoinEngine facade; the pairwise-hash rows are the ones whose
+// intermediates blow past AGM on the grid family.
 
-#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "baseline/generic_join.h"
-#include "baseline/leapfrog.h"
-#include "baseline/pairwise_join.h"
 #include "bench_util.h"
-#include "engine/join_runner.h"
+#include "engine/cli.h"
 #include "workload/generators.h"
 
 using namespace tetris;
@@ -22,63 +21,67 @@ using namespace tetris::bench;
 
 namespace {
 
-void RunFamily(const char* name, const std::vector<QueryInstance>& family) {
-  Header(name);
-  std::printf("%8s %8s %10s %10s %10s %10s %10s %10s %12s\n", "N", "Z",
-              "AGM", "resolns", "tetris_ms", "lftj_ms", "gj_ms", "hash_ms",
-              "hash_intmd");
+bool RunFamily(const char* name, const std::vector<QueryInstance>& family,
+               const cli::HarnessOptions& opts, cli::RunReporter* rep) {
+  rep->Section(name);
   std::vector<std::pair<double, double>> fit;
   for (const QueryInstance& qi : family) {
-    const int d = qi.query.MinDepth();
-    std::vector<int> sao = {0, 1, 2};
-    auto owned = MakeSaoConsistentIndexes(qi.query, sao, d);
-
-    Timer t1;
-    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                             JoinAlgorithm::kTetrisPreloaded, sao);
-    double tetris_ms = t1.Ms();
-
-    Timer t2;
-    auto lftj = LeapfrogTriejoin(qi.query);
-    double lftj_ms = t2.Ms();
-
-    Timer t3;
-    auto gj = GenericJoin(qi.query);
-    double gj_ms = t3.Ms();
-
-    Timer t4;
-    BaselineStats hs;
-    auto h = PairwiseJoinPlan(qi.query, PairwiseMethod::kHash, &hs);
-    double hash_ms = t4.Ms();
-
+    EngineOptions eopts;
+    eopts.order = {0, 1, 2};  // SAO for Tetris, GAO for LFTJ/GJ
     const double agm = std::exp2(qi.query.AgmBoundLog2());
-    std::printf("%8zu %8zu %10.0f %10" PRId64 " %10.1f %10.1f %10.1f %10.1f %12zu\n",
-                qi.storage[0]->size(), res.tuples.size(), agm,
-                res.stats.resolutions, tetris_ms, lftj_ms, gj_ms, hash_ms,
-                hs.max_intermediate);
-    fit.emplace_back(agm, static_cast<double>(res.stats.resolutions));
-    if (lftj.size() != res.tuples.size() || gj.size() != res.tuples.size() ||
-        h.size() != res.tuples.size()) {
-      std::printf("!! OUTPUT MISMATCH vs baselines\n");
-      std::exit(1);
+    const std::string scenario =
+        "N=" + std::to_string(qi.storage[0]->size());
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts, eopts)) {
+      cli::Params params = {
+          {"n", static_cast<double>(qi.storage[0]->size())},
+          {"z", static_cast<double>(run.result.tuples.size())},
+          {"agm", agm},
+      };
+      rep->Row(scenario, params, run);
+      if (run.result.ok && run.kind == EngineKind::kTetrisPreloaded) {
+        fit.emplace_back(
+            agm, static_cast<double>(run.result.stats.tetris.resolutions));
+      }
     }
   }
-  Note("fitted exponent of resolutions vs AGM: %.2f (paper: 1 + o(1))",
-       FitExponent(fit));
+  rep->Note("fitted exponent of resolutions vs AGM: %.2f "
+            "(paper: 1 + o(1))",
+            FitExponent(fit));
+  return rep->AllAgreed();
 }
 
 }  // namespace
 
-int main() {
-  Header("Table 1 row 2: arbitrary queries, O~(N + AGM) [Theorem D.2]");
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kLeapfrog,
+                  EngineKind::kGenericJoin, EngineKind::kPairwiseHash};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "bench_table1_agm — Table 1 row 2, O~(N + AGM) "
+                             "[Theorem D.2]")) {
+    return *exit_code;
+  }
+
+  cli::RunReporter rep(opts.format, "table1_agm");
+  rep.Note("Table 1 row 2: arbitrary queries, O~(N + AGM) [Theorem D.2]");
+
+  const uint64_t max_m = opts.size ? opts.size : 32;
   std::vector<QueryInstance> grids;
-  for (uint64_t m : {4u, 8u, 16u, 32u}) grids.push_back(FullGridTriangle(m));
-  RunFamily("AGM-tight full-grid triangles (Z = AGM = N^1.5)", grids);
+  for (uint64_t m : {4u, 8u, 16u, 32u}) {
+    if (m <= max_m) grids.push_back(FullGridTriangle(m));
+  }
+  bool ok = RunFamily("AGM-tight full-grid triangles (Z = AGM = N^1.5)",
+                      grids, opts, &rep);
 
   std::vector<QueryInstance> randoms;
+  const size_t max_n = opts.size ? opts.size * opts.size : 4000;
   for (size_t n : {500u, 1000u, 2000u, 4000u}) {
-    randoms.push_back(RandomTriangle(n, /*d=*/10, /*seed=*/n));
+    if (n > max_n) continue;
+    randoms.push_back(
+        RandomTriangle(n, /*d=*/10, /*seed=*/opts.seed ? opts.seed : n));
   }
-  RunFamily("random triangles (sparse; Z near 0)", randoms);
-  return 0;
+  ok = RunFamily("random triangles (sparse; Z near 0)", randoms, opts,
+                 &rep) && ok;
+  return ok ? 0 : 1;
 }

@@ -8,14 +8,16 @@
 //   (a) fix |C|, grow N     — Tetris-Reloaded's work stays flat while
 //                             every input-reading baseline grows with N;
 //   (b) fix N, grow |C|     — Tetris-Reloaded's work tracks |C|.
+// Engine selection and rows go through the JoinEngine facade; the striped
+// attribute is indexed first (SAO hint) so the certificate is available
+// as single bands — the "right" indexes for the instance.
 
-#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "baseline/leapfrog.h"
-#include "baseline/yannakakis.h"
 #include "bench_util.h"
-#include "engine/join_runner.h"
-#include "index/sorted_index.h"
+#include "engine/cli.h"
 #include "workload/generators.h"
 
 using namespace tetris;
@@ -23,130 +25,146 @@ using namespace tetris::bench;
 
 namespace {
 
-// Indexes the striped attribute first so the certificate boxes are
-// available as single bands (the "right" indexes for the instance).
-std::vector<std::unique_ptr<Index>> StripeFirstIndexes(
-    const QueryInstance& qi, const std::vector<int>& sao) {
-  return MakeSaoConsistentIndexes(qi.query, sao, qi.depth);
-}
-
-void SweepPath(bool sweep_n) {
-  Header(sweep_n ? "tw=1 path: fix |C|, grow N (res must stay flat)"
-                 : "tw=1 path: fix N, grow |C| (res must track |C|)");
-  std::printf("%8s %8s %10s %10s %12s %10s %10s\n", "N", "~|C|", "loaded",
-              "resolns", "tetris_ms", "lftj_ms", "yann_ms");
+bool SweepPath(bool sweep_n, const cli::HarnessOptions& opts,
+               cli::RunReporter* rep) {
+  rep->Section(sweep_n
+                   ? "tw=1 path: fix |C|, grow N (res must stay flat)"
+                   : "tw=1 path: fix N, grow |C| (res must track |C|)");
   std::vector<std::pair<double, double>> fit;
   const int d = 14;
-  std::vector<std::pair<int, size_t>> params;
+  std::vector<std::pair<int, size_t>> params_list;
   if (sweep_n) {
+    const size_t max_n = opts.size ? opts.size : 16000;
     for (size_t n : {1000u, 2000u, 4000u, 8000u, 16000u}) {
-      params.emplace_back(3, n);
+      if (n <= max_n) params_list.emplace_back(3, n);
     }
   } else {
-    for (int s : {1, 2, 3, 4, 5, 6}) params.emplace_back(s, 4000u);
+    for (int s : {1, 2, 3, 4, 5, 6}) {
+      params_list.emplace_back(s, opts.size ? opts.size : 4000u);
+    }
   }
-  for (auto [s, n] : params) {
-    QueryInstance qi = StripedEmptyPath(s, n, d, /*seed=*/s * 1000 + n);
-    qi.depth = d;
+  bool empty_ok = true;
+  for (auto [s, n] : params_list) {
+    QueryInstance qi = StripedEmptyPath(
+        s, n, d, /*seed=*/opts.seed ? opts.seed : s * 1000 + n);
+    EngineOptions eopts;
     // SAO: striped attribute (B = attr id 1) first; elimination width 1.
-    std::vector<int> sao = {1, 0, 2};
-    auto owned = StripeFirstIndexes(qi, sao);
-
-    Timer t1;
-    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                             JoinAlgorithm::kTetrisReloaded, sao);
-    double tetris_ms = t1.Ms();
-
-    Timer t2;
-    auto lftj = LeapfrogTriejoin(qi.query, {1, 0, 2});
-    double lftj_ms = t2.Ms();
-
-    Timer t3;
-    auto y = YannakakisJoin(qi.query);
-    double yann_ms = t3.Ms();
-
+    eopts.order = {1, 0, 2};
+    eopts.depth = d;
     size_t total_n = 0;
     for (const auto& r : qi.storage) total_n += r->size();
     const double cert = static_cast<double>(uint64_t{1} << s);
-    std::printf("%8zu %8.0f %10" PRId64 " %10" PRId64 " %12.2f %10.1f %10.1f\n",
-                total_n, cert, res.stats.boxes_loaded, res.stats.resolutions,
-                tetris_ms, lftj_ms, yann_ms);
-    fit.emplace_back(sweep_n ? static_cast<double>(total_n) : cert,
-                     static_cast<double>(res.stats.resolutions));
-    if (!res.tuples.empty() || !lftj.empty() || !y || !y->empty()) {
-      std::printf("!! EXPECTED EMPTY OUTPUT\n");
-      std::exit(1);
+    const std::string scenario =
+        "s=" + std::to_string(s) + "/N=" + std::to_string(total_n);
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts, eopts)) {
+      cli::Params row_params = {{"n", static_cast<double>(total_n)},
+                                {"cert", cert}};
+      rep->Row(scenario, row_params, run);
+      if (run.result.ok && !run.result.tuples.empty()) {
+        rep->Error("!! EXPECTED EMPTY OUTPUT (%s)",
+                  EngineKindName(run.kind));
+        empty_ok = false;
+      }
+      if (run.result.ok && run.kind == EngineKind::kTetrisReloaded) {
+        fit.emplace_back(
+            sweep_n ? static_cast<double>(total_n) : cert,
+            static_cast<double>(run.result.stats.tetris.resolutions));
+      }
     }
   }
   if (sweep_n) {
-    Note("fitted exponent of resolutions vs N: %.2f (paper: 0 — "
-         "N-independent)",
-         FitExponent(fit));
+    rep->Note("fitted exponent of resolutions vs N: %.2f (paper: 0 — "
+              "N-independent)",
+              FitExponent(fit));
   } else {
-    Note("fitted exponent of resolutions vs |C|: %.2f (paper: <= 1 + o(1))",
-         FitExponent(fit));
+    rep->Note("fitted exponent of resolutions vs |C|: %.2f "
+              "(paper: <= 1 + o(1))",
+              FitExponent(fit));
   }
+  return empty_ok && rep->AllAgreed();
 }
 
-void SweepCycle(bool sweep_n) {
-  Header(sweep_n
-             ? "tw=2 4-cycle: fix |C|, grow N (res must stay flat)"
-             : "tw=2 4-cycle: fix N, grow |C| (bound |C|^{w+1} = |C|^3)");
-  std::printf("%8s %8s %10s %10s %12s %10s\n", "N", "~|C|", "loaded",
-              "resolns", "res/|C|^3", "tetris_ms");
+bool SweepCycle(bool sweep_n, const cli::HarnessOptions& opts,
+                cli::RunReporter* rep) {
+  rep->Section(sweep_n
+                   ? "tw=2 4-cycle: fix |C|, grow N (res must stay flat)"
+                   : "tw=2 4-cycle: fix N, grow |C| (bound |C|^{w+1} = "
+                     "|C|^3)");
   std::vector<std::pair<double, double>> fit;
   const int d = 12;
-  std::vector<std::pair<int, size_t>> params;
+  std::vector<std::pair<int, size_t>> params_list;
   if (sweep_n) {
+    const size_t max_n = opts.size ? opts.size : 8000;
     for (size_t n : {500u, 1000u, 2000u, 4000u, 8000u}) {
-      params.emplace_back(2, n);
+      if (n <= max_n) params_list.emplace_back(2, n);
     }
   } else {
-    for (int s : {1, 2, 3, 4, 5}) params.emplace_back(s, 2000u);
+    for (int s : {1, 2, 3, 4, 5}) {
+      params_list.emplace_back(s, opts.size ? opts.size : 2000u);
+    }
   }
-  for (auto [s, n] : params) {
-    QueryInstance qi = StripedEmptyCycle(s, n, d, /*seed=*/s * 7 + n);
-    qi.depth = d;
-    std::vector<int> sao = qi.query.MinWidthSao();
-    // Put the striped attributes early: A1 and A3 carry the certificate.
-    sao = {1, 3, 0, 2};
-    auto owned = StripeFirstIndexes(qi, sao);
-
-    Timer t1;
-    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                             JoinAlgorithm::kTetrisReloaded, sao);
-    double tetris_ms = t1.Ms();
-
+  bool empty_ok = true;
+  for (auto [s, n] : params_list) {
+    QueryInstance qi = StripedEmptyCycle(
+        s, n, d, /*seed=*/opts.seed ? opts.seed : s * 7 + n);
+    EngineOptions eopts;
+    // Striped attributes early: A1 and A3 carry the certificate.
+    eopts.order = {1, 3, 0, 2};
+    eopts.depth = d;
     size_t total_n = 0;
     for (const auto& r : qi.storage) total_n += r->size();
     const double cert = static_cast<double>(uint64_t{2} << s);
     const double bound = cert * cert * cert;
-    std::printf("%8zu %8.0f %10" PRId64 " %10" PRId64 " %12.4f %10.1f\n",
-                total_n, cert, res.stats.boxes_loaded, res.stats.resolutions,
-                res.stats.resolutions / bound, tetris_ms);
-    fit.emplace_back(sweep_n ? static_cast<double>(total_n) : cert,
-                     static_cast<double>(res.stats.resolutions));
-    if (!res.tuples.empty()) {
-      std::printf("!! EXPECTED EMPTY OUTPUT\n");
-      std::exit(1);
+    const std::string scenario =
+        "s=" + std::to_string(s) + "/N=" + std::to_string(total_n);
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts, eopts)) {
+      const double res =
+          static_cast<double>(run.result.stats.tetris.resolutions);
+      cli::Params row_params = {{"n", static_cast<double>(total_n)},
+                                {"cert", cert},
+                                {"res/cert^3", res > 0 ? res / bound : 0.0}};
+      rep->Row(scenario, row_params, run);
+      if (run.result.ok && !run.result.tuples.empty()) {
+        rep->Error("!! EXPECTED EMPTY OUTPUT (%s)",
+                  EngineKindName(run.kind));
+        empty_ok = false;
+      }
+      if (run.result.ok && run.kind == EngineKind::kTetrisReloaded) {
+        fit.emplace_back(sweep_n ? static_cast<double>(total_n) : cert,
+                         res);
+      }
     }
   }
   if (sweep_n) {
-    Note("fitted exponent of resolutions vs N: %.2f (paper: 0)",
-         FitExponent(fit));
+    rep->Note("fitted exponent of resolutions vs N: %.2f (paper: 0)",
+              FitExponent(fit));
   } else {
-    Note("fitted exponent of resolutions vs |C|: %.2f (paper: <= w+1 = 3)",
-         FitExponent(fit));
+    rep->Note("fitted exponent of resolutions vs |C|: %.2f "
+              "(paper: <= w+1 = 3)",
+              FitExponent(fit));
   }
+  return empty_ok && rep->AllAgreed();
 }
 
 }  // namespace
 
-int main() {
-  Header("Table 1 rows 4-5: certificate bounds [Theorems 4.7 / 4.9]");
-  SweepPath(/*sweep_n=*/true);
-  SweepPath(/*sweep_n=*/false);
-  SweepCycle(/*sweep_n=*/true);
-  SweepCycle(/*sweep_n=*/false);
-  return 0;
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisReloaded, EngineKind::kLeapfrog,
+                  EngineKind::kYannakakis};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "bench_table1_certificate — Table 1 rows 4-5, certificate "
+                             "bounds [Theorems 4.7 / 4.9]")) {
+    return *exit_code;
+  }
+
+  cli::RunReporter rep(opts.format, "table1_certificate");
+  bool ok = SweepPath(/*sweep_n=*/true, opts, &rep);
+  ok = SweepPath(/*sweep_n=*/false, opts, &rep) && ok;
+  // The 4-cycle is cyclic: Yannakakis rows come back unsupported, which
+  // the reporter prints as skipped.
+  ok = SweepCycle(/*sweep_n=*/true, opts, &rep) && ok;
+  ok = SweepCycle(/*sweep_n=*/false, opts, &rep) && ok;
+  return ok ? 0 : 1;
 }

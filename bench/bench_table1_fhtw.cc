@@ -5,14 +5,16 @@
 // Workload: 4-cycle queries (fhtw = 2). Two families: full-grid (where
 // Z = N^2 = N^fhtw, the bound is tight) and sparse random (where Z ≈ 0
 // and the measured work sits far below the bound — it is an upper bound).
+// One row per (instance, engine) via the JoinEngine facade.
 
-#include <cinttypes>
 #include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
 
-#include "baseline/leapfrog.h"
-#include "baseline/pairwise_join.h"
 #include "bench_util.h"
-#include "engine/join_runner.h"
+#include "engine/cli.h"
+#include "query/hypergraph.h"
 #include "workload/generators.h"
 
 using namespace tetris;
@@ -35,58 +37,70 @@ QueryInstance GridCycle(uint64_t m) {
   return qi;
 }
 
-void RunFamily(const char* name, const std::vector<QueryInstance>& family) {
-  Header(name);
-  std::printf("%8s %10s %12s %10s %14s %10s %10s\n", "N", "Z", "N^fhtw+Z",
-              "resolns", "res/(N^f+Z)", "tetris_ms", "lftj_ms");
+bool RunFamily(const char* name, const std::vector<QueryInstance>& family,
+               const cli::HarnessOptions& opts, cli::RunReporter* rep) {
+  rep->Section(name);
   std::vector<std::pair<double, double>> fit;
   for (const QueryInstance& qi : family) {
-    const int d = qi.query.MinDepth();
     Hypergraph h = qi.query.ToHypergraph();
     const double fhtw = h.FractionalHypertreeWidth();
-    std::vector<int> sao = qi.query.MinFhtwSao();
-    auto owned = MakeSaoConsistentIndexes(qi.query, sao, d);
-
-    Timer t1;
-    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                             JoinAlgorithm::kTetrisPreloaded, sao);
-    double tetris_ms = t1.Ms();
-
-    Timer t2;
-    auto lftj = LeapfrogTriejoin(qi.query);
-    double lftj_ms = t2.Ms();
-
+    EngineOptions eopts;
+    eopts.order = qi.query.MinFhtwSao();
     const double n = static_cast<double>(qi.storage[0]->size());
-    const double z = static_cast<double>(res.tuples.size());
-    const double bound = std::pow(n, fhtw) + z;
-    std::printf("%8.0f %10.0f %12.0f %10" PRId64 " %14.3f %10.1f %10.1f\n",
-                n, z, bound, res.stats.resolutions,
-                res.stats.resolutions / bound, tetris_ms, lftj_ms);
-    fit.emplace_back(bound, static_cast<double>(res.stats.resolutions));
-    if (lftj.size() != res.tuples.size()) {
-      std::printf("!! OUTPUT MISMATCH vs LFTJ\n");
-      std::exit(1);
+    const std::string scenario = "N=" + std::to_string(qi.storage[0]->size());
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts, eopts)) {
+      const double z = static_cast<double>(run.result.tuples.size());
+      const double bound = std::pow(n, fhtw) + z;
+      const double res =
+          static_cast<double>(run.result.stats.tetris.resolutions);
+      cli::Params params = {
+          {"n", n},
+          {"z", z},
+          {"res/bound", res > 0 ? res / bound : 0.0},
+      };
+      rep->Row(scenario, params, run);
+      if (run.result.ok && run.kind == EngineKind::kTetrisPreloaded) {
+        fit.emplace_back(bound, res);
+      }
     }
   }
-  Note("fitted exponent of resolutions vs (N^fhtw + Z): %.2f "
-       "(paper: <= 1 + o(1))",
-       FitExponent(fit));
+  rep->Note("fitted exponent of resolutions vs (N^fhtw + Z): %.2f "
+            "(paper: <= 1 + o(1))",
+            FitExponent(fit));
+  return rep->AllAgreed();
 }
 
 }  // namespace
 
-int main() {
-  Header("Table 1 row 3: bounded fhtw, O~(N^fhtw + Z) [Theorem 4.6]");
-  Note("4-cycle query: fhtw = 2 (computed exactly by the subset DP)");
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kLeapfrog};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "bench_table1_fhtw — Table 1 row 3, O~(N^fhtw + Z) "
+                             "[Theorem 4.6]")) {
+    return *exit_code;
+  }
 
+  cli::RunReporter rep(opts.format, "table1_fhtw");
+  rep.Note("4-cycle query: fhtw = 2 (computed exactly by the subset DP)");
+
+  const uint64_t max_m = opts.size ? opts.size : 8;
   std::vector<QueryInstance> grids;
-  for (uint64_t m : {3u, 4u, 6u, 8u}) grids.push_back(GridCycle(m));
-  RunFamily("full-grid 4-cycles (Z = N^2: bound tight)", grids);
+  for (uint64_t m : {3u, 4u, 6u, 8u}) {
+    if (m <= max_m) grids.push_back(GridCycle(m));
+  }
+  bool ok = RunFamily("full-grid 4-cycles (Z = N^2: bound tight)", grids,
+                      opts, &rep);
 
+  const size_t max_n = opts.size ? opts.size * opts.size : 2000;
   std::vector<QueryInstance> randoms;
   for (size_t n : {250u, 500u, 1000u, 2000u}) {
-    randoms.push_back(RandomCycle(4, n, /*d=*/9, /*seed=*/n));
+    if (n > max_n) continue;
+    randoms.push_back(
+        RandomCycle(4, n, /*d=*/9, /*seed=*/opts.seed ? opts.seed : n));
   }
-  RunFamily("random sparse 4-cycles (Z ~ 0: bound loose)", randoms);
-  return 0;
+  ok = RunFamily("random sparse 4-cycles (Z ~ 0: bound loose)", randoms,
+                 opts, &rep) && ok;
+  return ok ? 0 : 1;
 }

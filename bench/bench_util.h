@@ -1,16 +1,18 @@
 // Shared helpers for the table/figure reproduction harnesses.
 //
-// Every bench binary prints (a) the measured series for its table/figure,
+// Every bench binary selects engines at runtime through the JoinEngine
+// facade and the shared CLI harness (src/engine/cli.h): it prints (a) one
+// row per (scenario, engine) with the measured time and space counters,
 // (b) the paper's bound for the same parameters, and (c) a fitted log-log
 // growth exponent so the *shape* claim (who wins, with which exponent) is
-// checkable at a glance. EXPERIMENTS.md records the outcomes.
+// checkable at a glance. EXPERIMENTS.md documents each binary's flags and
+// the expected outcomes.
 #ifndef TETRIS_BENCH_BENCH_UTIL_H_
 #define TETRIS_BENCH_BENCH_UTIL_H_
 
 #include <chrono>
 #include <cmath>
-#include <cstdarg>
-#include <cstdio>
+#include <utility>
 #include <vector>
 
 namespace tetris::bench {
@@ -46,19 +48,6 @@ inline double FitExponent(const std::vector<std::pair<double, double>>& pts) {
   double denom = n * sxx - sx * sx;
   if (std::fabs(denom) < 1e-12) return 0.0;
   return (n * sxy - sx * sy) / denom;
-}
-
-/// Section header in the harness output.
-inline void Header(const char* title) {
-  std::printf("\n=== %s ===\n", title);
-}
-
-inline void Note(const char* fmt, ...) {
-  va_list args;
-  va_start(args, fmt);
-  std::vprintf(fmt, args);
-  va_end(args);
-  std::printf("\n");
 }
 
 }  // namespace tetris::bench

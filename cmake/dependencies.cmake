@@ -1,0 +1,62 @@
+# Test/bench dependency resolution: prefer the system packages (fast, no
+# network); fall back to a FetchContent build so platforms without
+# libgtest-dev / libbenchmark-dev still get the full tier-1 matrix. The
+# CI "no-system-deps" job exercises the fallback path.
+include_guard(GLOBAL)
+
+option(TETRIS_FETCH_DEPS
+       "Fetch GoogleTest/benchmark via FetchContent when no system \
+package is found" ON)
+
+# Third-party code is not held to the repo's -Werror bar.
+function(tetris_relax_warnings)
+  foreach(tgt IN LISTS ARGN)
+    if(TARGET ${tgt})
+      target_compile_options(${tgt} PRIVATE -w)
+    endif()
+  endforeach()
+endfunction()
+
+# Provides GTest::gtest / GTest::gtest_main, or fails with guidance.
+macro(tetris_resolve_gtest)
+  find_package(GTest QUIET)
+  if(NOT GTest_FOUND AND TETRIS_FETCH_DEPS)
+    message(STATUS
+            "System GoogleTest not found; fetching v1.14.0 (FetchContent)")
+    include(FetchContent)
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE)
+    FetchContent_Declare(googletest
+      URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz)
+    FetchContent_MakeAvailable(googletest)
+    # googletest's own CMake exports the GTest::gtest* aliases.
+    tetris_relax_warnings(gtest gtest_main gmock gmock_main)
+    set(GTest_FOUND TRUE)
+  endif()
+  if(NOT GTest_FOUND)
+    message(FATAL_ERROR
+            "GoogleTest not found. Install libgtest-dev (or equivalent), "
+            "enable -DTETRIS_FETCH_DEPS=ON, or configure with "
+            "-DTETRIS_BUILD_TESTS=OFF.")
+  endif()
+endmacro()
+
+# Provides benchmark::benchmark / benchmark::benchmark_main when possible;
+# callers skip bench/ if the targets still do not exist.
+macro(tetris_resolve_benchmark)
+  find_package(benchmark QUIET)
+  if(NOT benchmark_FOUND AND TETRIS_FETCH_DEPS)
+    message(STATUS
+            "System google-benchmark not found; fetching v1.8.3 "
+            "(FetchContent)")
+    include(FetchContent)
+    set(BENCHMARK_ENABLE_TESTING OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_GTEST_TESTS OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_INSTALL OFF CACHE BOOL "" FORCE)
+    set(BENCHMARK_ENABLE_WERROR OFF CACHE BOOL "" FORCE)
+    FetchContent_Declare(benchmark
+      URL https://github.com/google/benchmark/archive/refs/tags/v1.8.3.tar.gz)
+    FetchContent_MakeAvailable(benchmark)
+    tetris_relax_warnings(benchmark benchmark_main)
+  endif()
+endmacro()

@@ -4,71 +4,64 @@
 // The instance: R(A,B) only has B-values in "even" dyadic stripes, S(B,C)
 // only in "odd" ones. The join is empty, and a handful of gap boxes — the
 // box certificate — prove it, no matter how many tuples the relations
-// hold. Tetris-Reloaded touches O(|C|) boxes; any input-reading algorithm
-// (Leapfrog, Yannakakis, hash join) pays for N.
+// hold. Tetris-Reloaded touches O(|C|) boxes; any input-reading engine
+// (Leapfrog, Yannakakis, hash join) pays for N. Engines are selected
+// through the JoinEngine facade; `--size=<n>` caps the N sweep (the
+// default grows to 320k tuples per relation).
 
-#include <chrono>
 #include <cstdio>
+#include <string>
+#include <vector>
 
-#include "baseline/leapfrog.h"
-#include "baseline/yannakakis.h"
-#include "engine/join_runner.h"
+#include "engine/cli.h"
 #include "workload/generators.h"
 
 using namespace tetris;
 
-namespace {
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisReloaded, EngineKind::kLeapfrog,
+                  EngineKind::kYannakakis};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "certificate_demo — certificate-sized joins: N grows "
+                             "16x, Tetris's work does not")) {
+    return *exit_code;
+  }
 
-double MsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-}  // namespace
-
-int main() {
   std::printf("Certificate-sized joins: N grows 16x, Tetris's work does "
-              "not\n\n");
-  std::printf("%10s %10s %10s %12s %10s %10s\n", "N", "loaded", "resolns",
-              "tetris_ms", "lftj_ms", "yann_ms");
+              "not\n");
+  cli::RunReporter rep(opts.format, "certificate_demo");
+  rep.Section("striped empty path, N sweep");
   const int d = 16;
+  const size_t max_n = opts.size ? opts.size : 320000;
+  bool ok = true;
   for (size_t n : {20000u, 40000u, 80000u, 160000u, 320000u}) {
-    QueryInstance qi = StripedEmptyPath(/*stripes_log2=*/3, n, d, n);
-    qi.depth = d;
+    if (n > max_n && n != 20000u) continue;  // always run at least one N
+    QueryInstance qi = StripedEmptyPath(/*stripes_log2=*/3, n, d,
+                                        opts.seed ? opts.seed : n);
+    EngineOptions eopts;
     // Index the striped attribute (B) first so its band gaps are the
     // certificate; SAO = (B, A, C) has elimination width 1.
-    std::vector<int> sao = {1, 0, 2};
-    auto owned = MakeSaoConsistentIndexes(qi.query, sao, d);
-
-    auto t0 = std::chrono::steady_clock::now();
-    auto res = RunTetrisJoin(qi.query, IndexPtrs(owned), d,
-                             JoinAlgorithm::kTetrisReloaded, sao);
-    double tetris_ms = MsSince(t0);
-
-    t0 = std::chrono::steady_clock::now();
-    auto lftj = LeapfrogTriejoin(qi.query, sao);
-    double lftj_ms = MsSince(t0);
-
-    t0 = std::chrono::steady_clock::now();
-    auto yann = YannakakisJoin(qi.query);
-    double yann_ms = MsSince(t0);
-
+    eopts.order = {1, 0, 2};
+    eopts.depth = d;
     size_t total_n = 0;
     for (const auto& r : qi.storage) total_n += r->size();
-    std::printf("%10zu %10lld %10lld %12.2f %10.1f %10.1f\n", total_n,
-                static_cast<long long>(res.stats.boxes_loaded),
-                static_cast<long long>(res.stats.resolutions), tetris_ms,
-                lftj_ms, yann_ms);
-    if (!res.tuples.empty() || !lftj.empty() || !yann || !yann->empty()) {
-      std::printf("!! expected an empty join\n");
-      return 1;
+    const std::string scenario = "N=" + std::to_string(total_n);
+    for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts, eopts)) {
+      rep.Row(scenario, {{"n", static_cast<double>(total_n)}}, run);
+      if (run.result.ok && !run.result.tuples.empty()) {
+        rep.Error("!! expected an empty join (%s)",
+                 EngineKindName(run.kind));
+        ok = false;
+      }
     }
   }
-  std::printf("\nTetris-Reloaded loads the same handful of certificate "
-              "boxes at every N;\nthe baselines' cost scales with the "
-              "input they must at least read.\n(Index build time is "
-              "excluded for all engines — indexes are assumed\n"
-              "pre-built, as in the paper's model.)\n");
-  return 0;
+  rep.Note("\nTetris-Reloaded loads the same handful of certificate "
+           "boxes at every N;\nthe baselines' cost scales with the "
+           "input they must at least read.\n(Index build time is "
+           "included in wall_ms for the Tetris rows — watch\nthe "
+           "loaded/resolns counters for the certificate claim, as in "
+           "the paper's\nmodel of pre-built indexes.)");
+  return ok && rep.AllAgreed() ? 0 : 1;
 }

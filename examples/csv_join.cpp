@@ -1,19 +1,23 @@
 // csv_join — evaluate a natural join over CSV files from the command line.
 //
-//   csv_join [--algo=preloaded|reloaded|lb] SPEC [SPEC...]
+//   csv_join [--engine=<name>|--engines=<list>] SPEC [SPEC...]
 //     SPEC: path.csv:Attr1,Attr2,...   (one relation per file; columns of
 //           unsigned integers, one tuple per line, ',' separated)
 //
-// Attributes with equal names across files are join attributes. Prints
-// the output tuples plus the engine counters. With no arguments, runs a
-// built-in demo (writes two temp CSVs and joins them).
+// Attributes with equal names across files are join attributes. Every
+// engine behind the JoinEngine facade is available; with several engines
+// selected the demo prints a comparison table instead of the tuples.
+// With no SPECs, runs a built-in demo (writes two temp CSVs and joins
+// them).
 
 #include <cstdio>
-#include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <vector>
 
-#include "engine/join_runner.h"
+#include "engine/cli.h"
 
 using namespace tetris;
 
@@ -48,7 +52,9 @@ bool LoadCsv(const std::string& path, const std::vector<std::string>& attrs,
     std::stringstream ss(line);
     std::string cell;
     Tuple t;
-    while (std::getline(ss, cell, ',')) t.push_back(std::strtoull(cell.c_str(), nullptr, 10));
+    while (std::getline(ss, cell, ',')) {
+      t.push_back(std::strtoull(cell.c_str(), nullptr, 10));
+    }
     if (t.size() != attrs.size()) {
       std::fprintf(stderr, "%s:%zu: expected %zu columns, got %zu\n",
                    path.c_str(), lineno, attrs.size(), t.size());
@@ -70,25 +76,15 @@ void WriteDemoFiles() {
 }  // namespace
 
 int main(int argc, char** argv) {
-  JoinAlgorithm algo = JoinAlgorithm::kTetrisReloaded;
-  std::vector<std::string> specs;
-  for (int i = 1; i < argc; ++i) {
-    if (std::strncmp(argv[i], "--algo=", 7) == 0) {
-      const char* v = argv[i] + 7;
-      if (!std::strcmp(v, "preloaded")) {
-        algo = JoinAlgorithm::kTetrisPreloaded;
-      } else if (!std::strcmp(v, "reloaded")) {
-        algo = JoinAlgorithm::kTetrisReloaded;
-      } else if (!std::strcmp(v, "lb")) {
-        algo = JoinAlgorithm::kTetrisReloadedLB;
-      } else {
-        std::fprintf(stderr, "unknown algo %s\n", v);
-        return 2;
-      }
-    } else {
-      specs.push_back(argv[i]);
-    }
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisReloaded};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "csv_join [flags] SPEC [SPEC...]\n"
+                             "  SPEC: path.csv:Attr1,Attr2,...")) {
+    return *exit_code;
   }
+  std::vector<std::string> specs(argv + 1, argv + argc);
   if (specs.empty()) {
     std::printf("no SPECs given; running the built-in demo\n");
     WriteDemoFiles();
@@ -119,8 +115,26 @@ int main(int argc, char** argv) {
   for (const auto& a : q.attrs()) std::printf(" %s", a.c_str());
   std::printf("\n");
 
-  JoinRunResult res = RunTetrisJoinDefaultIndexes(q, algo);
-  std::printf("\n%zu output tuples", res.tuples.size());
+  if (opts.engines.size() > 1 ||
+      opts.format != cli::OutputFormat::kTable) {
+    cli::RunReporter rep(opts.format, "csv_join");
+    rep.Section("csv join, all selected engines");
+    for (const cli::EngineRun& run : cli::RunEngines(q, opts)) {
+      rep.Row("csv", {{"atoms", static_cast<double>(ptrs.size())}}, run);
+    }
+    return rep.AllAgreed() ? 0 : 1;
+  }
+
+  // Single engine, human format: print the tuples themselves (--reps
+  // is honored through RunEngines).
+  cli::EngineRun single = cli::RunEngines(q, opts)[0];
+  EngineResult& res = single.result;
+  if (!res.ok) {
+    std::fprintf(stderr, "error: %s\n", res.error.c_str());
+    return 1;
+  }
+  std::printf("\nengine: %s\n", EngineKindName(res.stats.engine));
+  std::printf("%zu output tuples", res.tuples.size());
   size_t shown = 0;
   for (const Tuple& t : res.tuples) {
     if (shown++ == 20) {
@@ -133,9 +147,15 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(t[i]));
     }
   }
-  std::printf("\n\nresolutions=%lld, boxes loaded=%lld, probes=%lld\n",
-              static_cast<long long>(res.stats.resolutions),
-              static_cast<long long>(res.stats.boxes_loaded),
-              static_cast<long long>(res.oracle_probes));
+  std::printf("\n\nresolutions=%lld, boxes loaded=%lld, probes=%lld, "
+              "seeks=%lld\nwall=%.3f ms, kb=%zu B, indexes=%zu B, "
+              "output=%zu B\n",
+              static_cast<long long>(res.stats.tetris.resolutions),
+              static_cast<long long>(res.stats.tetris.boxes_loaded),
+              static_cast<long long>(res.stats.oracle_probes +
+                                     res.stats.probes),
+              static_cast<long long>(res.stats.seeks), res.stats.wall_ms,
+              res.stats.memory.kb_bytes, res.stats.memory.index_bytes,
+              res.stats.memory.output_bytes);
   return 0;
 }

@@ -2,73 +2,68 @@
 // "joins ... capture subgraph listing problems which are central in
 // social and biological network analysis").
 //
-// Lists triangles and 4-cliques in a random graph with Tetris, Leapfrog
-// Triejoin and a classical pairwise hash-join plan, and prints wall times
-// plus the intermediate-result blow-up that the worst-case optimal
-// algorithms avoid.
+// Lists triangles and 4-cliques in a random graph with every engine
+// selected through the JoinEngine facade (default: Tetris-Preloaded,
+// Leapfrog Triejoin and the classical pairwise hash plan), and prints
+// wall times plus the intermediate-result blow-up that the worst-case
+// optimal algorithms avoid. `--size=<nodes>` rescales the graph
+// (edges = 8 * nodes); `--engines=all` sweeps the whole matrix.
 
-#include <chrono>
 #include <cstdio>
+#include <string>
 
-#include "baseline/leapfrog.h"
-#include "baseline/pairwise_join.h"
-#include "engine/join_runner.h"
+#include "engine/cli.h"
 #include "workload/generators.h"
 
 using namespace tetris;
 
 namespace {
 
-double MsSince(std::chrono::steady_clock::time_point t0) {
-  return std::chrono::duration<double, std::milli>(
-             std::chrono::steady_clock::now() - t0)
-      .count();
-}
-
-void RunPattern(const char* name, int k, uint64_t nodes, size_t edges) {
-  QueryInstance qi = CliqueOnRandomGraph(k, nodes, edges, /*seed=*/42);
-  std::printf("\n-- %s on G(%llu nodes, ~%zu edges) --\n", name,
-              static_cast<unsigned long long>(nodes), edges);
-
-  auto t0 = std::chrono::steady_clock::now();
-  auto tetris_res =
-      RunTetrisJoinDefaultIndexes(qi.query, JoinAlgorithm::kTetrisPreloaded);
-  double tetris_ms = MsSince(t0);
-
-  t0 = std::chrono::steady_clock::now();
-  auto lftj = LeapfrogTriejoin(qi.query);
-  double lftj_ms = MsSince(t0);
-
-  t0 = std::chrono::steady_clock::now();
-  BaselineStats hs;
-  auto hash = PairwiseJoinPlan(qi.query, PairwiseMethod::kHash, &hs);
-  double hash_ms = MsSince(t0);
-
-  // Each k-clique appears k! times as an ordered embedding.
-  std::printf("  embeddings found: %zu (each clique counted k! times)\n",
-              tetris_res.tuples.size());
-  std::printf("  tetris:    %8.1f ms, %lld resolutions\n", tetris_ms,
-              static_cast<long long>(tetris_res.stats.resolutions));
-  std::printf("  leapfrog:  %8.1f ms\n", lftj_ms);
-  std::printf("  hash join: %8.1f ms, max intermediate %zu tuples\n",
-              hash_ms, hs.max_intermediate);
-  if (lftj.size() != tetris_res.tuples.size() ||
-      hash.size() != tetris_res.tuples.size()) {
-    std::printf("  !! output mismatch between engines\n");
-    std::exit(1);
+bool RunPattern(cli::RunReporter* rep, const char* name, int k,
+                uint64_t nodes, size_t edges,
+                const cli::HarnessOptions& opts) {
+  QueryInstance qi = CliqueOnRandomGraph(
+      k, nodes, edges, /*seed=*/opts.seed ? opts.seed : 42);
+  rep->Section(std::string(name) + " on G(" + std::to_string(nodes) +
+               " nodes, ~" + std::to_string(edges) + " edges)");
+  for (const cli::EngineRun& run : cli::RunEngines(qi.query, opts)) {
+    cli::Params params = {
+        {"nodes", static_cast<double>(nodes)},
+        {"edges", static_cast<double>(edges)},
+        {"k", static_cast<double>(k)},
+    };
+    rep->Row(name, params, run);
   }
+  // Each k-clique appears k! times as an ordered embedding.
+  rep->Note("(each clique counted k! times as an ordered embedding)");
+  return rep->AllAgreed();
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kLeapfrog,
+                  EngineKind::kPairwiseHash};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "graph_patterns — subgraph listing with Tetris vs "
+                             "worst-case-optimal and pairwise baselines")) {
+    return *exit_code;
+  }
+
   std::printf("Subgraph listing with Tetris vs worst-case-optimal and "
               "pairwise baselines\n");
-  RunPattern("triangle (3-clique)", 3, 300, 2500);
-  RunPattern("4-clique", 4, 120, 1200);
-  std::printf("\nNote the hash-join intermediate column: pairwise plans "
-              "materialize the\nopen wedge R⋈S before closing it, which "
-              "is exactly the blow-up the\nAGM-bound algorithms (Tetris, "
-              "LFTJ) avoid.\n");
-  return 0;
+  cli::RunReporter rep(opts.format, "graph_patterns");
+  const uint64_t tri_nodes = opts.size ? opts.size : 300;
+  const uint64_t clq_nodes = opts.size ? opts.size / 2 + 1 : 120;
+  bool ok = RunPattern(&rep, "triangle (3-clique)", 3, tri_nodes,
+                       tri_nodes * 8, opts);
+  ok = RunPattern(&rep, "4-clique", 4, clq_nodes, clq_nodes * 10, opts) &&
+       ok;
+  rep.Note("\nNote the pairwise-hash max_int / int_KiB columns: pairwise "
+           "plans\nmaterialize the open wedge R⋈S before closing it, "
+           "which is exactly the\nblow-up the AGM-bound engines (Tetris, "
+           "LFTJ) avoid.");
+  return ok ? 0 : 1;
 }

@@ -4,16 +4,30 @@
 //
 // Build relations, bind them into a JoinQuery, pick an engine through the
 // JoinEngine facade, run. The result carries the output tuples plus the
-// paper's cost counters (geometric resolutions, boxes loaded, ...), and
-// swapping the EngineKind swaps the whole evaluator.
+// paper's cost counters (geometric resolutions, boxes loaded, ...) and
+// the memory counters, and swapping --engine swaps the whole evaluator:
+//
+//   quickstart                         # Tetris-Reloaded (default)
+//   quickstart --engine=leapfrog       # same output, different counters
+//   quickstart --engines=all           # comparison table of all eleven
 
 #include <cstdio>
+#include <string>
 
-#include "engine/join_engine.h"
+#include "engine/cli.h"
 
 using namespace tetris;
 
-int main() {
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisReloaded};
+  if (auto exit_code =
+          cli::HandleStartup(&argc, argv, &opts,
+                             "quickstart — smallest end-to-end join through the "
+                             "JoinEngine facade")) {
+    return *exit_code;
+  }
+
   // A 6-node directed triangle-ish graph, stored three times under the
   // three attribute pairs of the triangle query.
   Relation r = Relation::Make("R", {"A", "B"},
@@ -28,10 +42,22 @@ int main() {
   for (const auto& a : q.attrs()) std::printf(" %s", a.c_str());
   std::printf("\nlog2(AGM bound) = %.2f\n\n", q.AgmBoundLog2());
 
-  // Tetris-Reloaded: starts with an empty knowledge base and pulls gap
-  // boxes from the indexes only as needed (certificate behavior). Try
-  // kLeapfrog or kPairwiseHash here — same output, different counters.
-  EngineResult res = RunJoin(q, EngineKind::kTetrisReloaded);
+  if (opts.engines.size() > 1 ||
+      opts.format != cli::OutputFormat::kTable) {
+    // Engine sweep (or machine-readable output): one row per engine,
+    // same canonical output.
+    cli::RunReporter rep(opts.format, "quickstart");
+    rep.Section("triangle query, all selected engines");
+    for (const cli::EngineRun& run : cli::RunEngines(q, opts)) {
+      rep.Row("triangle", {{"n", 5.0}}, run);
+    }
+    return rep.AllAgreed() ? 0 : 1;
+  }
+
+  // Single engine, human format: the annotated walkthrough (--reps is
+  // honored through RunEngines).
+  cli::EngineRun single = cli::RunEngines(q, opts)[0];
+  EngineResult& res = single.result;
   if (!res.ok) {
     std::printf("error: %s\n", res.error.c_str());
     return 1;
@@ -52,6 +78,18 @@ int main() {
               static_cast<long long>(res.stats.tetris.boxes_loaded));
   std::printf("  oracle probes:         %lld\n",
               static_cast<long long>(res.stats.oracle_probes));
+  std::printf("  LFTJ seeks / GJ probes: %lld / %lld\n",
+              static_cast<long long>(res.stats.seeks),
+              static_cast<long long>(res.stats.probes));
   std::printf("  wall time:             %.3f ms\n", res.stats.wall_ms);
+  std::printf("memory counters:\n");
+  std::printf("  knowledge base peak:   %zu bytes\n",
+              res.stats.memory.kb_bytes);
+  std::printf("  indexes:               %zu bytes\n",
+              res.stats.memory.index_bytes);
+  std::printf("  peak intermediate:     %zu bytes\n",
+              res.stats.memory.intermediate_bytes);
+  std::printf("  output buffer:         %zu bytes\n",
+              res.stats.memory.output_bytes);
   return 0;
 }

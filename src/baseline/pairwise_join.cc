@@ -152,10 +152,10 @@ std::vector<Tuple> PairwiseJoinPlan(const JoinQuery& query,
                                     PairwiseMethod method,
                                     BaselineStats* stats) {
   TempRelation acc = TempRelation::FromAtom(query.atoms()[0]);
-  if (stats) stats->Record(acc.tuples.size());
+  if (stats) stats->Record(acc.tuples.size(), acc.vars.size());
   for (size_t i = 1; i < query.atoms().size(); ++i) {
     acc = JoinPair(acc, TempRelation::FromAtom(query.atoms()[i]), method);
-    if (stats) stats->Record(acc.tuples.size());
+    if (stats) stats->Record(acc.tuples.size(), acc.vars.size());
   }
   // Reorder columns into query attribute-id order.
   std::vector<int> pos(query.num_attrs(), -1);

@@ -21,14 +21,18 @@ struct TempRelation {
 };
 
 /// Accounting shared by all baselines: the classical "intermediate result
-/// blow-up" measure that worst-case-optimal algorithms avoid.
+/// blow-up" measure that worst-case-optimal algorithms avoid, in tuples
+/// and in (approximate) resident bytes.
 struct BaselineStats {
   size_t max_intermediate = 0;  ///< largest materialized intermediate
   size_t total_intermediate = 0;
+  size_t max_intermediate_bytes = 0;  ///< same peak, in payload bytes
 
-  void Record(size_t sz) {
-    max_intermediate = std::max(max_intermediate, sz);
-    total_intermediate += sz;
+  void Record(size_t tuples, size_t width) {
+    max_intermediate = std::max(max_intermediate, tuples);
+    total_intermediate += tuples;
+    max_intermediate_bytes = std::max(
+        max_intermediate_bytes, tuples * width * sizeof(uint64_t));
   }
 };
 

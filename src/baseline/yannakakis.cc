@@ -54,7 +54,7 @@ void Semijoin(TempRelation* a, const TempRelation& b, BaselineStats* stats) {
     }
   }
   a->tuples.resize(w);
-  if (stats) stats->Record(a->tuples.size());
+  if (stats) stats->Record(a->tuples.size(), a->vars.size());
 }
 
 }  // namespace
@@ -116,7 +116,9 @@ std::optional<std::vector<Tuple>> YannakakisJoin(const JoinQuery& query,
   rels.reserve(m);
   for (const Atom& a : query.atoms()) {
     rels.push_back(TempRelation::FromAtom(a));
-    if (stats) stats->Record(rels.back().tuples.size());
+    if (stats) {
+      stats->Record(rels.back().tuples.size(), rels.back().vars.size());
+    }
   }
   // Upward (leaves first): parent ⋉ child.
   for (const auto& [ear, parent] : removal) {
@@ -129,7 +131,9 @@ std::optional<std::vector<Tuple>> YannakakisJoin(const JoinQuery& query,
   // --- Join along the tree, children into parents (removal order). ---
   for (const auto& [ear, parent] : removal) {
     rels[parent] = JoinPair(rels[parent], rels[ear], PairwiseMethod::kHash);
-    if (stats) stats->Record(rels[parent].tuples.size());
+    if (stats) {
+      stats->Record(rels[parent].tuples.size(), rels[parent].vars.size());
+    }
   }
   int root = removal.empty() ? 0 : removal.back().second;
 

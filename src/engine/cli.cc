@@ -1,0 +1,406 @@
+#include "engine/cli.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace tetris::cli {
+
+namespace {
+
+// Joins every engine name for error messages and --list-engines.
+std::string AllEngineNames(const char* sep) {
+  std::string s;
+  for (EngineKind kind : AllEngineKinds()) {
+    if (!s.empty()) s += sep;
+    s += EngineKindName(kind);
+  }
+  return s;
+}
+
+// Parses a full-string unsigned integer; false on junk, sign characters
+// (strtoull would silently wrap "-3" modulo 2^64) or overflow.
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || end != text.c_str() + text.size()) return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+// "--name=value" accessor: true iff `arg` starts with "--name=", leaving
+// the value in *value.
+bool FlagValue(const char* arg, const char* name, std::string* value) {
+  size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
+  *value = arg + n + 1;
+  return true;
+}
+
+// CSV fields are not quoted; commas inside them become semicolons.
+std::string CsvField(const std::string& s) {
+  std::string out = s;
+  std::replace(out.begin(), out.end(), ',', ';');
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  return out;
+}
+
+// One "key=value" (or JSON "\"key\":value") entry per param, joined by
+// `sep` — the single formatter behind the table, CSV and JSONL rows.
+std::string FormatParams(const Params& params, const char* sep,
+                         bool json) {
+  std::string s;
+  char buf[96];
+  for (const auto& [key, value] : params) {
+    if (!s.empty()) s += sep;
+    if (json) {
+      std::snprintf(buf, sizeof(buf), "\"%s\":%.6g",
+                    JsonEscape(key).c_str(), value);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s=%.6g", key.c_str(), value);
+    }
+    s += buf;
+  }
+  return s;
+}
+
+}  // namespace
+
+bool ParseEngineKind(const std::string& name, EngineKind* out,
+                     std::string* error) {
+  for (EngineKind kind : AllEngineKinds()) {
+    if (name == EngineKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  if (error) {
+    *error = "unknown engine '" + name + "' (valid: " +
+             AllEngineNames(", ") + ")";
+  }
+  return false;
+}
+
+bool ParseEngineList(const std::string& spec, std::vector<EngineKind>* out,
+                     std::string* error) {
+  out->clear();
+  if (spec == "all") {
+    *out = AllEngineKinds();
+    return true;
+  }
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t comma = spec.find(',', start);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string name = spec.substr(start, comma - start);
+    if (name.empty()) {
+      if (error) *error = "empty engine name in list '" + spec + "'";
+      return false;
+    }
+    EngineKind kind;
+    if (!ParseEngineKind(name, &kind, error)) return false;
+    if (std::find(out->begin(), out->end(), kind) == out->end()) {
+      out->push_back(kind);
+    }
+    start = comma + 1;
+  }
+  if (out->empty()) {
+    if (error) *error = "empty engine list";
+    return false;
+  }
+  return true;
+}
+
+bool ParseOutputFormat(const std::string& name, OutputFormat* out,
+                       std::string* error) {
+  if (name == "table") {
+    *out = OutputFormat::kTable;
+  } else if (name == "csv") {
+    *out = OutputFormat::kCsv;
+  } else if (name == "jsonl") {
+    *out = OutputFormat::kJsonl;
+  } else {
+    if (error) {
+      *error = "unknown format '" + name + "' (valid: table, csv, jsonl)";
+    }
+    return false;
+  }
+  return true;
+}
+
+const char* OutputFormatName(OutputFormat format) {
+  switch (format) {
+    case OutputFormat::kTable:
+      return "table";
+    case OutputFormat::kCsv:
+      return "csv";
+    case OutputFormat::kJsonl:
+      return "jsonl";
+  }
+  return "unknown";
+}
+
+bool ParseHarnessArgs(int* argc, char** argv, HarnessOptions* opts,
+                      std::string* error, bool allow_unknown_flags) {
+  int w = 1;
+  for (int i = 1; i < *argc; ++i) {
+    const char* arg = argv[i];
+    std::string value;
+    bool consumed = true;
+    if (FlagValue(arg, "--engine", &value)) {
+      EngineKind kind;
+      if (!ParseEngineKind(value, &kind, error)) return false;
+      opts->engines = {kind};
+    } else if (FlagValue(arg, "--engines", &value)) {
+      if (!ParseEngineList(value, &opts->engines, error)) return false;
+    } else if (FlagValue(arg, "--format", &value)) {
+      if (!ParseOutputFormat(value, &opts->format, error)) return false;
+    } else if (FlagValue(arg, "--reps", &value)) {
+      uint64_t reps;
+      if (!ParseU64(value, &reps) || reps == 0) {
+        if (error) *error = "--reps wants a positive integer, got '" +
+                            value + "'";
+        return false;
+      }
+      opts->reps = static_cast<int>(std::min<uint64_t>(reps, 1000));
+    } else if (FlagValue(arg, "--seed", &value)) {
+      if (!ParseU64(value, &opts->seed)) {
+        if (error) *error = "--seed wants an integer, got '" + value + "'";
+        return false;
+      }
+    } else if (FlagValue(arg, "--size", &value)) {
+      if (!ParseU64(value, &opts->size)) {
+        if (error) *error = "--size wants an integer, got '" + value + "'";
+        return false;
+      }
+    } else if (std::strcmp(arg, "--list-engines") == 0) {
+      opts->list_engines = true;
+    } else if (std::strcmp(arg, "--help") == 0 ||
+               std::strcmp(arg, "-h") == 0) {
+      opts->help = true;
+    } else {
+      if (!allow_unknown_flags && std::strncmp(arg, "--", 2) == 0) {
+        if (error) {
+          *error = std::string("unknown flag '") + arg + "' (see --help)";
+        }
+        return false;
+      }
+      consumed = false;
+    }
+    if (!consumed) argv[w++] = argv[i];
+  }
+  *argc = w;
+  argv[w] = nullptr;
+  return true;
+}
+
+void PrintHarnessUsage() {
+  std::printf(
+      "shared harness flags:\n"
+      "  --engine=<name>         run one engine (see --list-engines)\n"
+      "  --engines=<a,b,..|all>  run several engines, or all eleven\n"
+      "  --format=table|csv|jsonl  output format (default: table)\n"
+      "  --reps=<n>              repetitions; fastest wall time kept\n"
+      "  --seed=<n>              workload seed override\n"
+      "  --size=<n>              workload scale override\n"
+      "  --list-engines          print the engine names and exit\n"
+      "  --help                  this message\n");
+}
+
+void PrintEngineList() {
+  for (EngineKind kind : AllEngineKinds()) {
+    std::printf("%s\n", EngineKindName(kind));
+  }
+}
+
+std::optional<int> HandleStartup(int* argc, char** argv,
+                                 HarnessOptions* opts, const char* banner,
+                                 bool allow_unknown_flags) {
+  std::string error;
+  if (!ParseHarnessArgs(argc, argv, opts, &error, allow_unknown_flags)) {
+    std::fprintf(stderr, "%s\n", error.c_str());
+    return 2;
+  }
+  if (opts->help) {
+    std::printf("%s\n\n", banner);
+    PrintHarnessUsage();
+    return 0;
+  }
+  if (opts->list_engines) {
+    PrintEngineList();
+    return 0;
+  }
+  return std::nullopt;
+}
+
+std::vector<EngineRun> RunEngines(const JoinQuery& query,
+                                  const HarnessOptions& opts,
+                                  const EngineOptions& eopts) {
+  std::vector<EngineRun> runs;
+  for (EngineKind kind : opts.engines) {
+    EngineOptions engine_opts = eopts;
+    if (!engine_opts.order.empty() &&
+        (kind == EngineKind::kTetrisPreloadedLB ||
+         kind == EngineKind::kTetrisReloadedLB)) {
+      // The lift chooses its own SAO; dropping the hint is the documented
+      // harness behavior so engine sweeps include the LB variants.
+      engine_opts.order.clear();
+    }
+    EngineRun run;
+    run.kind = kind;
+    double best_ms = -1.0;
+    const int reps = std::max(1, opts.reps);
+    for (int rep = 0; rep < reps; ++rep) {
+      run.result = RunJoin(query, kind, engine_opts);
+      if (!run.result.ok) break;
+      if (best_ms < 0.0 || run.result.stats.wall_ms < best_ms) {
+        best_ms = run.result.stats.wall_ms;
+      }
+    }
+    if (run.result.ok) run.result.stats.wall_ms = best_ms;
+    runs.push_back(std::move(run));
+  }
+  return runs;
+}
+
+RunReporter::RunReporter(OutputFormat format, std::string bench)
+    : format_(format), bench_(std::move(bench)) {}
+
+void RunReporter::Section(const std::string& title) {
+  section_ = title;
+  table_header_printed_ = false;
+  if (format_ == OutputFormat::kTable) {
+    std::printf("\n=== %s ===\n", title.c_str());
+  }
+}
+
+void RunReporter::PrintTableHeader() {
+  std::printf("%-22s %-34s %-26s %9s %9s %10s %8s %8s %8s %8s %8s %8s %8s %8s\n",
+              "scenario", "params", "engine", "tuples", "wall_ms",
+              "resolns", "loaded", "probes", "seeks", "max_int", "kb_KiB",
+              "idx_KiB", "int_KiB", "out_KiB");
+  table_header_printed_ = true;
+}
+
+void RunReporter::Row(const std::string& scenario, const Params& params,
+                      const EngineRun& run) {
+  const RunStats& s = run.result.stats;
+  const bool ok = run.result.ok;
+  // At most one of the probe counters is nonzero per engine: oracle
+  // probes for Tetris-Reloaded, binary-search probes for Generic Join.
+  const int64_t probes = s.oracle_probes + s.probes;
+  const std::string key = section_ + "/" + scenario;
+  if (ok) {
+    auto [it, inserted] =
+        expected_tuples_.emplace(key, run.result.tuples.size());
+    if (!inserted && it->second != run.result.tuples.size()) {
+      agreed_ = false;
+      Error("!! OUTPUT MISMATCH: %s: %s found %zu tuples, expected %zu",
+            key.c_str(), EngineKindName(run.kind),
+            run.result.tuples.size(), it->second);
+    }
+  }
+  switch (format_) {
+    case OutputFormat::kTable: {
+      if (!table_header_printed_) PrintTableHeader();
+      if (!ok) {
+        std::printf("%-22s %-34s %-26s -- skipped: %s\n", scenario.c_str(),
+                    FormatParams(params, " ", false).c_str(), EngineKindName(run.kind),
+                    run.result.error.c_str());
+        return;
+      }
+      std::printf("%-22s %-34s %-26s %9zu %9.2f %10" PRId64 " %8" PRId64
+                  " %8" PRId64 " %8" PRId64 " %8zu %8.1f %8.1f %8.1f %8.1f\n",
+                  scenario.c_str(), FormatParams(params, " ", false).c_str(),
+                  EngineKindName(run.kind), s.output_tuples, s.wall_ms,
+                  s.tetris.resolutions, s.tetris.boxes_loaded, probes,
+                  s.seeks, s.baseline.max_intermediate,
+                  s.memory.kb_bytes / 1024.0,
+                  s.memory.index_bytes / 1024.0,
+                  s.memory.intermediate_bytes / 1024.0,
+                  s.memory.output_bytes / 1024.0);
+      return;
+    }
+    case OutputFormat::kCsv: {
+      if (!csv_header_printed_) {
+        std::printf("bench,section,scenario,params,engine,ok,tuples,"
+                    "wall_ms,resolutions,boxes_loaded,probes,seeks,"
+                    "max_intermediate,kb_bytes,index_bytes,"
+                    "intermediate_bytes,output_bytes,error\n");
+        csv_header_printed_ = true;
+      }
+      const std::string params_field = FormatParams(params, ";", false);
+      std::printf("%s,%s,%s,%s,%s,%d,%zu,%.3f,%" PRId64 ",%" PRId64
+                  ",%" PRId64 ",%" PRId64 ",%zu,%zu,%zu,%zu,%zu,%s\n",
+                  CsvField(bench_).c_str(), CsvField(section_).c_str(),
+                  CsvField(scenario).c_str(), params_field.c_str(),
+                  EngineKindName(run.kind), ok ? 1 : 0,
+                  s.output_tuples, s.wall_ms, s.tetris.resolutions,
+                  s.tetris.boxes_loaded, probes, s.seeks,
+                  s.baseline.max_intermediate, s.memory.kb_bytes,
+                  s.memory.index_bytes, s.memory.intermediate_bytes,
+                  s.memory.output_bytes,
+                  CsvField(run.result.error).c_str());
+      return;
+    }
+    case OutputFormat::kJsonl: {
+      const std::string params_field = FormatParams(params, ",", true);
+      std::printf("{\"bench\":\"%s\",\"section\":\"%s\",\"scenario\":\"%s\","
+                  "\"params\":{%s},\"engine\":\"%s\",\"ok\":%s,"
+                  "\"tuples\":%zu,\"wall_ms\":%.3f,\"resolutions\":%" PRId64
+                  ",\"boxes_loaded\":%" PRId64 ",\"probes\":%" PRId64
+                  ",\"seeks\":%" PRId64 ",\"max_intermediate\":%zu,"
+                  "\"memory\":{\"kb_bytes\":%zu,\"index_bytes\":%zu,"
+                  "\"intermediate_bytes\":%zu,\"output_bytes\":%zu}"
+                  "%s%s%s}\n",
+                  JsonEscape(bench_).c_str(), JsonEscape(section_).c_str(),
+                  JsonEscape(scenario).c_str(), params_field.c_str(),
+                  EngineKindName(run.kind), ok ? "true" : "false",
+                  s.output_tuples, s.wall_ms, s.tetris.resolutions,
+                  s.tetris.boxes_loaded, probes, s.seeks,
+                  s.baseline.max_intermediate, s.memory.kb_bytes,
+                  s.memory.index_bytes, s.memory.intermediate_bytes,
+                  s.memory.output_bytes, ok ? "" : ",\"error\":\"",
+                  ok ? "" : JsonEscape(run.result.error).c_str(),
+                  ok ? "" : "\"");
+      return;
+    }
+  }
+}
+
+void RunReporter::Note(const char* fmt, ...) {
+  if (format_ != OutputFormat::kTable) return;
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+void RunReporter::Error(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fprintf(stderr, "\n");
+}
+
+}  // namespace tetris::cli

@@ -1,0 +1,156 @@
+// Shared CLI harness for the bench and example binaries.
+//
+// Every reproduction binary selects its evaluators at runtime through the
+// JoinEngine facade instead of hard-coding per-engine entry points:
+//
+//   --engine=<name>        one engine (see EngineKindName)
+//   --engines=<a,b,..|all> several, or the whole matrix
+//   --format=table|csv|jsonl
+//   --reps=<n>             repetitions per run (fastest wall time kept)
+//   --seed=<n>             workload seed override (0 = binary default)
+//   --size=<n>             generic scale knob (0 = binary default)
+//   --list-engines, --help
+//
+// ParseHarnessArgs strips the recognized flags out of argv so binaries
+// keep their own positional arguments (and google-benchmark its flags).
+// RunEngines drives RunJoin for each selected engine; RunReporter emits
+// one row per (scenario, engine) — a human table, CSV, or JSON lines —
+// with the time *and* space counters of RunStats, and cross-checks that
+// all engines agree on the output size. EXPERIMENTS.md documents the
+// flags and expected output shape per binary.
+#ifndef TETRIS_ENGINE_CLI_H_
+#define TETRIS_ENGINE_CLI_H_
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "engine/join_engine.h"
+
+namespace tetris::cli {
+
+/// How RunReporter renders rows.
+enum class OutputFormat {
+  kTable,  ///< human-readable fixed-width table + commentary
+  kCsv,    ///< one header row, then one data row per engine run
+  kJsonl,  ///< one JSON object per engine run
+};
+
+/// The shared flags, after parsing.
+struct HarnessOptions {
+  /// Selected engines. ParseHarnessArgs only overwrites this when an
+  /// --engine/--engines flag is present, so binaries preset their
+  /// traditional default line-up before parsing.
+  std::vector<EngineKind> engines;
+  OutputFormat format = OutputFormat::kTable;
+  int reps = 1;
+  uint64_t seed = 0;  ///< 0 = binary default
+  uint64_t size = 0;  ///< 0 = binary default
+  bool list_engines = false;
+  bool help = false;
+};
+
+/// Exact-name lookup against EngineKindName. On failure returns false and
+/// sets `error` to a message listing the valid names.
+bool ParseEngineKind(const std::string& name, EngineKind* out,
+                     std::string* error);
+
+/// "all" = every engine; otherwise a comma-separated list of names
+/// (duplicates removed, order preserved).
+bool ParseEngineList(const std::string& spec, std::vector<EngineKind>* out,
+                     std::string* error);
+
+bool ParseOutputFormat(const std::string& name, OutputFormat* out,
+                       std::string* error);
+
+const char* OutputFormatName(OutputFormat format);
+
+/// Strips every recognized `--flag=value` (and --list-engines/--help/-h)
+/// from argv, updating *argc. Unrecognized arguments are kept in place;
+/// unknown `--flags` are an error unless `allow_unknown_flags` (set by
+/// the google-benchmark binary, whose own flags must pass through).
+/// Returns false with `error` set on a bad flag or value.
+bool ParseHarnessArgs(int* argc, char** argv, HarnessOptions* opts,
+                      std::string* error, bool allow_unknown_flags = false);
+
+/// Prints the shared-flag usage block to stdout.
+void PrintHarnessUsage();
+
+/// Prints one engine name per line (the --list-engines output).
+void PrintEngineList();
+
+/// The whole binary prologue in one call: parses the shared flags and
+/// handles the common early exits — parse error (message on stderr,
+/// exit 2), --help (`banner` + usage, exit 0), --list-engines (names,
+/// exit 0). Returns the exit code when the binary should stop, nullopt
+/// to continue with the parsed options.
+std::optional<int> HandleStartup(int* argc, char** argv,
+                                 HarnessOptions* opts, const char* banner,
+                                 bool allow_unknown_flags = false);
+
+/// One facade run of one engine.
+struct EngineRun {
+  EngineKind kind = EngineKind::kTetrisPreloaded;
+  EngineResult result;
+};
+
+/// Runs `query` through RunJoin on every selected engine, `opts.reps`
+/// times each (the fastest wall time is kept; counters come from the
+/// last repetition — they are deterministic). Engines that reject
+/// `eopts.order` by design (the Balance-lifted variants choose their own
+/// SAO) run without the hint instead of failing; genuinely unsupported
+/// combinations (Yannakakis on a cyclic query) come back with
+/// `result.ok == false` so the reporter can say so.
+std::vector<EngineRun> RunEngines(const JoinQuery& query,
+                                  const HarnessOptions& opts,
+                                  const EngineOptions& eopts = {});
+
+/// Named numeric columns a binary attaches to a row (workload parameters
+/// and derived quantities, e.g. {"n", 4096} or {"res/agm", 1.02}).
+using Params = std::vector<std::pair<std::string, double>>;
+
+/// Renders (scenario, engine) rows in the selected format and tracks
+/// cross-engine agreement on |output| per scenario.
+class RunReporter {
+ public:
+  RunReporter(OutputFormat format, std::string bench);
+
+  /// Starts a new table section (table mode prints a banner; csv/jsonl
+  /// carry the title in the `section` column).
+  void Section(const std::string& title);
+
+  /// Emits one row. Successful runs of the same scenario must agree on
+  /// the output size; a mismatch is reported and recorded.
+  void Row(const std::string& scenario, const Params& params,
+           const EngineRun& run);
+
+  /// printf-style commentary (fitted exponents, expectations). Printed
+  /// in table mode only, so csv/jsonl stay machine-parseable.
+  void Note(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  /// printf-style diagnostic for violated expectations ("!! EXPECTED
+  /// EMPTY ..."). Always printed, to stderr, in every format — a
+  /// machine-format run that exits nonzero must still say why.
+  void Error(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  /// False iff some scenario saw two engines disagree on |output|.
+  bool AllAgreed() const { return agreed_; }
+
+ private:
+  void PrintTableHeader();
+
+  OutputFormat format_;
+  std::string bench_;
+  std::string section_;
+  bool csv_header_printed_ = false;
+  bool table_header_printed_ = false;
+  std::map<std::string, size_t> expected_tuples_;
+  bool agreed_ = true;
+};
+
+}  // namespace tetris::cli
+
+#endif  // TETRIS_ENGINE_CLI_H_

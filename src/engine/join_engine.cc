@@ -8,6 +8,7 @@
 #include "baseline/leapfrog.h"
 #include "baseline/pairwise_join.h"
 #include "baseline/yannakakis.h"
+#include "index/sorted_index.h"
 
 namespace tetris {
 
@@ -130,21 +131,76 @@ EngineResult RunJoin(const JoinQuery& query, EngineKind kind,
       return result;
     }
   }
+  if (!options.indexes.empty() &&
+      options.indexes.size() != query.atoms().size()) {
+    result.error = "indexes: need exactly one index per query atom";
+    return result;
+  }
 
   if (tetris_algo.has_value()) {
+    // A grid shallower than the data cannot represent it: indexes built
+    // at that depth misbehave silently, so reject up front (the custom-
+    // index path re-checks below because it may adopt the indexes'
+    // depth instead).
+    if (options.depth > 0 && options.depth < query.MinDepth()) {
+      result.error = "depth: too small for the data "
+                     "(need at least query.MinDepth())";
+      return result;
+    }
+    int depth = options.depth > 0 ? options.depth : query.MinDepth();
     JoinRunResult run;
-    if (options.order.empty()) {
+    if (!options.indexes.empty()) {
+      // The engine's grid depth and every index's depth must agree, or
+      // probes return gap boxes the space cannot split down to and the
+      // run never terminates. With no explicit depth, adopt the
+      // indexes' (still checking they agree among themselves and cover
+      // the data).
+      if (options.depth == 0) depth = options.indexes[0]->depth();
+      for (size_t i = 0; i < options.indexes.size(); ++i) {
+        if (options.indexes[i]->depth() != depth) {
+          result.error = "indexes: index depth disagrees with the "
+                         "engine depth (build them at the same depth, "
+                         "or set EngineOptions::depth to match)";
+          return result;
+        }
+        const Atom& atom = query.atoms()[i];
+        if (options.indexes[i]->arity() !=
+            static_cast<int>(atom.var_ids.size())) {
+          result.error = "indexes: index arity disagrees with its atom";
+          return result;
+        }
+      }
+      if (depth < query.MinDepth()) {
+        result.error = "indexes: depth too small for the data "
+                       "(need at least query.MinDepth())";
+        return result;
+      }
+      run = RunTetrisJoin(query, options.indexes, depth, *tetris_algo,
+                          options.order);
+    } else if (options.order.empty() && options.depth == 0) {
       run = RunTetrisJoinDefaultIndexes(query, *tetris_algo);
+    } else if (options.order.empty()) {
+      // Depth override, default index layout (relation column order) and
+      // variant-appropriate default SAO.
+      std::vector<std::unique_ptr<Index>> owned;
+      std::vector<const Index*> ptrs;
+      for (const Atom& a : query.atoms()) {
+        owned.push_back(std::make_unique<SortedIndex>(*a.rel, depth));
+        ptrs.push_back(owned.back().get());
+      }
+      run = RunTetrisJoin(query, ptrs, depth, *tetris_algo);
     } else {
-      auto owned =
-          MakeSaoConsistentIndexes(query, options.order, query.MinDepth());
-      run = RunTetrisJoin(query, IndexPtrs(owned), query.MinDepth(),
-                          *tetris_algo, options.order);
+      auto owned = MakeSaoConsistentIndexes(query, options.order, depth);
+      run = RunTetrisJoin(query, IndexPtrs(owned), depth, *tetris_algo,
+                          options.order);
     }
     result.tuples = std::move(run.tuples);
     result.stats.tetris = run.stats;
     result.stats.input_gap_boxes = run.input_gap_boxes;
     result.stats.oracle_probes = run.oracle_probes;
+    result.stats.memory.kb_bytes =
+        static_cast<size_t>(run.stats.kb_peak_bytes);
+    result.stats.memory.index_bytes = run.index_bytes;
     result.ok = true;
   } else {
     switch (kind) {
@@ -192,6 +248,12 @@ EngineResult RunJoin(const JoinQuery& query, EngineKind kind,
   if (result.ok) {
     Canonicalize(&result.tuples);
     result.stats.output_tuples = result.tuples.size();
+    result.stats.memory.intermediate_bytes =
+        result.stats.baseline.max_intermediate_bytes;
+    result.stats.memory.output_bytes =
+        result.tuples.size() *
+        (sizeof(Tuple) +
+         static_cast<size_t>(query.num_attrs()) * sizeof(uint64_t));
   }
   const auto end = std::chrono::steady_clock::now();
   result.stats.wall_ms =

@@ -54,6 +54,27 @@ const std::vector<EngineKind>& AllEngineKinds();
 /// everything else is universal).
 bool EngineSupports(EngineKind kind, const JoinQuery& query);
 
+/// Approximate resident-space counters (bytes). A counter is zero when
+/// the engine has no corresponding structure: only the Tetris family
+/// builds a knowledge base and probes indexes; only the pairwise plans
+/// and Yannakakis materialize intermediates.
+struct MemoryStats {
+  size_t kb_bytes = 0;            ///< peak knowledge-base A footprint
+  size_t index_bytes = 0;         ///< per-atom index structures
+  size_t intermediate_bytes = 0;  ///< largest materialized intermediate
+  size_t output_bytes = 0;        ///< canonical output buffer
+
+  /// Largest single resident structure — the budget number the future
+  /// sharding / batching layers care about.
+  size_t PeakBytes() const {
+    size_t peak = kb_bytes;
+    if (index_bytes > peak) peak = index_bytes;
+    if (intermediate_bytes > peak) peak = intermediate_bytes;
+    if (output_bytes > peak) peak = output_bytes;
+    return peak;
+  }
+};
+
 /// Engine-agnostic run counters. Engine-specific measures are zero when
 /// the engine does not produce them.
 struct RunStats {
@@ -67,6 +88,7 @@ struct RunStats {
   int64_t probes = 0;          ///< Generic Join binary-search probes
   int64_t seeks = 0;           ///< Leapfrog iterator seeks
   BaselineStats baseline;      ///< pairwise / Yannakakis intermediates
+  MemoryStats memory;          ///< space per engine (time is wall_ms)
 };
 
 /// Result of one facade run.
@@ -86,6 +108,16 @@ struct EngineOptions {
   /// (`ok == false`) by the Balance-lifted variants, which choose
   /// their own SAO.
   std::vector<int> order;
+
+  /// Pre-built per-atom indexes (`indexes[i]` serves atom i); Tetris
+  /// family only — the other engines read the relations directly.
+  /// Empty = SAO-consistent SortedIndexes built on the fly. Pointers
+  /// must outlive the call; the size must match the atom count.
+  std::vector<const Index*> indexes;
+
+  /// Dyadic depth of the value domain; 0 = query.MinDepth(). Only
+  /// meaningful for the Tetris family (which works on the dyadic grid).
+  int depth = 0;
 };
 
 /// Evaluates `query` with the chosen engine. Never throws: unsupported

@@ -107,6 +107,7 @@ JoinRunResult RunTetrisJoin(const JoinQuery& query,
     }
   }
   result.oracle_probes = oracle.probe_count();
+  for (const Index* ix : indexes) result.index_bytes += ix->MemoryBytes();
   if (algo == JoinAlgorithm::kTetrisPreloaded ||
       algo == JoinAlgorithm::kTetrisPreloadedNoCache ||
       algo == JoinAlgorithm::kTetrisPreloadedLB) {

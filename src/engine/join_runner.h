@@ -61,6 +61,7 @@ struct JoinRunResult {
   TetrisStats stats;
   int64_t oracle_probes = 0;
   size_t input_gap_boxes = 0;  ///< |B(Q)| (preloaded variants only)
+  size_t index_bytes = 0;      ///< resident bytes of the per-atom indexes
 };
 
 /// Evaluates `query` with Tetris. `indexes[i]` serves atom i; `sao` is an

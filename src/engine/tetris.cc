@@ -130,6 +130,14 @@ std::pair<bool, DyadicBox> Tetris::Skeleton(const DyadicBox& b) {
 }
 
 RunStatus Tetris::Run(const OutputSink& sink) {
+  RunStatus status = RunImpl(sink);
+  // A only grows within a run, so its final footprint is its peak.
+  const int64_t kb_bytes = static_cast<int64_t>(kb_.MemoryBytes());
+  if (kb_bytes > stats_.kb_peak_bytes) stats_.kb_peak_bytes = kb_bytes;
+  return status;
+}
+
+RunStatus Tetris::RunImpl(const OutputSink& sink) {
   // Initialize(A) — line 1 of Algorithm 2.
   if (options_.init == TetrisOptions::Init::kPreloaded) {
     std::vector<DyadicBox> all;

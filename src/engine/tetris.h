@@ -40,6 +40,7 @@ struct TetrisStats {
   int64_t skeleton_calls = 0;      ///< outer-loop invocations of the skeleton
   int64_t outputs = 0;             ///< output tuples reported
   int64_t restarts = 0;            ///< partition rebuilds (Tetris-LB only)
+  int64_t kb_peak_bytes = 0;       ///< largest knowledge-base A footprint
 
   void Accumulate(const TetrisStats& o) {
     resolutions += o.resolutions;
@@ -51,6 +52,8 @@ struct TetrisStats {
     skeleton_calls += o.skeleton_calls;
     outputs += o.outputs;
     restarts += o.restarts;
+    // A is rebuilt per restart: the peak is the largest single engine's.
+    if (o.kb_peak_bytes > kb_peak_bytes) kb_peak_bytes = o.kb_peak_bytes;
   }
 };
 
@@ -120,6 +123,9 @@ class Tetris {
   size_t kb_memory_bytes() const { return kb_.MemoryBytes(); }
 
  private:
+  // Run() minus the final kb_peak_bytes bookkeeping (it has several
+  // return paths; the wrapper stamps the footprint once on the way out).
+  RunStatus RunImpl(const OutputSink& sink);
   // Algorithm 1. Returns (covered?, witness-or-uncovered-point).
   std::pair<bool, DyadicBox> Skeleton(const DyadicBox& b);
   // TetrisSkeleton2's unit-box handler: classifies the point against B,

@@ -27,6 +27,9 @@ class DyadicTreeIndex : public Index {
   void GapsContaining(const Tuple& t,
                       std::vector<DyadicBox>* out) const override;
   void AllGaps(std::vector<DyadicBox>* out) const override;
+  size_t MemoryBytes() const override {
+    return codes_.size() * sizeof(uint64_t);
+  }
   std::string Describe() const override { return "dyadic-tree"; }
 
  private:

@@ -48,6 +48,10 @@ class Index {
   /// Appends all gap boxes of the index (its B(R) set).
   virtual void AllGaps(std::vector<DyadicBox>* out) const = 0;
 
+  /// Approximate resident footprint of the index structure in bytes
+  /// (payload + node overhead; excludes the underlying Relation).
+  virtual size_t MemoryBytes() const = 0;
+
   /// Human-readable description, e.g. "btree(B,A)" or "dyadic-tree".
   virtual std::string Describe() const = 0;
 };

@@ -28,6 +28,11 @@ class KdTreeIndex : public Index {
   void GapsContaining(const Tuple& t,
                       std::vector<DyadicBox>* out) const override;
   void AllGaps(std::vector<DyadicBox>* out) const override;
+  size_t MemoryBytes() const override {
+    return nodes_.size() * sizeof(Node) +
+           points_.size() *
+               (sizeof(Tuple) + static_cast<size_t>(k_) * sizeof(uint64_t));
+  }
   std::string Describe() const override { return "kd-tree"; }
 
   /// Number of internal nodes (for the index-size experiments).

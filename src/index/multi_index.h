@@ -36,6 +36,12 @@ class MultiIndex : public Index {
     for (const auto& ix : indexes_) ix->AllGaps(out);
   }
 
+  size_t MemoryBytes() const override {
+    size_t total = 0;
+    for (const auto& ix : indexes_) total += ix->MemoryBytes();
+    return total;
+  }
+
   std::string Describe() const override {
     std::string s = "multi[";
     for (size_t i = 0; i < indexes_.size(); ++i) {

@@ -28,6 +28,13 @@ class RTreeIndex : public Index {
   void GapsContaining(const Tuple& t,
                       std::vector<DyadicBox>* out) const override;
   void AllGaps(std::vector<DyadicBox>* out) const override;
+  size_t MemoryBytes() const override {
+    const size_t per_tuple =
+        sizeof(Tuple) + static_cast<size_t>(k_) * sizeof(uint64_t);
+    // Each leaf also owns two MBR corner tuples.
+    return leaves_.size() * (sizeof(Leaf) + 2 * per_tuple) +
+           points_.size() * per_tuple;
+  }
   std::string Describe() const override { return "r-tree"; }
 
   size_t leaf_count() const { return leaves_.size(); }

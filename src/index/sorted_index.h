@@ -32,6 +32,11 @@ class SortedIndex : public Index {
   void AllGaps(std::vector<DyadicBox>* out) const override;
   std::string Describe() const override;
 
+  size_t MemoryBytes() const override {
+    return sorted_.size() *
+           (sizeof(Tuple) + static_cast<size_t>(k_) * sizeof(uint64_t));
+  }
+
   const std::vector<int>& order() const { return order_; }
 
  private:

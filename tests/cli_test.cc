@@ -1,0 +1,228 @@
+// The shared CLI harness: flag parsing (engine names, engine lists,
+// formats, numeric flags, unknown-flag handling, argv stripping) and the
+// RunEngines sweep semantics the bench/example binaries rely on.
+#include "engine/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "workload/generators.h"
+
+namespace tetris::cli {
+namespace {
+
+// Builds a mutable argv from literals (ParseHarnessArgs rewrites it).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(&prog_[0]);
+    for (auto& s : storage_) ptrs_.push_back(&s[0]);
+    ptrs_.push_back(nullptr);
+    argc_ = static_cast<int>(ptrs_.size()) - 1;
+  }
+  int* argc() { return &argc_; }
+  char** argv() { return ptrs_.data(); }
+  std::vector<std::string> Rest() const {
+    std::vector<std::string> rest;
+    for (int i = 1; i < argc_; ++i) rest.emplace_back(ptrs_[i]);
+    return rest;
+  }
+
+ private:
+  char prog_[5] = "prog";
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+  int argc_ = 0;
+};
+
+TEST(CliTest, ParseEngineKindAcceptsEveryFacadeName) {
+  for (EngineKind kind : AllEngineKinds()) {
+    EngineKind parsed;
+    std::string error;
+    EXPECT_TRUE(ParseEngineKind(EngineKindName(kind), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed, kind);
+  }
+}
+
+TEST(CliTest, ParseEngineKindRejectsUnknownNames) {
+  EngineKind parsed;
+  std::string error;
+  EXPECT_FALSE(ParseEngineKind("tetris", &parsed, &error));
+  EXPECT_NE(error.find("unknown engine 'tetris'"), std::string::npos);
+  // The error names the valid spellings.
+  EXPECT_NE(error.find("tetris-preloaded"), std::string::npos);
+  EXPECT_NE(error.find("pairwise-nestedloop"), std::string::npos);
+}
+
+TEST(CliTest, ParseEngineListAllExpandsToTheWholeMatrix) {
+  std::vector<EngineKind> engines;
+  std::string error;
+  ASSERT_TRUE(ParseEngineList("all", &engines, &error)) << error;
+  EXPECT_EQ(engines, AllEngineKinds());
+}
+
+TEST(CliTest, ParseEngineListSplitsAndDeduplicates) {
+  std::vector<EngineKind> engines;
+  std::string error;
+  ASSERT_TRUE(ParseEngineList("leapfrog,tetris-reloaded,leapfrog",
+                              &engines, &error))
+      << error;
+  ASSERT_EQ(engines.size(), 2u);
+  EXPECT_EQ(engines[0], EngineKind::kLeapfrog);
+  EXPECT_EQ(engines[1], EngineKind::kTetrisReloaded);
+}
+
+TEST(CliTest, ParseEngineListRejectsBadEntries) {
+  std::vector<EngineKind> engines;
+  std::string error;
+  EXPECT_FALSE(ParseEngineList("leapfrog,bogus", &engines, &error));
+  EXPECT_NE(error.find("bogus"), std::string::npos);
+  EXPECT_FALSE(ParseEngineList("leapfrog,,generic-join", &engines, &error));
+  EXPECT_FALSE(ParseEngineList("", &engines, &error));
+}
+
+TEST(CliTest, ParseOutputFormatRoundTripsAndRejects) {
+  for (OutputFormat f : {OutputFormat::kTable, OutputFormat::kCsv,
+                         OutputFormat::kJsonl}) {
+    OutputFormat parsed;
+    std::string error;
+    EXPECT_TRUE(ParseOutputFormat(OutputFormatName(f), &parsed, &error));
+    EXPECT_EQ(parsed, f);
+  }
+  OutputFormat parsed;
+  std::string error;
+  EXPECT_FALSE(ParseOutputFormat("xml", &parsed, &error));
+  EXPECT_NE(error.find("xml"), std::string::npos);
+}
+
+TEST(CliTest, ParseHarnessArgsStripsFlagsAndKeepsPositionals) {
+  Argv args({"data.csv:A,B", "--engine=leapfrog", "--format=csv",
+             "--reps=3", "--seed=7", "--size=100", "more.csv:B,C"});
+  HarnessOptions opts;
+  std::string error;
+  ASSERT_TRUE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error))
+      << error;
+  ASSERT_EQ(opts.engines.size(), 1u);
+  EXPECT_EQ(opts.engines[0], EngineKind::kLeapfrog);
+  EXPECT_EQ(opts.format, OutputFormat::kCsv);
+  EXPECT_EQ(opts.reps, 3);
+  EXPECT_EQ(opts.seed, 7u);
+  EXPECT_EQ(opts.size, 100u);
+  EXPECT_EQ(args.Rest(),
+            (std::vector<std::string>{"data.csv:A,B", "more.csv:B,C"}));
+}
+
+TEST(CliTest, ParseHarnessArgsLeavesDefaultsAlone) {
+  Argv args({"--format=jsonl"});
+  HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kLeapfrog};
+  std::string error;
+  ASSERT_TRUE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error));
+  // No --engine flag: the binary's preset line-up survives.
+  EXPECT_EQ(opts.engines.size(), 2u);
+  EXPECT_EQ(opts.format, OutputFormat::kJsonl);
+}
+
+TEST(CliTest, ParseHarnessArgsEnginesAll) {
+  Argv args({"--engines=all"});
+  HarnessOptions opts;
+  std::string error;
+  ASSERT_TRUE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error));
+  EXPECT_EQ(opts.engines, AllEngineKinds());
+}
+
+TEST(CliTest, ParseHarnessArgsBadValuesFail) {
+  for (const char* bad :
+       {"--engine=nope", "--engines=leapfrog,zzz", "--format=yaml",
+        "--reps=0", "--reps=abc", "--reps=-3", "--seed=1x", "--seed=-1",
+        "--size=", "--size=-5"}) {
+    Argv args({bad});
+    HarnessOptions opts;
+    std::string error;
+    EXPECT_FALSE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error))
+        << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(CliTest, ParseHarnessArgsUnknownFlagPolicy) {
+  {
+    Argv args({"--benchmark_filter=BM_RunJoin"});
+    HarnessOptions opts;
+    std::string error;
+    EXPECT_FALSE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error));
+    EXPECT_NE(error.find("--benchmark_filter"), std::string::npos);
+  }
+  {
+    Argv args({"--benchmark_filter=BM_RunJoin", "--engine=leapfrog"});
+    HarnessOptions opts;
+    std::string error;
+    ASSERT_TRUE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error,
+                                 /*allow_unknown_flags=*/true));
+    // The unknown flag passes through for google-benchmark to consume.
+    EXPECT_EQ(args.Rest(),
+              (std::vector<std::string>{"--benchmark_filter=BM_RunJoin"}));
+    EXPECT_EQ(opts.engines,
+              (std::vector<EngineKind>{EngineKind::kLeapfrog}));
+  }
+}
+
+TEST(CliTest, ParseHarnessArgsHelpAndListEngines) {
+  Argv args({"--list-engines", "--help"});
+  HarnessOptions opts;
+  std::string error;
+  ASSERT_TRUE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error));
+  EXPECT_TRUE(opts.list_engines);
+  EXPECT_TRUE(opts.help);
+}
+
+TEST(CliTest, RunEnginesSweepsAndAgrees) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/3);
+  HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kLeapfrog,
+                  EngineKind::kPairwiseHash};
+  opts.reps = 2;
+  auto runs = RunEngines(q.query, opts);
+  ASSERT_EQ(runs.size(), 3u);
+  for (size_t i = 0; i < runs.size(); ++i) {
+    EXPECT_EQ(runs[i].kind, opts.engines[i]);
+    ASSERT_TRUE(runs[i].result.ok) << runs[i].result.error;
+    EXPECT_EQ(runs[i].result.tuples, runs[0].result.tuples);
+  }
+}
+
+TEST(CliTest, RunEnginesDropsOrderHintForBalanceLifted) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/20, /*d=*/4,
+                                   /*seed=*/5);
+  HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded,
+                  EngineKind::kTetrisPreloadedLB};
+  EngineOptions eopts;
+  eopts.order = {2, 0, 1};
+  auto runs = RunEngines(q.query, opts, eopts);
+  ASSERT_EQ(runs.size(), 2u);
+  // Direct RunJoin rejects the hint for LB; the harness drops it instead
+  // so engine sweeps include the lifted variants.
+  EXPECT_TRUE(runs[0].result.ok);
+  EXPECT_TRUE(runs[1].result.ok) << runs[1].result.error;
+  EXPECT_EQ(runs[0].result.tuples, runs[1].result.tuples);
+}
+
+TEST(CliTest, RunEnginesReportsUnsupportedEngines) {
+  QueryInstance q = RandomCycle(/*len=*/4, /*tuples_per_rel=*/30,
+                                /*d=*/4, /*seed=*/2);
+  HarnessOptions opts;
+  opts.engines = {EngineKind::kYannakakis};
+  auto runs = RunEngines(q.query, opts);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_FALSE(runs[0].result.ok);
+  EXPECT_FALSE(runs[0].result.error.empty());
+}
+
+}  // namespace
+}  // namespace tetris::cli

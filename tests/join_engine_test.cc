@@ -165,6 +165,106 @@ TEST(JoinEngineTest, InvalidOrderHintsAreRejected) {
   }
 }
 
+TEST(JoinEngineTest, MemoryCountersPopulatedPerEngineFamily) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/60, /*d=*/4,
+                                   /*seed=*/13);
+
+  // Tetris family: knowledge base + indexes resident, no intermediates.
+  for (EngineKind kind :
+       {EngineKind::kTetrisPreloaded, EngineKind::kTetrisReloaded,
+        EngineKind::kTetrisPreloadedLB, EngineKind::kTetrisReloadedLB}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    EngineResult r = RunJoin(q.query, kind);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.stats.memory.kb_bytes, 0u);
+    EXPECT_GT(r.stats.memory.index_bytes, 0u);
+    EXPECT_EQ(r.stats.memory.intermediate_bytes, 0u);
+    EXPECT_GE(r.stats.memory.PeakBytes(), r.stats.memory.kb_bytes);
+  }
+
+  // Pairwise / Yannakakis: intermediates resident, no KB or indexes.
+  for (EngineKind kind :
+       {EngineKind::kPairwiseHash, EngineKind::kPairwiseSortMerge,
+        EngineKind::kPairwiseNestedLoop}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    EngineResult r = RunJoin(q.query, kind);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.stats.memory.intermediate_bytes, 0u);
+    EXPECT_EQ(r.stats.memory.kb_bytes, 0u);
+    EXPECT_EQ(r.stats.memory.index_bytes, 0u);
+  }
+
+  // Everyone reports the output buffer, sized by |Q(D)|.
+  EngineResult lf = RunJoin(q.query, EngineKind::kLeapfrog);
+  ASSERT_TRUE(lf.ok);
+  if (!lf.tuples.empty()) {
+    EXPECT_GT(lf.stats.memory.output_bytes, 0u);
+  }
+
+  // An empty join has an empty output buffer but still pays for the KB.
+  QueryInstance empty = StripedEmptyPath(/*stripes_log2=*/2,
+                                         /*tuples_per_rel=*/80, /*d=*/6,
+                                         /*seed=*/3);
+  EngineResult er = RunJoin(empty.query, EngineKind::kTetrisReloaded);
+  ASSERT_TRUE(er.ok);
+  EXPECT_TRUE(er.tuples.empty());
+  EXPECT_EQ(er.stats.memory.output_bytes, 0u);
+  EXPECT_GT(er.stats.memory.kb_bytes, 0u);
+}
+
+TEST(JoinEngineTest, ExplicitIndexesAndDepthOptions) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/21);
+  EngineResult base = RunJoin(q.query, EngineKind::kTetrisReloaded);
+  ASSERT_TRUE(base.ok);
+
+  // Pre-built indexes: same output, and the facade reports their bytes.
+  auto owned = MakeSaoConsistentIndexes(q.query, {0, 1, 2}, q.depth);
+  EngineOptions opt;
+  opt.order = {0, 1, 2};
+  opt.depth = q.depth;
+  opt.indexes = IndexPtrs(owned);
+  EngineResult with_ix = RunJoin(q.query, EngineKind::kTetrisReloaded, opt);
+  ASSERT_TRUE(with_ix.ok) << with_ix.error;
+  EXPECT_EQ(with_ix.tuples, base.tuples);
+  EXPECT_GT(with_ix.stats.memory.index_bytes, 0u);
+
+  // A depth override alone must also agree.
+  EngineOptions deep;
+  deep.depth = q.depth + 2;
+  EngineResult deeper = RunJoin(q.query, EngineKind::kTetrisPreloaded, deep);
+  ASSERT_TRUE(deeper.ok) << deeper.error;
+  EXPECT_EQ(deeper.tuples, base.tuples);
+
+  // Wrong index count is rejected, not asserted.
+  EngineOptions bad;
+  bad.indexes = {opt.indexes[0]};
+  EngineResult rejected =
+      RunJoin(q.query, EngineKind::kTetrisReloaded, bad);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_FALSE(rejected.error.empty());
+
+  // Indexes deeper than the grid: with depth unset the facade adopts
+  // the indexes' depth; with a mismatched explicit depth it must error
+  // out (a silent mismatch would never terminate).
+  auto deep_owned =
+      MakeSaoConsistentIndexes(q.query, {0, 1, 2}, q.depth + 3);
+  EngineOptions adopt;
+  adopt.order = {0, 1, 2};
+  adopt.indexes = IndexPtrs(deep_owned);
+  EngineResult adopted =
+      RunJoin(q.query, EngineKind::kTetrisReloaded, adopt);
+  ASSERT_TRUE(adopted.ok) << adopted.error;
+  EXPECT_EQ(adopted.tuples, base.tuples);
+
+  EngineOptions mismatch = adopt;
+  mismatch.depth = q.depth;
+  EngineResult mismatched =
+      RunJoin(q.query, EngineKind::kTetrisReloaded, mismatch);
+  EXPECT_FALSE(mismatched.ok);
+  EXPECT_NE(mismatched.error.find("depth"), std::string::npos);
+}
+
 TEST(JoinEngineTest, StatsArePopulatedPerEngineFamily) {
   QueryInstance q = RandomTriangle(/*tuples_per_rel=*/60, /*d=*/4,
                                    /*seed=*/9);
