@@ -162,8 +162,7 @@ int main(int argc, char** argv) {
         }
       }
     }
-    rep.Note("  -> loaded-boxes growth exponent vs N: %.2f",
-             FitExponent(fit));
+    rep.Summary("loaded_boxes_vs_n_exponent", FitExponent(fit));
   }
   rep.Note("\nOnly the (B,A)-ordered B-tree grows with the data: it can"
            " only\ndescribe S's missing A-half one B-value at a time."

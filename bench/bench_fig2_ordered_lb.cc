@@ -99,10 +99,10 @@ int main(int argc, char** argv) {
     fit_ord.emplace_back(c, static_cast<double>(std::min({o1, o2, o3})));
     fit_lift.emplace_back(c, static_cast<double>(lifted));
   }
-  rep.Note("fitted exponent, best ordered SAO vs |C|: %.2f (paper: 2)",
-           FitExponent(fit_ord));
-  rep.Note("fitted exponent, Balance-lifted vs |C|:   %.2f (paper: 3/2)",
-           FitExponent(fit_lift));
+  rep.Summary("best_ordered_sao_vs_c_exponent", FitExponent(fit_ord),
+              "paper: 2");
+  rep.Summary("balance_lifted_vs_c_exponent", FitExponent(fit_lift),
+              "paper: 3/2");
 
   rep.Section("facade: MSB triangle (six-box certificate), d sweep");
   bool empty_ok = true;

@@ -67,9 +67,8 @@ int main(int argc, char** argv) {
     fit.emplace_back(static_cast<double>(count),
                      static_cast<double>(stats.resolutions));
   }
-  rep.Note("fitted exponent of resolutions vs |B|: %.2f "
-           "(paper: <= n/2 = 1.5)",
-           FitExponent(fit));
+  rep.Summary("resolutions_vs_b_exponent", FitExponent(fit),
+              "paper: <= n/2 = 1.5");
 
   rep.Section("planted certificate: |B| grows, |C| = 8 fixed "
               "(reloaded mode)");
@@ -98,9 +97,8 @@ int main(int argc, char** argv) {
     fit2.emplace_back(static_cast<double>(boxes.size()),
                       static_cast<double>(lb.stats().resolutions));
   }
-  rep.Note("fitted exponent of resolutions vs |B| with |C| fixed: %.2f "
-           "(certificate-based: ~0; |B|-based algorithms: >= 1)",
-           FitExponent(fit2));
+  rep.Summary("resolutions_vs_b_fixed_c_exponent", FitExponent(fit2),
+              "certificate-based: ~0; |B|-based algorithms: >= 1");
 
   rep.Section("facade: MSB triangle — the Figure 5 cover as a join");
   bool empty_ok = true;

@@ -1,0 +1,141 @@
+// Sharded parallel execution: sweeps --shards × --threads on a large
+// triangle workload and reports the wall-time speedup and per-shard peak
+// memory against the unsharded baseline, plus a memory-budgeted run that
+// lets the planner pick the shard count itself.
+//
+// The dyadic-prefix shards are disjoint subcubes of the output space
+// (engine/shard_planner.h), so every configuration must reproduce the
+// baseline output exactly — the binary exits nonzero otherwise.
+// Acceptance target: speedup > 1.5x at 4 threads.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/cli.h"
+#include "engine/parallel_executor.h"
+#include "engine/shard_planner.h"
+#include "workload/generators.h"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace {
+
+// One engine through the shared harness sweep (keeps the fastest of
+// --reps). The sharding knobs come from `eopts` — this bench sweeps
+// them itself, so the harness's own --shards/--threads overrides are
+// dropped for the swept sections.
+cli::EngineRun TimedRun(const JoinQuery& query, EngineKind kind,
+                        const EngineOptions& eopts,
+                        const cli::HarnessOptions& opts) {
+  cli::HarnessOptions one = opts;
+  one.engines = {kind};
+  one.parallel = false;
+  one.shards_set = one.threads_set = one.memory_budget_set = false;
+  return cli::RunEngines(query, one, eopts)[0];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kGenericJoin};
+  if (auto exit_code = cli::HandleStartup(
+          &argc, argv, &opts,
+          "bench_sharding — dyadic-prefix shard planner + parallel "
+          "executor: speedup and per-shard peak memory vs the unsharded "
+          "baseline")) {
+    return *exit_code;
+  }
+
+  cli::RunReporter rep(opts.format, "sharding");
+  const uint64_t m = opts.size ? opts.size : 24;
+  QueryInstance q = FullGridTriangle(m);
+  rep.Note("full-grid triangle, m=%llu: N=%llu per relation, "
+           "Z = AGM = m^3 = %llu",
+           static_cast<unsigned long long>(m),
+           static_cast<unsigned long long>(m * m),
+           static_cast<unsigned long long>(m * m * m));
+  const int hw = WorkStealingPool::HardwareThreads();
+  rep.Note("hardware threads: %d%s", hw,
+           hw < 4 ? " — thread-scaling speedups need >= 4 cores; "
+                    "expect only the sharding (divide-and-conquer) gain "
+                    "here"
+                  : "");
+  rep.Summary("hardware_threads", static_cast<double>(hw),
+              "speedup acceptance (> 1.5 at 4 threads) needs >= 4");
+
+  bool ok = true;
+  for (EngineKind kind : opts.engines) {
+    rep.Section(std::string(EngineKindName(kind)) +
+                ": shards × threads sweep");
+    const cli::EngineRun base =
+        TimedRun(q.query, kind, EngineOptions{}, opts);
+    rep.Row("unsharded",
+            {{"m", static_cast<double>(m)}, {"speedup", 1.0}}, base);
+    if (!base.result.ok) continue;  // rendered as a skipped row above
+    const double base_ms = base.result.stats.wall_ms;
+    const size_t base_tuples = base.result.tuples.size();
+
+    double speedup_4x4 = 0.0;
+    for (int shards : {2, 4, 8, 16}) {
+      for (int threads : {1, 2, 4}) {
+        EngineOptions eopts;
+        eopts.shards = shards;
+        eopts.threads = threads;
+        cli::EngineRun run = TimedRun(q.query, kind, eopts, opts);
+        if (!run.result.ok) {
+          rep.Error("!! s%dt%d failed: %s", shards, threads,
+                    run.result.error.c_str());
+          ok = false;
+          continue;
+        }
+        if (run.result.tuples.size() != base_tuples) {
+          rep.Error("!! OUTPUT MISMATCH: s%dt%d found %zu tuples, "
+                    "baseline %zu",
+                    shards, threads, run.result.tuples.size(),
+                    base_tuples);
+          ok = false;
+        }
+        const double speedup = base_ms / run.result.stats.wall_ms;
+        if (shards == 4 && threads == 4) speedup_4x4 = speedup;
+        const std::string scenario =
+            "s" + std::to_string(shards) + "t" + std::to_string(threads);
+        rep.Row(scenario,
+                {{"shards", static_cast<double>(shards)},
+                 {"threads", static_cast<double>(threads)},
+                 {"speedup", speedup},
+                 {"shard_peak_KiB",
+                  run.result.stats.max_shard_peak_bytes / 1024.0}},
+                run);
+      }
+    }
+    rep.Summary(std::string(EngineKindName(kind)) + "_speedup_s4t4",
+                speedup_4x4, "acceptance: > 1.5 at 4 threads");
+  }
+
+  // Memory-budgeted run: the planner chooses the split from the budget
+  // (a quarter of the unsharded input-payload estimate), and the
+  // executor verifies every shard's actual peak against it.
+  rep.Section("memory-budgeted auto-sharding");
+  const size_t estimate = PlanShards(q.query, {}).max_estimated_peak_bytes;
+  for (EngineKind kind : opts.engines) {
+    EngineOptions eopts;
+    eopts.memory_budget_bytes = estimate / 4;
+    eopts.threads = 4;
+    cli::EngineRun run = TimedRun(q.query, kind, eopts, opts);
+    if (!run.result.ok) {
+      rep.Row("budget=" + std::to_string(estimate / 4), {}, run);
+      continue;  // rendered as a skipped row
+    }
+    rep.Row("budget=" + std::to_string(estimate / 4),
+            {{"budget_bytes", static_cast<double>(estimate / 4)},
+             {"shards", static_cast<double>(run.result.stats.shards)},
+             {"shard_peak_KiB",
+              run.result.stats.max_shard_peak_bytes / 1024.0}},
+            run);
+  }
+  return ok && rep.AllAgreed() ? 0 : 1;
+}

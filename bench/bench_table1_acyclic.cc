@@ -60,9 +60,8 @@ int main(int argc, char** argv) {
       }
     }
   }
-  rep.Note("fitted exponent of resolutions vs (N + Z*d): %.2f "
-           "(paper: 1 + o(1), with O~ hiding the polylog-per-output "
-           "factor)",
-           FitExponent(fit));
+  rep.Summary("resolutions_vs_n_plus_zd_exponent", FitExponent(fit),
+              "paper: 1 + o(1), with O~ hiding the polylog-per-output "
+              "factor");
   return rep.AllAgreed() ? 0 : 1;
 }

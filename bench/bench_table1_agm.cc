@@ -44,9 +44,8 @@ bool RunFamily(const char* name, const std::vector<QueryInstance>& family,
       }
     }
   }
-  rep->Note("fitted exponent of resolutions vs AGM: %.2f "
-            "(paper: 1 + o(1))",
-            FitExponent(fit));
+  rep->Summary("resolutions_vs_agm_exponent", FitExponent(fit),
+               "paper: 1 + o(1)");
   return rep->AllAgreed();
 }
 

@@ -73,13 +73,11 @@ bool SweepPath(bool sweep_n, const cli::HarnessOptions& opts,
     }
   }
   if (sweep_n) {
-    rep->Note("fitted exponent of resolutions vs N: %.2f (paper: 0 — "
-              "N-independent)",
-              FitExponent(fit));
+    rep->Summary("resolutions_vs_n_exponent", FitExponent(fit),
+                 "paper: 0 — N-independent");
   } else {
-    rep->Note("fitted exponent of resolutions vs |C|: %.2f "
-              "(paper: <= 1 + o(1))",
-              FitExponent(fit));
+    rep->Summary("resolutions_vs_c_exponent", FitExponent(fit),
+                 "paper: <= 1 + o(1)");
   }
   return empty_ok && rep->AllAgreed();
 }
@@ -136,12 +134,11 @@ bool SweepCycle(bool sweep_n, const cli::HarnessOptions& opts,
     }
   }
   if (sweep_n) {
-    rep->Note("fitted exponent of resolutions vs N: %.2f (paper: 0)",
-              FitExponent(fit));
+    rep->Summary("resolutions_vs_n_exponent", FitExponent(fit),
+                 "paper: 0");
   } else {
-    rep->Note("fitted exponent of resolutions vs |C|: %.2f "
-              "(paper: <= w+1 = 3)",
-              FitExponent(fit));
+    rep->Summary("resolutions_vs_c_exponent", FitExponent(fit),
+                 "paper: <= w+1 = 3");
   }
   return empty_ok && rep->AllAgreed();
 }

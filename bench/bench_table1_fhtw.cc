@@ -64,9 +64,8 @@ bool RunFamily(const char* name, const std::vector<QueryInstance>& family,
       }
     }
   }
-  rep->Note("fitted exponent of resolutions vs (N^fhtw + Z): %.2f "
-            "(paper: <= 1 + o(1))",
-            FitExponent(fit));
+  rep->Summary("resolutions_vs_n_fhtw_plus_z_exponent", FitExponent(fit),
+               "paper: <= 1 + o(1)");
   return rep->AllAgreed();
 }
 

@@ -134,6 +134,11 @@ class LiftedOracle : public BoxOracle {
   const BalanceMap* map_;
   std::vector<DyadicBox>* seen_;
   std::unordered_set<DyadicBox, DyadicBoxHash>* seen_set_;
+  // Capacity-reusing scratch for the per-resolution hot path. This
+  // adapter is inherently single-run (the seen-box recording above
+  // mutates shared state through const Probe), so unlike the shareable
+  // oracles it is NOT const-thread-safe — each TetrisLB run owns its
+  // own instance and never shares it across threads.
   mutable std::vector<DyadicBox> tmp_;
 };
 

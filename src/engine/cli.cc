@@ -1,5 +1,7 @@
 #include "engine/cli.h"
 
+#include "engine/parallel_executor.h"
+
 #include <algorithm>
 #include <cctype>
 #include <cerrno>
@@ -191,6 +193,43 @@ bool ParseHarnessArgs(int* argc, char** argv, HarnessOptions* opts,
         if (error) *error = "--size wants an integer, got '" + value + "'";
         return false;
       }
+    } else if (FlagValue(arg, "--shards", &value)) {
+      uint64_t shards;
+      if (value == "auto") {
+        opts->shards = kAutoShards;
+      } else if (ParseU64(value, &shards) && shards <= 1u << 20) {
+        opts->shards = static_cast<int>(shards);
+      } else {
+        if (error) {
+          *error = "--shards wants 'auto' or a shard count (up to 2^20), "
+                   "got '" + value + "'";
+        }
+        return false;
+      }
+      opts->shards_set = true;
+    } else if (FlagValue(arg, "--threads", &value)) {
+      uint64_t threads;
+      if (!ParseU64(value, &threads) || threads > 256) {
+        if (error) {
+          *error = "--threads wants 0 (hardware concurrency) or a thread "
+                   "count up to 256, got '" + value + "'";
+        }
+        return false;
+      }
+      opts->threads = static_cast<int>(threads);
+      opts->threads_set = true;
+    } else if (FlagValue(arg, "--memory-budget", &value)) {
+      uint64_t budget;
+      if (!ParseU64(value, &budget)) {
+        if (error) {
+          *error = "--memory-budget wants a byte count, got '" + value + "'";
+        }
+        return false;
+      }
+      opts->memory_budget = static_cast<size_t>(budget);
+      opts->memory_budget_set = true;
+    } else if (std::strcmp(arg, "--parallel") == 0) {
+      opts->parallel = true;
     } else if (std::strcmp(arg, "--list-engines") == 0) {
       opts->list_engines = true;
     } else if (std::strcmp(arg, "--help") == 0 ||
@@ -221,6 +260,12 @@ void PrintHarnessUsage() {
       "  --reps=<n>              repetitions; fastest wall time kept\n"
       "  --seed=<n>              workload seed override\n"
       "  --size=<n>              workload scale override\n"
+      "  --shards=<n|auto>       dyadic-prefix sharding per run\n"
+      "  --threads=<n>           worker threads per sharded run (0 = "
+      "hardware)\n"
+      "  --memory-budget=<bytes> per-shard resident budget (implies "
+      "sharding)\n"
+      "  --parallel              run the selected engines concurrently\n"
       "  --list-engines          print the engine names and exit\n"
       "  --help                  this message\n");
 }
@@ -254,9 +299,18 @@ std::optional<int> HandleStartup(int* argc, char** argv,
 std::vector<EngineRun> RunEngines(const JoinQuery& query,
                                   const HarnessOptions& opts,
                                   const EngineOptions& eopts) {
-  std::vector<EngineRun> runs;
-  for (EngineKind kind : opts.engines) {
+  std::vector<EngineRun> runs(opts.engines.size());
+  auto run_one = [&query, &opts, &eopts, &runs](int i) {
+    const EngineKind kind = opts.engines[static_cast<size_t>(i)];
     EngineOptions engine_opts = eopts;
+    // Explicit harness flags override the binary's EngineOptions preset
+    // (in both directions — --threads=1 forces a sequential run even
+    // against a preset).
+    if (opts.shards_set) engine_opts.shards = opts.shards;
+    if (opts.threads_set) engine_opts.threads = opts.threads;
+    if (opts.memory_budget_set) {
+      engine_opts.memory_budget_bytes = opts.memory_budget;
+    }
     if (!engine_opts.order.empty() &&
         (kind == EngineKind::kTetrisPreloadedLB ||
          kind == EngineKind::kTetrisReloadedLB)) {
@@ -264,7 +318,7 @@ std::vector<EngineRun> RunEngines(const JoinQuery& query,
       // harness behavior so engine sweeps include the LB variants.
       engine_opts.order.clear();
     }
-    EngineRun run;
+    EngineRun& run = runs[static_cast<size_t>(i)];
     run.kind = kind;
     double best_ms = -1.0;
     const int reps = std::max(1, opts.reps);
@@ -276,7 +330,14 @@ std::vector<EngineRun> RunEngines(const JoinQuery& query,
       }
     }
     if (run.result.ok) run.result.stats.wall_ms = best_ms;
-    runs.push_back(std::move(run));
+  };
+  const int n = static_cast<int>(opts.engines.size());
+  if (opts.parallel && n > 1) {
+    // One pool task per engine; results land in per-engine slots, so
+    // the returned order matches the sequential sweep exactly.
+    ParallelFor(/*threads=*/0, n, run_one);
+  } else {
+    for (int i = 0; i < n; ++i) run_one(i);
   }
   return runs;
 }
@@ -300,13 +361,98 @@ void RunReporter::PrintTableHeader() {
   table_header_printed_ = true;
 }
 
-void RunReporter::Row(const std::string& scenario, const Params& params,
-                      const EngineRun& run) {
-  const RunStats& s = run.result.stats;
-  const bool ok = run.result.ok;
+void RunReporter::EmitRow(const char* row_type, const std::string& scenario,
+                          const Params& params, const char* engine_name,
+                          bool ok, const std::string& error,
+                          const RunStats& s, size_t tuples,
+                          const std::string& box, const std::string& note) {
   // At most one of the probe counters is nonzero per engine: oracle
   // probes for Tetris-Reloaded, binary-search probes for Generic Join.
   const int64_t probes = s.oracle_probes + s.probes;
+  switch (format_) {
+    case OutputFormat::kTable: {
+      if (!table_header_printed_) PrintTableHeader();
+      // Shard sub-rows show the subcube where run rows show the params.
+      const std::string detail = box.empty()
+                                     ? FormatParams(params, " ", false)
+                                     : box;
+      if (!ok) {
+        std::printf("%-22s %-34s %-26s -- skipped: %s\n", scenario.c_str(),
+                    detail.c_str(), engine_name, error.c_str());
+        return;
+      }
+      std::printf("%-22s %-34s %-26s %9zu %9.2f %10" PRId64 " %8" PRId64
+                  " %8" PRId64 " %8" PRId64 " %8zu %8.1f %8.1f %8.1f %8.1f\n",
+                  scenario.c_str(), detail.c_str(), engine_name, tuples,
+                  s.wall_ms, s.tetris.resolutions, s.tetris.boxes_loaded,
+                  probes, s.seeks, s.baseline.max_intermediate,
+                  s.memory.kb_bytes / 1024.0,
+                  s.memory.index_bytes / 1024.0,
+                  s.memory.intermediate_bytes / 1024.0,
+                  s.memory.output_bytes / 1024.0);
+      return;
+    }
+    case OutputFormat::kCsv: {
+      if (!csv_header_printed_) {
+        std::printf("row_type,bench,section,scenario,params,engine,ok,"
+                    "tuples,wall_ms,resolutions,boxes_loaded,probes,seeks,"
+                    "max_intermediate,kb_bytes,index_bytes,"
+                    "intermediate_bytes,output_bytes,shards,threads,"
+                    "shard_peak_bytes,box,error,note\n");
+        csv_header_printed_ = true;
+      }
+      const std::string params_field = FormatParams(params, ";", false);
+      std::printf("%s,%s,%s,%s,%s,%s,%d,%zu,%.3f,%" PRId64 ",%" PRId64
+                  ",%" PRId64 ",%" PRId64 ",%zu,%zu,%zu,%zu,%zu,%zu,%zu,"
+                  "%zu,%s,%s,%s\n",
+                  row_type, CsvField(bench_).c_str(),
+                  CsvField(section_).c_str(), CsvField(scenario).c_str(),
+                  params_field.c_str(), engine_name, ok ? 1 : 0, tuples,
+                  s.wall_ms, s.tetris.resolutions, s.tetris.boxes_loaded,
+                  probes, s.seeks, s.baseline.max_intermediate,
+                  s.memory.kb_bytes, s.memory.index_bytes,
+                  s.memory.intermediate_bytes, s.memory.output_bytes,
+                  s.shards, s.threads, s.max_shard_peak_bytes,
+                  CsvField(box).c_str(), CsvField(error).c_str(),
+                  CsvField(note).c_str());
+      return;
+    }
+    case OutputFormat::kJsonl: {
+      const std::string params_field = FormatParams(params, ",", true);
+      std::printf("{\"row_type\":\"%s\",\"bench\":\"%s\",\"section\":\"%s\","
+                  "\"scenario\":\"%s\","
+                  "\"params\":{%s},\"engine\":\"%s\",\"ok\":%s,"
+                  "\"tuples\":%zu,\"wall_ms\":%.3f,\"resolutions\":%" PRId64
+                  ",\"boxes_loaded\":%" PRId64 ",\"probes\":%" PRId64
+                  ",\"seeks\":%" PRId64 ",\"max_intermediate\":%zu,"
+                  "\"memory\":{\"kb_bytes\":%zu,\"index_bytes\":%zu,"
+                  "\"intermediate_bytes\":%zu,\"output_bytes\":%zu},"
+                  "\"shards\":%zu,\"threads\":%zu,\"shard_peak_bytes\":%zu"
+                  "%s%s%s%s%s%s%s%s%s}\n",
+                  row_type, JsonEscape(bench_).c_str(),
+                  JsonEscape(section_).c_str(), JsonEscape(scenario).c_str(),
+                  params_field.c_str(), engine_name, ok ? "true" : "false",
+                  tuples, s.wall_ms, s.tetris.resolutions,
+                  s.tetris.boxes_loaded, probes, s.seeks,
+                  s.baseline.max_intermediate, s.memory.kb_bytes,
+                  s.memory.index_bytes, s.memory.intermediate_bytes,
+                  s.memory.output_bytes, s.shards, s.threads,
+                  s.max_shard_peak_bytes,
+                  box.empty() ? "" : ",\"box\":\"",
+                  box.empty() ? "" : JsonEscape(box).c_str(),
+                  box.empty() ? "" : "\"", ok ? "" : ",\"error\":\"",
+                  ok ? "" : JsonEscape(error).c_str(), ok ? "" : "\"",
+                  note.empty() ? "" : ",\"note\":\"",
+                  note.empty() ? "" : JsonEscape(note).c_str(),
+                  note.empty() ? "" : "\"");
+      return;
+    }
+  }
+}
+
+void RunReporter::Row(const std::string& scenario, const Params& params,
+                      const EngineRun& run) {
+  const bool ok = run.result.ok;
   const std::string key = section_ + "/" + scenario;
   if (ok) {
     auto [it, inserted] =
@@ -318,69 +464,53 @@ void RunReporter::Row(const std::string& scenario, const Params& params,
             run.result.tuples.size(), it->second);
     }
   }
+  EmitRow("run", scenario, params, EngineKindName(run.kind), ok,
+          run.result.error, run.result.stats, run.result.tuples.size(),
+          /*box=*/"", run.result.shard_note);
+  // Per-shard sub-rows of a sharded run (engine/parallel_executor.h):
+  // skipped-empty shards report zero work with a note instead of stats.
+  for (const ShardRunInfo& shard : run.result.shard_runs) {
+    Params shard_params = params;
+    shard_params.emplace_back("shard", static_cast<double>(shard.shard_id));
+    EmitRow("shard", scenario, shard_params, EngineKindName(run.kind),
+            !shard.skipped_empty, shard.skipped_empty
+                                      ? std::string("empty shard")
+                                      : std::string(),
+            shard.stats, shard.output_tuples, shard.box, /*note=*/"");
+  }
+  if (!run.result.shard_note.empty() && format_ == OutputFormat::kTable) {
+    std::printf("   planner: %s\n", run.result.shard_note.c_str());
+  }
+}
+
+void RunReporter::Summary(const std::string& metric, double value,
+                          const std::string& expectation) {
   switch (format_) {
-    case OutputFormat::kTable: {
-      if (!table_header_printed_) PrintTableHeader();
-      if (!ok) {
-        std::printf("%-22s %-34s %-26s -- skipped: %s\n", scenario.c_str(),
-                    FormatParams(params, " ", false).c_str(), EngineKindName(run.kind),
-                    run.result.error.c_str());
+    case OutputFormat::kTable:
+      if (expectation.empty()) {
+        std::printf("-- %s = %.6g\n", metric.c_str(), value);
+      } else {
+        std::printf("-- %s = %.6g (%s)\n", metric.c_str(), value,
+                    expectation.c_str());
+      }
+      return;
+    case OutputFormat::kCsv:
+    case OutputFormat::kJsonl: {
+      // Summary rows reuse the row grid: metric in `scenario`, value in
+      // `params`, expectation in `note` (csv; `error` stays a failure
+      // signal) / own fields (jsonl).
+      if (format_ == OutputFormat::kJsonl) {
+        std::printf("{\"row_type\":\"summary\",\"bench\":\"%s\","
+                    "\"section\":\"%s\",\"metric\":\"%s\",\"value\":%.6g,"
+                    "\"expectation\":\"%s\"}\n",
+                    JsonEscape(bench_).c_str(), JsonEscape(section_).c_str(),
+                    JsonEscape(metric).c_str(), value,
+                    JsonEscape(expectation).c_str());
         return;
       }
-      std::printf("%-22s %-34s %-26s %9zu %9.2f %10" PRId64 " %8" PRId64
-                  " %8" PRId64 " %8" PRId64 " %8zu %8.1f %8.1f %8.1f %8.1f\n",
-                  scenario.c_str(), FormatParams(params, " ", false).c_str(),
-                  EngineKindName(run.kind), s.output_tuples, s.wall_ms,
-                  s.tetris.resolutions, s.tetris.boxes_loaded, probes,
-                  s.seeks, s.baseline.max_intermediate,
-                  s.memory.kb_bytes / 1024.0,
-                  s.memory.index_bytes / 1024.0,
-                  s.memory.intermediate_bytes / 1024.0,
-                  s.memory.output_bytes / 1024.0);
-      return;
-    }
-    case OutputFormat::kCsv: {
-      if (!csv_header_printed_) {
-        std::printf("bench,section,scenario,params,engine,ok,tuples,"
-                    "wall_ms,resolutions,boxes_loaded,probes,seeks,"
-                    "max_intermediate,kb_bytes,index_bytes,"
-                    "intermediate_bytes,output_bytes,error\n");
-        csv_header_printed_ = true;
-      }
-      const std::string params_field = FormatParams(params, ";", false);
-      std::printf("%s,%s,%s,%s,%s,%d,%zu,%.3f,%" PRId64 ",%" PRId64
-                  ",%" PRId64 ",%" PRId64 ",%zu,%zu,%zu,%zu,%zu,%s\n",
-                  CsvField(bench_).c_str(), CsvField(section_).c_str(),
-                  CsvField(scenario).c_str(), params_field.c_str(),
-                  EngineKindName(run.kind), ok ? 1 : 0,
-                  s.output_tuples, s.wall_ms, s.tetris.resolutions,
-                  s.tetris.boxes_loaded, probes, s.seeks,
-                  s.baseline.max_intermediate, s.memory.kb_bytes,
-                  s.memory.index_bytes, s.memory.intermediate_bytes,
-                  s.memory.output_bytes,
-                  CsvField(run.result.error).c_str());
-      return;
-    }
-    case OutputFormat::kJsonl: {
-      const std::string params_field = FormatParams(params, ",", true);
-      std::printf("{\"bench\":\"%s\",\"section\":\"%s\",\"scenario\":\"%s\","
-                  "\"params\":{%s},\"engine\":\"%s\",\"ok\":%s,"
-                  "\"tuples\":%zu,\"wall_ms\":%.3f,\"resolutions\":%" PRId64
-                  ",\"boxes_loaded\":%" PRId64 ",\"probes\":%" PRId64
-                  ",\"seeks\":%" PRId64 ",\"max_intermediate\":%zu,"
-                  "\"memory\":{\"kb_bytes\":%zu,\"index_bytes\":%zu,"
-                  "\"intermediate_bytes\":%zu,\"output_bytes\":%zu}"
-                  "%s%s%s}\n",
-                  JsonEscape(bench_).c_str(), JsonEscape(section_).c_str(),
-                  JsonEscape(scenario).c_str(), params_field.c_str(),
-                  EngineKindName(run.kind), ok ? "true" : "false",
-                  s.output_tuples, s.wall_ms, s.tetris.resolutions,
-                  s.tetris.boxes_loaded, probes, s.seeks,
-                  s.baseline.max_intermediate, s.memory.kb_bytes,
-                  s.memory.index_bytes, s.memory.intermediate_bytes,
-                  s.memory.output_bytes, ok ? "" : ",\"error\":\"",
-                  ok ? "" : JsonEscape(run.result.error).c_str(),
-                  ok ? "" : "\"");
+      EmitRow("summary", metric, {{"value", value}}, "-", true,
+              /*error=*/"", RunStats{}, 0, /*box=*/"",
+              /*note=*/expectation);
       return;
     }
   }

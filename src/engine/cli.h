@@ -9,15 +9,22 @@
 //   --reps=<n>             repetitions per run (fastest wall time kept)
 //   --seed=<n>             workload seed override (0 = binary default)
 //   --size=<n>             generic scale knob (0 = binary default)
+//   --shards=<n|auto>      dyadic-prefix sharding per run (default: off)
+//   --threads=<n>          worker threads per sharded run (0 = hardware)
+//   --memory-budget=<bytes> per-shard resident budget (implies sharding)
+//   --parallel             run the selected *engines* concurrently too
 //   --list-engines, --help
 //
 // ParseHarnessArgs strips the recognized flags out of argv so binaries
 // keep their own positional arguments (and google-benchmark its flags).
-// RunEngines drives RunJoin for each selected engine; RunReporter emits
-// one row per (scenario, engine) — a human table, CSV, or JSON lines —
-// with the time *and* space counters of RunStats, and cross-checks that
-// all engines agree on the output size. EXPERIMENTS.md documents the
-// flags and expected output shape per binary.
+// RunEngines drives RunJoin for each selected engine — concurrently
+// under --parallel (one pool task per engine, results in deterministic
+// engine order); RunReporter emits one row per (scenario, engine) — a
+// human table, CSV, or JSON lines — with the time *and* space counters
+// of RunStats, one sub-row per shard for sharded runs, and structured
+// summary rows (fitted exponents, expectations) in every format; it
+// cross-checks that all engines agree on the output size. EXPERIMENTS.md
+// documents the flags and expected output shape per binary.
 #ifndef TETRIS_ENGINE_CLI_H_
 #define TETRIS_ENGINE_CLI_H_
 
@@ -49,6 +56,20 @@ struct HarnessOptions {
   int reps = 1;
   uint64_t seed = 0;  ///< 0 = binary default
   uint64_t size = 0;  ///< 0 = binary default
+  /// Per-run sharding knobs, forwarded into EngineOptions when the
+  /// corresponding flag was present (the *_set bools) — so binaries'
+  /// own EngineOptions presets survive unless the user overrides them,
+  /// including overriding back to the defaults (--threads=1,
+  /// --shards=0). `shards` follows EngineOptions::shards
+  /// (kAutoShards = --shards=auto).
+  int shards = 0;
+  bool shards_set = false;
+  int threads = 1;
+  bool threads_set = false;
+  size_t memory_budget = 0;
+  bool memory_budget_set = false;
+  /// Run the selected engines concurrently (one pool task per engine).
+  bool parallel = false;
   bool list_engines = false;
   bool help = false;
 };
@@ -122,14 +143,23 @@ class RunReporter {
   /// carry the title in the `section` column).
   void Section(const std::string& title);
 
-  /// Emits one row. Successful runs of the same scenario must agree on
-  /// the output size; a mismatch is reported and recorded.
+  /// Emits one row (`row_type=run`), plus one `row_type=shard` sub-row
+  /// per shard when the run was sharded. Successful runs of the same
+  /// scenario must agree on the output size; a mismatch is reported and
+  /// recorded (shard sub-rows are exempt — they carry partial outputs).
   void Row(const std::string& scenario, const Params& params,
            const EngineRun& run);
 
-  /// printf-style commentary (fitted exponents, expectations). Printed
-  /// in table mode only, so csv/jsonl stay machine-parseable.
+  /// printf-style commentary (context banners, prose). Printed in table
+  /// mode only, so csv/jsonl stay machine-parseable.
   void Note(const char* fmt, ...) __attribute__((format(printf, 2, 3)));
+
+  /// A structured summary metric (fitted exponents, shape claims): table
+  /// mode prints it like a note; csv/jsonl emit a `row_type=summary` row
+  /// carrying the metric name, value and expectation text, so automated
+  /// tracking can assert the claims instead of re-parsing prose.
+  void Summary(const std::string& metric, double value,
+               const std::string& expectation = "");
 
   /// printf-style diagnostic for violated expectations ("!! EXPECTED
   /// EMPTY ..."). Always printed, to stderr, in every format — a
@@ -141,6 +171,14 @@ class RunReporter {
 
  private:
   void PrintTableHeader();
+  // The single row emitter behind run and shard rows in every format.
+  // `box` is the shard subcube (shard rows only; empty otherwise);
+  // `note` carries planner/budget diagnostics (run rows of sharded
+  // runs) so machine formats see budget overruns too.
+  void EmitRow(const char* row_type, const std::string& scenario,
+               const Params& params, const char* engine_name, bool ok,
+               const std::string& error, const RunStats& s, size_t tuples,
+               const std::string& box, const std::string& note);
 
   OutputFormat format_;
   std::string bench_;

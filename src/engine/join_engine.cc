@@ -8,6 +8,7 @@
 #include "baseline/leapfrog.h"
 #include "baseline/pairwise_join.h"
 #include "baseline/yannakakis.h"
+#include "engine/parallel_executor.h"
 #include "index/sorted_index.h"
 
 namespace tetris {
@@ -60,6 +61,60 @@ bool IsPermutation(const std::vector<int>& order, int n) {
 void Canonicalize(std::vector<Tuple>* tuples) {
   std::sort(tuples->begin(), tuples->end());
   tuples->erase(std::unique(tuples->begin(), tuples->end()), tuples->end());
+}
+
+// Derives the GAO Leapfrog / Generic Join should run under from the
+// column orders of per-atom SortedIndexes: each index's trie order
+// constrains its atom's attributes to appear in that relative order, and
+// the GAO is any topological order of the union of those constraints
+// (smallest attribute id first on ties, so the result is deterministic).
+bool DeriveGaoFromIndexes(const JoinQuery& query,
+                          const std::vector<const Index*>& indexes,
+                          std::vector<int>* gao, std::string* error) {
+  const int n = query.num_attrs();
+  std::vector<std::vector<int>> succ(n);
+  std::vector<int> indeg(n, 0);
+  for (size_t i = 0; i < indexes.size(); ++i) {
+    const auto* si = dynamic_cast<const SortedIndex*>(indexes[i]);
+    if (si == nullptr) {
+      *error = "indexes: leapfrog / generic-join derive their trie order "
+               "from SortedIndexes only";
+      return false;
+    }
+    const Atom& atom = query.atoms()[i];
+    if (si->arity() != static_cast<int>(atom.var_ids.size())) {
+      *error = "indexes: index arity disagrees with its atom";
+      return false;
+    }
+    const std::vector<int>& order = si->order();
+    for (size_t l = 0; l + 1 < order.size(); ++l) {
+      const int u = atom.var_ids[order[l]];
+      const int v = atom.var_ids[order[l + 1]];
+      if (u == v) continue;  // atom repeats an attribute
+      succ[u].push_back(v);
+      ++indeg[v];
+    }
+  }
+  gao->clear();
+  std::vector<bool> placed(n, false);
+  for (int step = 0; step < n; ++step) {
+    int pick = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!placed[v] && indeg[v] == 0) {
+        pick = v;
+        break;
+      }
+    }
+    if (pick < 0) {
+      *error = "indexes: the SortedIndex column orders conflict "
+               "(no attribute order is consistent with every trie)";
+      return false;
+    }
+    placed[pick] = true;
+    gao->push_back(pick);
+    for (int w : succ[pick]) --indeg[w];
+  }
+  return true;
 }
 
 }  // namespace
@@ -136,6 +191,29 @@ EngineResult RunJoin(const JoinQuery& query, EngineKind kind,
     result.error = "indexes: need exactly one index per query atom";
     return result;
   }
+  if (options.shards < kAutoShards) {
+    result.error = "shards: want -1 (auto), 0/1 (off), or >= 2";
+    return result;
+  }
+  if (options.threads < 0) {
+    result.error = "threads: want 0 (hardware concurrency) or >= 1";
+    return result;
+  }
+
+  // Sharded execution: plan dyadic-prefix shards and fan out to the
+  // parallel executor, which re-enters RunJoin per shard with plain
+  // sequential options. A thread count other than 1 implies sharding
+  // (shards are the unit of parallelism).
+  const bool wants_sharding =
+      options.shards == kAutoShards || options.shards > 1 ||
+      options.memory_budget_bytes > 0 || options.threads != 1;
+  if (wants_sharding) {
+    EngineOptions sharded = options;
+    if (sharded.shards == 0 || sharded.shards == 1) {
+      sharded.shards = kAutoShards;
+    }
+    return RunShardedJoin(query, kind, sharded);
+  }
 
   if (tetris_algo.has_value()) {
     // A grid shallower than the data cannot represent it: indexes built
@@ -203,15 +281,26 @@ EngineResult RunJoin(const JoinQuery& query, EngineKind kind,
     result.stats.memory.index_bytes = run.index_bytes;
     result.ok = true;
   } else {
+    // An explicit order hint wins; otherwise SortedIndexes supply the
+    // trie order, so index ablations reach the WCOJ baselines too.
+    std::vector<int> gao = options.order;
+    if (gao.empty() && !options.indexes.empty() &&
+        (kind == EngineKind::kLeapfrog ||
+         kind == EngineKind::kGenericJoin)) {
+      if (!DeriveGaoFromIndexes(query, options.indexes, &gao,
+                                &result.error)) {
+        return result;
+      }
+    }
     switch (kind) {
       case EngineKind::kLeapfrog:
         result.tuples =
-            LeapfrogTriejoin(query, options.order, &result.stats.seeks);
+            LeapfrogTriejoin(query, gao, &result.stats.seeks);
         result.ok = true;
         break;
       case EngineKind::kGenericJoin:
         result.tuples =
-            GenericJoin(query, options.order, &result.stats.probes);
+            GenericJoin(query, gao, &result.stats.probes);
         result.ok = true;
         break;
       case EngineKind::kYannakakis: {

@@ -88,7 +88,24 @@ struct RunStats {
   int64_t probes = 0;          ///< Generic Join binary-search probes
   int64_t seeks = 0;           ///< Leapfrog iterator seeks
   BaselineStats baseline;      ///< pairwise / Yannakakis intermediates
-  MemoryStats memory;          ///< space per engine (time is wall_ms)
+  MemoryStats memory;          ///< space per engine (time is wall_ms).
+                               ///< Sharded runs: per-shard peaks, not
+                               ///< concurrent sums.
+
+  // Sharded runs only (engine/parallel_executor.h); zero otherwise.
+  size_t shards = 0;   ///< planned shard count (incl. empty shards)
+  size_t threads = 0;  ///< pool size the shards ran on
+  size_t max_shard_peak_bytes = 0;  ///< max MemoryStats::PeakBytes() over
+                                    ///< shards — the budget-facing number
+};
+
+/// Per-shard outcome of a sharded run, in shard-id order.
+struct ShardRunInfo {
+  int shard_id = 0;
+  std::string box;  ///< the shard's subcube, e.g. "<0, λ, 1>"
+  bool skipped_empty = false;  ///< some atom restricted to ∅; not run
+  size_t output_tuples = 0;
+  RunStats stats;  ///< zero when skipped_empty
 };
 
 /// Result of one facade run.
@@ -97,7 +114,17 @@ struct EngineResult {
   std::string error;          ///< reason when !ok
   std::vector<Tuple> tuples;  ///< sorted, deduplicated, attr-id order
   RunStats stats;
+
+  // Sharded runs only: one entry per planned shard, plus planner /
+  // budget diagnostics (clamped shard counts, budget misses). Empty for
+  // plain runs.
+  std::vector<ShardRunInfo> shard_runs;
+  std::string shard_note;
 };
+
+/// EngineOptions::shards value asking the planner to choose the shard
+/// count itself (from the thread count and the memory budget).
+inline constexpr int kAutoShards = -1;
 
 /// Per-run knobs, all optional.
 struct EngineOptions {
@@ -109,15 +136,36 @@ struct EngineOptions {
   /// their own SAO.
   std::vector<int> order;
 
-  /// Pre-built per-atom indexes (`indexes[i]` serves atom i); Tetris
-  /// family only — the other engines read the relations directly.
-  /// Empty = SAO-consistent SortedIndexes built on the fly. Pointers
-  /// must outlive the call; the size must match the atom count.
+  /// Pre-built per-atom indexes (`indexes[i]` serves atom i). The Tetris
+  /// family probes them directly; Leapfrog and Generic Join derive their
+  /// trie order (GAO) from SortedIndex column orders when `order` is
+  /// empty, so index ablations cover the WCOJ baselines too. Ignored by
+  /// Yannakakis and the pairwise plans; rejected when sharding is
+  /// requested (each shard rebuilds indexes over its restricted
+  /// relations). Empty = engine-appropriate defaults. Pointers must
+  /// outlive the call; the size must match the atom count.
   std::vector<const Index*> indexes;
 
   /// Dyadic depth of the value domain; 0 = query.MinDepth(). Only
-  /// meaningful for the Tetris family (which works on the dyadic grid).
+  /// meaningful for the Tetris family (which works on the dyadic grid)
+  /// and the shard planner (which splits the dyadic domain).
   int depth = 0;
+
+  /// Dyadic-prefix sharding (engine/shard_planner.h): 0 or 1 = off,
+  /// >= 2 = split into at least that many subcubes (rounded up to a
+  /// power of two), kAutoShards = planner's choice. Setting `threads`
+  /// to 0 or > 1 while this is 0 implies kAutoShards.
+  int shards = 0;
+
+  /// Worker threads for the sharded run: 1 = sequential (default),
+  /// 0 = hardware concurrency, N = exactly N.
+  int threads = 1;
+
+  /// When nonzero, the shard planner keeps splitting until every
+  /// shard's estimated peak resident bytes fit this budget (see
+  /// MemoryStats::PeakBytes); EngineResult::shard_note reports when it
+  /// cannot. Implies sharded execution.
+  size_t memory_budget_bytes = 0;
 };
 
 /// Evaluates `query` with the chosen engine. Never throws: unsupported

@@ -1,0 +1,255 @@
+#include "engine/parallel_executor.h"
+
+#include <algorithm>
+#include <cassert>
+#include <chrono>
+
+namespace tetris {
+
+WorkStealingPool::WorkStealingPool(int threads) {
+  const int n = std::max(1, std::min(threads, 256));
+  queues_.resize(static_cast<size_t>(n));
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+WorkStealingPool::~WorkStealingPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+int WorkStealingPool::HardwareThreads() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::function<void()> WorkStealingPool::NextTask(int self) {
+  if (!queues_[self].empty()) {
+    std::function<void()> task = std::move(queues_[self].back());
+    queues_[self].pop_back();
+    --unassigned_;
+    return task;
+  }
+  const int n = static_cast<int>(queues_.size());
+  for (int off = 1; off < n; ++off) {
+    auto& victim = queues_[(self + off) % n];
+    if (!victim.empty()) {
+      std::function<void()> task = std::move(victim.front());
+      victim.pop_front();
+      --unassigned_;
+      return task;
+    }
+  }
+  return nullptr;
+}
+
+void WorkStealingPool::WorkerLoop(int self) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (std::function<void()> task = NextTask(self)) {
+      lock.unlock();
+      task();
+      lock.lock();
+      if (--pending_ == 0) done_cv_.notify_all();
+      continue;
+    }
+    if (stop_) return;
+    work_cv_.wait(lock, [this] { return stop_ || unassigned_ > 0; });
+  }
+}
+
+void WorkStealingPool::Run(std::vector<std::function<void()>> tasks) {
+  std::unique_lock<std::mutex> lock(mu_);
+  assert(pending_ == 0 && "one Run at a time per pool");
+  const size_t n = tasks.size();
+  for (size_t i = 0; i < n; ++i) {
+    queues_[i % queues_.size()].push_back(std::move(tasks[i]));
+  }
+  pending_ += n;
+  unassigned_ += n;
+  work_cv_.notify_all();
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void ParallelFor(int threads, int n, const std::function<void(int)>& fn) {
+  if (n <= 0) return;
+  const int want = threads == 0 ? WorkStealingPool::HardwareThreads()
+                                : std::max(1, threads);
+  WorkStealingPool pool(std::min(want, n));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) tasks.push_back([&fn, i] { fn(i); });
+  pool.Run(std::move(tasks));
+}
+
+namespace {
+
+// Merges one shard's counters into the run total. Work counters add up;
+// the memory fields keep the per-shard *peak* — shards build and release
+// their resident structures independently, and the peak is what the
+// budget constrains.
+void AccumulateShard(RunStats* into, const RunStats& s) {
+  into->tetris.Accumulate(s.tetris);
+  into->input_gap_boxes += s.input_gap_boxes;
+  into->oracle_probes += s.oracle_probes;
+  into->probes += s.probes;
+  into->seeks += s.seeks;
+  into->baseline.max_intermediate =
+      std::max(into->baseline.max_intermediate, s.baseline.max_intermediate);
+  into->baseline.total_intermediate += s.baseline.total_intermediate;
+  into->baseline.max_intermediate_bytes =
+      std::max(into->baseline.max_intermediate_bytes,
+               s.baseline.max_intermediate_bytes);
+  into->memory.kb_bytes = std::max(into->memory.kb_bytes, s.memory.kb_bytes);
+  into->memory.index_bytes =
+      std::max(into->memory.index_bytes, s.memory.index_bytes);
+  into->memory.intermediate_bytes =
+      std::max(into->memory.intermediate_bytes, s.memory.intermediate_bytes);
+  into->max_shard_peak_bytes =
+      std::max(into->max_shard_peak_bytes, s.memory.PeakBytes());
+}
+
+}  // namespace
+
+EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
+                            const EngineOptions& options) {
+  EngineResult result;
+  result.stats.engine = kind;
+  const auto start = std::chrono::steady_clock::now();
+  auto finish = [&start, &result]() -> EngineResult& {
+    const auto end = std::chrono::steady_clock::now();
+    result.stats.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return result;
+  };
+
+  if (!options.indexes.empty()) {
+    result.error = "indexes: cannot be combined with sharded execution "
+                   "(each shard rebuilds indexes over its restricted "
+                   "relations)";
+    return finish();
+  }
+  if (!EngineSupports(kind, query)) {
+    result.error = std::string(EngineKindName(kind)) +
+                   ": engine does not support this query";
+    return finish();
+  }
+  const int depth = options.depth > 0 ? options.depth : query.MinDepth();
+  if (depth < query.MinDepth()) {
+    result.error = "depth: too small for the data "
+                   "(need at least query.MinDepth())";
+    return finish();
+  }
+
+  const int threads = options.threads == 0
+                          ? WorkStealingPool::HardwareThreads()
+                          : std::max(1, options.threads);
+
+  ShardPlanOptions popt;
+  popt.shards = options.shards;
+  popt.threads_hint = threads;
+  popt.memory_budget_bytes = options.memory_budget_bytes;
+  popt.depth = depth;
+  ShardPlan plan = PlanShards(query, popt);
+  result.shard_note = plan.note;
+
+  // Per-shard engine options: plain sequential runs at the plan's depth.
+  // The shard queries reuse the original attribute ids, so SAO/GAO hints
+  // stay valid.
+  EngineOptions shard_opts;
+  shard_opts.order = options.order;
+  shard_opts.depth = depth;
+
+  const size_t m = plan.shards.size();
+  std::vector<EngineResult> shard_results(m);
+  std::vector<int> live;  // shard ids actually handed to the engine
+  for (size_t i = 0; i < m; ++i) {
+    if (!plan.shards[i].empty) live.push_back(static_cast<int>(i));
+  }
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(live.size());
+    for (int i : live) {
+      tasks.push_back([&plan, &shard_results, &shard_opts, kind, i] {
+        shard_results[i] =
+            RunJoin(plan.shards[i].query, kind, shard_opts);
+      });
+    }
+    WorkStealingPool pool(
+        std::min<int>(threads, std::max<size_t>(1, tasks.size())));
+    result.stats.threads = static_cast<size_t>(pool.threads());
+    pool.Run(std::move(tasks));
+  }
+
+  // Deterministic merge by shard id.
+  result.stats.shards = m;
+  size_t over_budget = 0;
+  size_t worst_peak = 0;
+  size_t worst_shard = 0;
+  for (size_t i = 0; i < m; ++i) {
+    ShardRunInfo info;
+    info.shard_id = static_cast<int>(i);
+    info.box = plan.shards[i].box.ToString();
+    if (plan.shards[i].empty) {
+      info.skipped_empty = true;
+      result.shard_runs.push_back(std::move(info));
+      continue;
+    }
+    EngineResult& r = shard_results[i];
+    if (!r.ok) {
+      result.error = "shard " + std::to_string(i) + ": " + r.error;
+      result.shard_runs.clear();
+      return finish();
+    }
+    result.tuples.insert(result.tuples.end(),
+                         std::make_move_iterator(r.tuples.begin()),
+                         std::make_move_iterator(r.tuples.end()));
+    AccumulateShard(&result.stats, r.stats);
+    info.output_tuples = r.tuples.size();
+    info.stats = r.stats;
+    if (options.memory_budget_bytes > 0 &&
+        r.stats.memory.PeakBytes() > options.memory_budget_bytes) {
+      ++over_budget;
+      if (r.stats.memory.PeakBytes() > worst_peak) {
+        worst_peak = r.stats.memory.PeakBytes();
+        worst_shard = i;
+      }
+    }
+    result.shard_runs.push_back(std::move(info));
+  }
+  if (over_budget > 0) {
+    if (!result.shard_note.empty()) result.shard_note += "; ";
+    result.shard_note +=
+        std::to_string(over_budget) + " of " + std::to_string(m) +
+        " shards exceeded the " +
+        std::to_string(options.memory_budget_bytes) +
+        "B budget at run time (worst: shard " +
+        std::to_string(worst_shard) + " peaked at " +
+        std::to_string(worst_peak) +
+        "B) — the planner's estimate covers input payload, not "
+        "engine-internal peaks";
+  }
+
+  // Shards are disjoint subcubes, so concatenation has no duplicates,
+  // but sorting restores the canonical facade order.
+  std::sort(result.tuples.begin(), result.tuples.end());
+  result.tuples.erase(
+      std::unique(result.tuples.begin(), result.tuples.end()),
+      result.tuples.end());
+  result.ok = true;
+  result.stats.output_tuples = result.tuples.size();
+  result.stats.memory.intermediate_bytes =
+      std::max(result.stats.memory.intermediate_bytes,
+               result.stats.baseline.max_intermediate_bytes);
+  result.stats.memory.output_bytes =
+      EstimateAtomBytes(result.tuples.size(), query.num_attrs());
+  return finish();
+}
+
+}  // namespace tetris

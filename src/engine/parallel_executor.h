@@ -1,0 +1,92 @@
+// Parallel execution of independent join work: a small work-stealing
+// thread pool plus the sharded-run driver behind the JoinEngine facade.
+//
+// The pool runs arbitrary closures; the facade uses it for two shapes of
+// parallelism:
+//
+//   * per-shard: RunShardedJoin plans a dyadic-prefix decomposition
+//     (engine/shard_planner.h), evaluates every shard concurrently with
+//     the selected engine, and merges outputs and RunStats
+//     deterministically by shard id — the result is bit-identical to the
+//     sequential unsharded run;
+//   * per-engine: cli::RunEngines uses ParallelFor to sweep whole engine
+//     matrices concurrently (one task per engine).
+//
+// Thread-safety contract: every engine run constructs its own evaluator
+// state (oracles, knowledge bases, scratch) from const inputs —
+// relations, indexes and queries are only read. The evaluator layer keeps
+// that contract re-entrant: probe counters are atomic
+// (kb/box_oracle.h) and oracle adapters carry no shared mutable scratch.
+#ifndef TETRIS_ENGINE_PARALLEL_EXECUTOR_H_
+#define TETRIS_ENGINE_PARALLEL_EXECUTOR_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "engine/join_engine.h"
+#include "engine/shard_planner.h"
+
+namespace tetris {
+
+/// A fixed-size pool of workers with per-worker task deques. Workers pop
+/// their own deque from the back and steal from other deques' front when
+/// idle — coarse-grained stealing under one lock, which is plenty for
+/// shard-sized tasks (milliseconds each).
+class WorkStealingPool {
+ public:
+  /// Spawns `threads` workers (clamped to [1, 256]).
+  explicit WorkStealingPool(int threads);
+  ~WorkStealingPool();
+
+  WorkStealingPool(const WorkStealingPool&) = delete;
+  WorkStealingPool& operator=(const WorkStealingPool&) = delete;
+
+  int threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Runs every task and blocks until all complete. Tasks must not
+  /// throw and must not call Run on the same pool (deadlock). One Run
+  /// at a time per pool.
+  void Run(std::vector<std::function<void()>> tasks);
+
+  /// std::thread::hardware_concurrency with a sane floor of 1.
+  static int HardwareThreads();
+
+ private:
+  void WorkerLoop(int self);
+  // Pops own back, else steals another deque's front. Caller holds mu_.
+  std::function<void()> NextTask(int self);
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  // workers: tasks may be available
+  std::condition_variable done_cv_;  // Run: all tasks completed
+  std::vector<std::deque<std::function<void()>>> queues_;
+  size_t unassigned_ = 0;  // tasks sitting in deques
+  size_t pending_ = 0;     // tasks not yet completed
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// Runs fn(0..n-1) across `threads` pool workers (0 = hardware
+/// concurrency) and returns when all completed. Results belong in
+/// caller-owned slots indexed by i, which keeps the outcome
+/// deterministic regardless of scheduling.
+void ParallelFor(int threads, int n, const std::function<void(int)>& fn);
+
+/// Sharded evaluation of `query` on `kind`: plans dyadic-prefix shards
+/// per options.shards / options.memory_budget_bytes, runs them on
+/// options.threads workers, and merges tuples and stats by shard id.
+/// Empty shards are skipped without touching the engine. The merged
+/// MemoryStats fields hold per-shard *peaks* (the budget-facing number),
+/// not concurrent sums; RunStats::shards and ::max_shard_peak_bytes and
+/// EngineResult::shard_runs/::shard_note carry the per-shard detail.
+/// Called by RunJoin after option validation; callable directly in tests.
+EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
+                            const EngineOptions& options);
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_PARALLEL_EXECUTOR_H_

@@ -1,0 +1,103 @@
+// Dyadic-prefix shard planning: splits a join query's output space
+// [2^d]^n into 2^k disjoint subcubes and restricts every atom to its
+// subcube.
+//
+// The paper's box decomposition gives the sharding key for free: the
+// root-level Split-First-Thick-Dimension step of Tetris partitions the
+// output space into dyadic sibling halves, and any output tuple lies in
+// exactly one of them. Repeating the split k times (round-robin over the
+// thickest dimensions) yields 2^k congruent subcubes; restricting each
+// atom's relation to the subcube's projection onto the atom's attributes
+// preserves the join exactly:
+//
+//     Q(D) = ⊎_shards  Q(D restricted to the shard's box),
+//
+// because every query attribute occurs in at least one atom, so a tuple
+// of the restricted join is confined to the subcube in every dimension.
+// Shards are therefore independent — the parallel executor
+// (engine/parallel_executor.h) runs them concurrently on any engine.
+//
+// The planner is memory-aware: given a budget, it increases k until the
+// estimated resident footprint of every shard fits (the first consumer of
+// the RunStats::memory counters), and reports — rather than hangs or
+// lies — when no split can satisfy the budget.
+#ifndef TETRIS_ENGINE_SHARD_PLANNER_H_
+#define TETRIS_ENGINE_SHARD_PLANNER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/dyadic_box.h"
+#include "query/join_query.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// Planner knobs.
+struct ShardPlanOptions {
+  /// Requested shard count: >= 2 asks for that many (rounded up to the
+  /// next power of two), 0 or 1 plans a single shard, -1 lets the
+  /// planner choose (from `threads_hint` and the memory budget).
+  int shards = 0;
+
+  /// Auto mode plans at least one shard per thread.
+  int threads_hint = 1;
+
+  /// When nonzero, the planner keeps splitting until the estimated peak
+  /// resident bytes of every shard fit the budget (or the split cap is
+  /// reached, in which case `ShardPlan::budget_ok` is false and
+  /// `ShardPlan::note` says why).
+  size_t memory_budget_bytes = 0;
+
+  /// Dyadic depth of the value domain; 0 = query.MinDepth().
+  int depth = 0;
+
+  /// Cap on budget/auto-driven *growth* of k (the number of prefix bits
+  /// split). Explicitly requested shard counts are honored beyond it, up
+  /// to the domain itself (num_attrs * depth prefix bits) and a hard
+  /// 2^20-shard ceiling.
+  int max_split_bits = 8;
+};
+
+/// One independent unit of work: a subcube of the output space plus the
+/// query restricted to it. Owns its restricted relations (one per atom,
+/// since two atoms may bind the same relation to different attributes).
+struct Shard {
+  int id = 0;
+  DyadicBox box;  ///< the subcube, over query attribute dimensions
+  std::vector<std::unique_ptr<Relation>> storage;
+  JoinQuery query;  ///< rebuilt over `storage`; same attribute ids
+  size_t estimated_peak_bytes = 0;
+  bool empty = false;  ///< some atom restricted to ∅ — output is empty
+};
+
+/// The planner's output.
+struct ShardPlan {
+  std::vector<Shard> shards;  ///< 2^split_bits entries, ordered by id
+  int split_bits = 0;         ///< k
+  std::vector<int> split_dims;  ///< dimension split at each level
+  int depth = 0;
+  size_t max_estimated_peak_bytes = 0;
+  /// False iff a memory budget was given and even the finest allowed
+  /// split leaves some shard's estimate over it.
+  bool budget_ok = true;
+  /// Human-readable planner diagnostics: budget misses, clamped shard
+  /// counts. Empty when the plan is exactly what was asked for.
+  std::string note;
+};
+
+/// Plans the shard decomposition. Never fails: infeasible requests
+/// degrade to the closest feasible plan with `note`/`budget_ok` set.
+ShardPlan PlanShards(const JoinQuery& query, const ShardPlanOptions& options);
+
+/// The planner's per-atom resident-footprint estimate: the payload of
+/// `tuples` arity-`arity` tuples, mirroring SortedIndex::MemoryBytes.
+/// A shard's estimated peak is the SUM of this over its atoms (all
+/// per-atom indexes are resident at once during a run, matching the
+/// runtime MemoryStats::index_bytes the budget is checked against).
+size_t EstimateAtomBytes(size_t tuples, int arity);
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_SHARD_PLANNER_H_

@@ -27,6 +27,12 @@
 namespace tetris {
 
 /// Abstract index over one relation.
+///
+/// Thread-safety contract: the const probe operations (Contains,
+/// GapsContaining, AllGaps, MemoryBytes) must be safe to call
+/// concurrently — implementations keep no mutable scratch. The parallel
+/// executor relies on this to share indexes across concurrent engine
+/// runs.
 class Index {
  public:
   virtual ~Index() = default;

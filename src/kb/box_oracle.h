@@ -8,6 +8,7 @@
 #ifndef TETRIS_KB_BOX_ORACLE_H_
 #define TETRIS_KB_BOX_ORACLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -36,10 +37,14 @@ class BoxOracle {
   }
 
   /// Number of Probe calls served (oracle-access accounting, footnote 4).
-  int64_t probe_count() const { return probe_count_; }
+  int64_t probe_count() const {
+    return probe_count_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  mutable int64_t probe_count_ = 0;
+  // Atomic so one oracle may serve concurrent engine runs (the parallel
+  // executor's thread-safety contract: Probe must be const-thread-safe).
+  mutable std::atomic<int64_t> probe_count_{0};
 };
 
 /// Oracle over an explicitly materialized box set, indexed by a multilevel

@@ -224,5 +224,156 @@ TEST(CliTest, RunEnginesReportsUnsupportedEngines) {
   EXPECT_FALSE(runs[0].result.error.empty());
 }
 
+TEST(CliTest, ParseHarnessArgsShardingFlags) {
+  Argv args({"--shards=8", "--threads=4", "--memory-budget=65536",
+             "--parallel"});
+  HarnessOptions opts;
+  std::string error;
+  ASSERT_TRUE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error))
+      << error;
+  EXPECT_EQ(opts.shards, 8);
+  EXPECT_TRUE(opts.shards_set);
+  EXPECT_EQ(opts.threads, 4);
+  EXPECT_TRUE(opts.threads_set);
+  EXPECT_EQ(opts.memory_budget, 65536u);
+  EXPECT_TRUE(opts.memory_budget_set);
+  EXPECT_TRUE(opts.parallel);
+
+  // No flag, no forwarding: a binary's EngineOptions preset survives,
+  // and an explicit --threads=1 can override a preset back to
+  // sequential (default-value sentinels would drop it).
+  Argv plain({"--format=table"});
+  HarnessOptions plain_opts;
+  ASSERT_TRUE(ParseHarnessArgs(plain.argc(), plain.argv(), &plain_opts,
+                               &error))
+      << error;
+  EXPECT_FALSE(plain_opts.shards_set);
+  EXPECT_FALSE(plain_opts.threads_set);
+  EXPECT_FALSE(plain_opts.memory_budget_set);
+  Argv seq({"--threads=1", "--shards=0"});
+  HarnessOptions seq_opts;
+  ASSERT_TRUE(ParseHarnessArgs(seq.argc(), seq.argv(), &seq_opts, &error));
+  EXPECT_TRUE(seq_opts.threads_set);
+  EXPECT_TRUE(seq_opts.shards_set);
+  EXPECT_EQ(seq_opts.threads, 1);
+  EXPECT_EQ(seq_opts.shards, 0);
+
+  Argv auto_args({"--shards=auto", "--threads=0"});
+  HarnessOptions auto_opts;
+  ASSERT_TRUE(ParseHarnessArgs(auto_args.argc(), auto_args.argv(),
+                               &auto_opts, &error))
+      << error;
+  EXPECT_EQ(auto_opts.shards, kAutoShards);
+  EXPECT_EQ(auto_opts.threads, 0);
+}
+
+TEST(CliTest, ParseHarnessArgsShardingBadValuesFail) {
+  for (const char* bad :
+       {"--shards=some", "--shards=-2", "--threads=1000", "--threads=x",
+        "--memory-budget=big"}) {
+    Argv args({bad});
+    HarnessOptions opts;
+    std::string error;
+    EXPECT_FALSE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error))
+        << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+TEST(CliTest, RunEnginesParallelMatchesSequentialSweep) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/6);
+  HarnessOptions seq;
+  seq.engines = AllEngineKinds();
+  auto sequential = RunEngines(q.query, seq);
+  HarnessOptions par = seq;
+  par.parallel = true;
+  auto parallel = RunEngines(q.query, par);
+  ASSERT_EQ(parallel.size(), sequential.size());
+  for (size_t i = 0; i < parallel.size(); ++i) {
+    SCOPED_TRACE(EngineKindName(sequential[i].kind));
+    EXPECT_EQ(parallel[i].kind, sequential[i].kind);
+    EXPECT_EQ(parallel[i].result.ok, sequential[i].result.ok);
+    EXPECT_EQ(parallel[i].result.tuples, sequential[i].result.tuples);
+  }
+}
+
+TEST(CliTest, RunEnginesForwardsShardingFlagsIntoEngineOptions) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/7);
+  HarnessOptions opts;
+  opts.engines = {EngineKind::kGenericJoin};
+  opts.shards = 4;
+  opts.shards_set = true;
+  opts.threads = 2;
+  opts.threads_set = true;
+  auto runs = RunEngines(q.query, opts);
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_TRUE(runs[0].result.ok) << runs[0].result.error;
+  EXPECT_EQ(runs[0].result.stats.shards, 4u);
+  EXPECT_EQ(runs[0].result.shard_runs.size(), 4u);
+  // The sharded sweep agrees with the plain one.
+  HarnessOptions plain;
+  plain.engines = {EngineKind::kGenericJoin};
+  auto plain_runs = RunEngines(q.query, plain);
+  EXPECT_EQ(runs[0].result.tuples, plain_runs[0].result.tuples);
+}
+
+TEST(CliTest, SummaryEmitsStructuredRowsInEveryFormat) {
+  {
+    testing::internal::CaptureStdout();
+    RunReporter rep(OutputFormat::kJsonl, "unit");
+    rep.Section("fits");
+    rep.Summary("resolutions_vs_agm_exponent", 1.02, "paper: 1 + o(1)");
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("\"row_type\":\"summary\""), std::string::npos);
+    EXPECT_NE(out.find("\"metric\":\"resolutions_vs_agm_exponent\""),
+              std::string::npos);
+    EXPECT_NE(out.find("\"value\":1.02"), std::string::npos);
+    EXPECT_NE(out.find("\"expectation\":\"paper: 1 + o(1)\""),
+              std::string::npos);
+  }
+  {
+    testing::internal::CaptureStdout();
+    RunReporter rep(OutputFormat::kCsv, "unit");
+    rep.Section("fits");
+    rep.Summary("exponent", 2.5, "expected ~2");
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("row_type"), std::string::npos);  // header
+    EXPECT_NE(out.find("summary,unit,fits,exponent,value=2.5"),
+              std::string::npos);
+    EXPECT_NE(out.find("expected ~2"), std::string::npos);
+  }
+  {
+    testing::internal::CaptureStdout();
+    RunReporter rep(OutputFormat::kTable, "unit");
+    rep.Summary("exponent", 2.5, "expected ~2");
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("exponent = 2.5"), std::string::npos);
+  }
+}
+
+TEST(CliTest, RowEmitsShardSubRows) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/8);
+  HarnessOptions opts;
+  opts.engines = {EngineKind::kLeapfrog};
+  opts.shards = 2;
+  opts.shards_set = true;
+  auto runs = RunEngines(q.query, opts);
+  ASSERT_EQ(runs.size(), 1u);
+  ASSERT_TRUE(runs[0].result.ok) << runs[0].result.error;
+  testing::internal::CaptureStdout();
+  RunReporter rep(OutputFormat::kJsonl, "unit");
+  rep.Section("sharded");
+  rep.Row("tri", {{"n", 30}}, runs[0]);
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_NE(out.find("\"row_type\":\"run\""), std::string::npos);
+  EXPECT_NE(out.find("\"row_type\":\"shard\""), std::string::npos);
+  EXPECT_NE(out.find("\"shards\":2"), std::string::npos);
+  EXPECT_NE(out.find("\"box\":"), std::string::npos);
+  EXPECT_TRUE(rep.AllAgreed());
+}
+
 }  // namespace
 }  // namespace tetris::cli

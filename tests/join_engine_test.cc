@@ -6,9 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "index/dyadic_index.h"
+#include "index/sorted_index.h"
 #include "workload/generators.h"
 
 namespace tetris {
@@ -286,6 +289,75 @@ TEST(JoinEngineTest, StatsArePopulatedPerEngineFamily) {
   ASSERT_TRUE(hash.ok);
   EXPECT_GT(hash.stats.baseline.max_intermediate, 0u);
   EXPECT_GE(hash.stats.wall_ms, 0.0);
+}
+
+// Leapfrog / Generic Join derive their trie order (GAO) from SortedIndex
+// column orders, so index ablations reach the WCOJ baselines too.
+TEST(JoinEngineTest, WcojEnginesDeriveGaoFromSortedIndexes) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/31);
+  // Triangle atoms R(A,B), S(B,C), T(A,C) with attribute ids A=0, B=1,
+  // C=2. Tries sorted (B,A), (B,C), (A,C) are all consistent with the
+  // global order B, A, C.
+  SortedIndex r_ix(*q.query.atoms()[0].rel, {1, 0}, q.depth);
+  SortedIndex s_ix(*q.query.atoms()[1].rel, {0, 1}, q.depth);
+  SortedIndex t_ix(*q.query.atoms()[2].rel, {0, 1}, q.depth);
+  EngineOptions opt;
+  opt.indexes = {&r_ix, &s_ix, &t_ix};
+  for (EngineKind kind :
+       {EngineKind::kLeapfrog, EngineKind::kGenericJoin}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    EngineResult base = RunJoin(q.query, kind);
+    ASSERT_TRUE(base.ok);
+    EngineResult derived = RunJoin(q.query, kind, opt);
+    ASSERT_TRUE(derived.ok) << derived.error;
+    EXPECT_EQ(derived.tuples, base.tuples);
+  }
+}
+
+TEST(JoinEngineTest, WcojEnginesRejectConflictingTrieOrders) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/20, /*d=*/4,
+                                   /*seed=*/32);
+  // (A,B), (B,C), (C,A): the precedence constraints form the cycle
+  // A -> B -> C -> A — no GAO is consistent with all three tries.
+  SortedIndex r_ix(*q.query.atoms()[0].rel, {0, 1}, q.depth);
+  SortedIndex s_ix(*q.query.atoms()[1].rel, {0, 1}, q.depth);
+  SortedIndex t_ix(*q.query.atoms()[2].rel, {1, 0}, q.depth);
+  EngineOptions opt;
+  opt.indexes = {&r_ix, &s_ix, &t_ix};
+  for (EngineKind kind :
+       {EngineKind::kLeapfrog, EngineKind::kGenericJoin}) {
+    SCOPED_TRACE(EngineKindName(kind));
+    EngineResult r = RunJoin(q.query, kind, opt);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("conflict"), std::string::npos) << r.error;
+  }
+
+  // An explicit order hint sidesteps the derivation entirely.
+  EngineOptions with_order = opt;
+  with_order.order = {0, 1, 2};
+  EngineResult r = RunJoin(q.query, EngineKind::kLeapfrog, with_order);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.tuples, RunJoin(q.query, EngineKind::kLeapfrog).tuples);
+}
+
+TEST(JoinEngineTest, WcojEnginesRejectNonSortedIndexes) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/20, /*d=*/4,
+                                   /*seed=*/33);
+  std::vector<std::unique_ptr<Index>> owned;
+  std::vector<const Index*> ptrs;
+  for (const Atom& a : q.query.atoms()) {
+    owned.push_back(std::make_unique<DyadicTreeIndex>(*a.rel, q.depth));
+    ptrs.push_back(owned.back().get());
+  }
+  EngineOptions opt;
+  opt.indexes = ptrs;
+  EngineResult r = RunJoin(q.query, EngineKind::kLeapfrog, opt);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("SortedIndex"), std::string::npos) << r.error;
+  // The Tetris family still accepts any Index implementation.
+  EngineResult tetris = RunJoin(q.query, EngineKind::kTetrisReloaded, opt);
+  EXPECT_TRUE(tetris.ok) << tetris.error;
 }
 
 }  // namespace

@@ -1,0 +1,263 @@
+// The parallel executor: the work-stealing pool must run every task
+// exactly once, and sharded parallel runs must be indistinguishable —
+// tuple for tuple — from sequential unsharded runs on every engine, on
+// randomized workloads, including the degenerate shapes (empty shards,
+// impossible budgets, rejected option combinations).
+#include "engine/parallel_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "engine/join_engine.h"
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+TEST(WorkStealingPoolTest, RunsEveryTaskExactlyOnce) {
+  WorkStealingPool pool(4);
+  EXPECT_EQ(pool.threads(), 4);
+  constexpr int kTasks = 200;
+  std::vector<std::atomic<int>> hits(kTasks);
+  for (auto& h : hits) h.store(0);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < kTasks; ++i) {
+    tasks.push_back([&hits, i] { ++hits[i]; });
+  }
+  pool.Run(std::move(tasks));
+  for (int i = 0; i < kTasks; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+}
+
+TEST(WorkStealingPoolTest, ReusableAcrossRunsAndSingleThreaded) {
+  WorkStealingPool pool(1);
+  std::atomic<int> count{0};
+  for (int round = 0; round < 3; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 10; ++i) tasks.push_back([&count] { ++count; });
+    pool.Run(std::move(tasks));
+  }
+  EXPECT_EQ(count.load(), 30);
+  pool.Run({});  // empty batch is a no-op, not a hang
+}
+
+TEST(WorkStealingPoolTest, ClampsThreadCount) {
+  WorkStealingPool pool(0);
+  EXPECT_EQ(pool.threads(), 1);
+  EXPECT_GE(WorkStealingPool::HardwareThreads(), 1);
+}
+
+TEST(ParallelForTest, CoversTheWholeRange) {
+  constexpr int kN = 57;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h.store(0);
+  ParallelFor(/*threads=*/3, kN, [&hits](int i) { ++hits[i]; });
+  for (int i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1) << i;
+  ParallelFor(/*threads=*/3, 0, [](int) { FAIL(); });
+}
+
+// Sharded output == unsharded output, engine by engine. This is the
+// cross-engine agreement matrix of the acceptance criteria: randomized
+// triangle (cyclic) and path (acyclic) workloads, all 11 engines.
+TEST(RunShardedJoinTest, ShardedMatchesUnshardedForEveryEngine) {
+  std::vector<QueryInstance> workloads;
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    workloads.push_back(
+        RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4, seed));
+    workloads.push_back(
+        RandomPath(/*hops=*/3, /*tuples_per_rel=*/50, /*d=*/4, seed));
+  }
+  for (size_t w = 0; w < workloads.size(); ++w) {
+    SCOPED_TRACE(w);
+    const QueryInstance& q = workloads[w];
+    for (EngineKind kind : AllEngineKinds()) {
+      SCOPED_TRACE(EngineKindName(kind));
+      EngineResult plain = RunJoin(q.query, kind);
+      EngineOptions sharded_opts;
+      sharded_opts.shards = 4;
+      sharded_opts.threads = 4;
+      EngineResult sharded = RunJoin(q.query, kind, sharded_opts);
+      if (!EngineSupports(kind, q.query)) {
+        EXPECT_FALSE(plain.ok);
+        EXPECT_FALSE(sharded.ok);
+        continue;
+      }
+      ASSERT_TRUE(plain.ok) << plain.error;
+      ASSERT_TRUE(sharded.ok) << sharded.error;
+      EXPECT_EQ(sharded.tuples, plain.tuples);
+      EXPECT_EQ(sharded.stats.output_tuples, plain.stats.output_tuples);
+      EXPECT_EQ(sharded.stats.shards, 4u);
+      EXPECT_EQ(sharded.shard_runs.size(), 4u);
+    }
+  }
+}
+
+TEST(RunShardedJoinTest, ShardRunsAreOrderedByIdWithPartialCounts) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/50, /*d=*/4,
+                                   /*seed=*/11);
+  EngineOptions opts;
+  opts.shards = 8;
+  opts.threads = 2;
+  EngineResult r = RunJoin(q.query, EngineKind::kGenericJoin, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  ASSERT_EQ(r.shard_runs.size(), 8u);
+  size_t total = 0;
+  for (size_t i = 0; i < r.shard_runs.size(); ++i) {
+    EXPECT_EQ(r.shard_runs[i].shard_id, static_cast<int>(i));
+    EXPECT_FALSE(r.shard_runs[i].box.empty());
+    total += r.shard_runs[i].output_tuples;
+  }
+  // Shards are disjoint: partial outputs add up exactly.
+  EXPECT_EQ(total, r.tuples.size());
+}
+
+TEST(RunShardedJoinTest, ThreadsAloneImplyAutoSharding) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/12);
+  EngineResult plain = RunJoin(q.query, EngineKind::kTetrisPreloaded);
+  EngineOptions opts;
+  opts.threads = 4;  // shards left at 0: the facade auto-shards
+  EngineResult r = RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.stats.shards, 4u);
+  EXPECT_GE(r.stats.threads, 1u);
+  EXPECT_EQ(r.tuples, plain.tuples);
+}
+
+TEST(RunShardedJoinTest, MemoryBudgetSplitsAndIsRespectedOrReported) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/60, /*d=*/5,
+                                   /*seed=*/13);
+  EngineResult plain = RunJoin(q.query, EngineKind::kTetrisPreloaded);
+  ASSERT_TRUE(plain.ok);
+
+  // A budget in the planner's own estimate domain (input payload)
+  // forces a real split, and the estimates then fit it.
+  const size_t estimate = PlanShards(q.query, {}).max_estimated_peak_bytes;
+  ASSERT_GT(estimate, 0u);
+  EngineOptions opts;
+  opts.memory_budget_bytes = estimate / 4;
+  EngineResult r = RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GE(r.stats.shards, 2u);
+  EXPECT_EQ(r.tuples, plain.tuples);
+
+  // Acceptance contract: every shard's *actual* peak fits the budget,
+  // or the run says which shard overran and by how much.
+  for (const ShardRunInfo& shard : r.shard_runs) {
+    if (shard.skipped_empty) continue;
+    if (shard.stats.memory.PeakBytes() > opts.memory_budget_bytes) {
+      EXPECT_NE(r.shard_note.find("exceeded the"), std::string::npos);
+    }
+  }
+  EXPECT_EQ(r.stats.max_shard_peak_bytes,
+            [&r] {
+              size_t peak = 0;
+              for (const auto& s : r.shard_runs) {
+                peak = std::max(peak, s.stats.memory.PeakBytes());
+              }
+              return peak;
+            }());
+
+  // A budget below the engine's actual (KB-dominated) peak but above
+  // the payload estimate cannot be anticipated by the planner; the
+  // executor still reports the overrun instead of staying silent.
+  const size_t full_peak = plain.stats.memory.PeakBytes();
+  if (full_peak / 2 > estimate) {
+    EngineOptions tight;
+    tight.memory_budget_bytes = full_peak / 2;
+    EngineResult t = RunJoin(q.query, EngineKind::kTetrisPreloaded, tight);
+    ASSERT_TRUE(t.ok) << t.error;
+    EXPECT_EQ(t.tuples, plain.tuples);
+    bool some_overran = false;
+    for (const ShardRunInfo& shard : t.shard_runs) {
+      if (!shard.skipped_empty &&
+          shard.stats.memory.PeakBytes() > tight.memory_budget_bytes) {
+        some_overran = true;
+      }
+    }
+    if (some_overran) {
+      EXPECT_FALSE(t.shard_note.empty());
+    }
+  }
+}
+
+TEST(RunShardedJoinTest, ImpossibleBudgetStillFinishesAndReports) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/14);
+  EngineResult plain = RunJoin(q.query, EngineKind::kLeapfrog);
+  EngineOptions opts;
+  opts.memory_budget_bytes = 1;  // cannot be met
+  EngineResult r = RunJoin(q.query, EngineKind::kLeapfrog, opts);
+  ASSERT_TRUE(r.ok) << r.error;  // degrade gracefully, not hang or fail
+  EXPECT_FALSE(r.shard_note.empty());
+  EXPECT_EQ(r.tuples, plain.tuples);
+}
+
+TEST(RunShardedJoinTest, EmptyShardsAreSkippedNotRun) {
+  // Clustered data (all values < 2^(d-1)) leaves the upper subcubes
+  // empty; those shards must be skipped and the output still exact.
+  Relation r1 = Relation::Make("R", {"A", "B"},
+                               {{0, 1}, {1, 2}, {2, 3}, {3, 0}});
+  Relation r2 = Relation::Make("S", {"B", "C"},
+                               {{1, 0}, {2, 1}, {3, 2}, {0, 3}});
+  JoinQuery q = JoinQuery::Build({&r1, &r2});
+  EngineOptions opts;
+  opts.depth = 3;
+  opts.shards = 8;
+  EngineResult sharded = RunJoin(q, EngineKind::kPairwiseHash, opts);
+  ASSERT_TRUE(sharded.ok) << sharded.error;
+  EngineOptions plain_opts;
+  plain_opts.depth = 3;
+  EngineResult plain = RunJoin(q, EngineKind::kPairwiseHash, plain_opts);
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(sharded.tuples, plain.tuples);
+  size_t skipped = 0;
+  for (const ShardRunInfo& shard : sharded.shard_runs) {
+    if (shard.skipped_empty) {
+      ++skipped;
+      EXPECT_EQ(shard.output_tuples, 0u);
+    }
+  }
+  EXPECT_GT(skipped, 0u);
+}
+
+TEST(RunShardedJoinTest, RejectsCustomIndexesAndBadOptionValues) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/20, /*d=*/4,
+                                   /*seed=*/15);
+  // Custom indexes cannot ride through sharding: shards rebuild their
+  // own over the restricted relations.
+  auto owned = MakeSaoConsistentIndexes(q.query, {0, 1, 2}, q.depth);
+  EngineOptions opts;
+  opts.indexes = IndexPtrs(owned);
+  opts.shards = 4;
+  EngineResult r = RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("indexes"), std::string::npos);
+
+  EngineOptions bad_shards;
+  bad_shards.shards = -2;
+  EXPECT_FALSE(RunJoin(q.query, EngineKind::kLeapfrog, bad_shards).ok);
+  EngineOptions bad_threads;
+  bad_threads.threads = -1;
+  EXPECT_FALSE(RunJoin(q.query, EngineKind::kLeapfrog, bad_threads).ok);
+}
+
+TEST(RunShardedJoinTest, ShardedRunHonorsOrderHints) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/16);
+  EngineOptions opts;
+  opts.order = {2, 0, 1};
+  opts.shards = 4;
+  EngineResult sharded = RunJoin(q.query, EngineKind::kLeapfrog, opts);
+  ASSERT_TRUE(sharded.ok) << sharded.error;
+  EngineOptions plain_opts;
+  plain_opts.order = {2, 0, 1};
+  EngineResult plain = RunJoin(q.query, EngineKind::kLeapfrog, plain_opts);
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(sharded.tuples, plain.tuples);
+}
+
+}  // namespace
+}  // namespace tetris

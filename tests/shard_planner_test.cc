@@ -1,0 +1,185 @@
+// The dyadic-prefix shard planner: shard boxes must partition the output
+// space, restricted relations must exactly cover the originals, and the
+// adaptive split must respect (or honestly report) the memory budget —
+// including the edge cases that could hang or lie: shard counts beyond
+// the domain, budgets below a single tuple, and empty shards.
+#include "engine/shard_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "index/sorted_index.h"
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+// Sums, per atom, the restricted tuple multisets across all shards and
+// compares with the original relation: every tuple must land in at least
+// one shard, and tuples fully constrained by the shard boxes land in
+// exactly one.
+void ExpectShardsCoverAtoms(const QueryInstance& q, const ShardPlan& plan) {
+  for (size_t a = 0; a < q.query.atoms().size(); ++a) {
+    std::set<Tuple> seen;
+    for (const Shard& shard : plan.shards) {
+      for (const Tuple& t : shard.query.atoms()[a].rel->tuples()) {
+        seen.insert(t);
+      }
+    }
+    const auto& original = q.query.atoms()[a].rel->tuples();
+    EXPECT_EQ(seen.size(), original.size());
+    for (const Tuple& t : original) EXPECT_TRUE(seen.count(t));
+  }
+}
+
+TEST(ShardPlannerTest, DefaultPlanIsOneUniversalShard) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/1);
+  ShardPlan plan = PlanShards(q.query, {});
+  EXPECT_EQ(plan.split_bits, 0);
+  ASSERT_EQ(plan.shards.size(), 1u);
+  EXPECT_EQ(plan.shards[0].box, DyadicBox::Universal(q.query.num_attrs()));
+  EXPECT_TRUE(plan.budget_ok);
+  EXPECT_TRUE(plan.note.empty());
+  for (size_t a = 0; a < q.query.atoms().size(); ++a) {
+    EXPECT_EQ(plan.shards[0].query.atoms()[a].rel->size(),
+              q.query.atoms()[a].rel->size());
+  }
+}
+
+TEST(ShardPlannerTest, ExplicitShardsAreDisjointAndCoverTheData) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/2);
+  ShardPlanOptions opts;
+  opts.shards = 4;
+  ShardPlan plan = PlanShards(q.query, opts);
+  EXPECT_EQ(plan.split_bits, 2);
+  ASSERT_EQ(plan.shards.size(), 4u);
+  for (size_t i = 0; i < plan.shards.size(); ++i) {
+    EXPECT_EQ(plan.shards[i].id, static_cast<int>(i));
+    for (size_t j = i + 1; j < plan.shards.size(); ++j) {
+      EXPECT_FALSE(plan.shards[i].box.Intersects(plan.shards[j].box))
+          << "shards " << i << " and " << j << " overlap";
+    }
+  }
+  ExpectShardsCoverAtoms(q, plan);
+}
+
+TEST(ShardPlannerTest, ShardCountRoundsUpToAPowerOfTwo) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/20, /*d=*/4,
+                                   /*seed=*/3);
+  ShardPlanOptions opts;
+  opts.shards = 3;
+  ShardPlan plan = PlanShards(q.query, opts);
+  EXPECT_EQ(plan.shards.size(), 4u);
+}
+
+TEST(ShardPlannerTest, ShardCountBeyondTheDomainClampsWithNote) {
+  // d = 1 over three attributes: the whole domain has 3 prefix bits, so
+  // at most 8 shards exist no matter what the caller asks for.
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/4, /*d=*/1,
+                                   /*seed=*/4);
+  ASSERT_EQ(q.depth, 1);
+  ShardPlanOptions opts;
+  opts.shards = 64;
+  opts.max_split_bits = 16;
+  ShardPlan plan = PlanShards(q.query, opts);
+  EXPECT_EQ(plan.shards.size(), 8u);
+  EXPECT_FALSE(plan.note.empty());
+  ExpectShardsCoverAtoms(q, plan);
+}
+
+TEST(ShardPlannerTest, BudgetGrowsTheSplitUntilShardsFit) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/60, /*d=*/5,
+                                   /*seed=*/5);
+  // Unsharded estimate first, then demand roughly a quarter of it.
+  ShardPlan coarse = PlanShards(q.query, {});
+  ASSERT_GT(coarse.max_estimated_peak_bytes, 0u);
+  ShardPlanOptions opts;
+  opts.shards = -1;
+  opts.memory_budget_bytes = coarse.max_estimated_peak_bytes / 4;
+  ShardPlan plan = PlanShards(q.query, opts);
+  EXPECT_TRUE(plan.budget_ok) << plan.note;
+  EXPECT_GE(plan.split_bits, 1);
+  for (const Shard& shard : plan.shards) {
+    EXPECT_LE(shard.estimated_peak_bytes, opts.memory_budget_bytes);
+  }
+  ExpectShardsCoverAtoms(q, plan);
+}
+
+TEST(ShardPlannerTest, ImpossibleBudgetReportsInsteadOfHanging) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/6);
+  ShardPlanOptions opts;
+  opts.shards = -1;
+  opts.memory_budget_bytes = 1;  // below a single tuple's payload
+  ShardPlan plan = PlanShards(q.query, opts);
+  EXPECT_FALSE(plan.budget_ok);
+  EXPECT_FALSE(plan.note.empty());
+  EXPECT_GT(plan.max_estimated_peak_bytes, opts.memory_budget_bytes);
+  // The plan still exists and still covers the data.
+  EXPECT_FALSE(plan.shards.empty());
+  ExpectShardsCoverAtoms(q, plan);
+}
+
+TEST(ShardPlannerTest, AutoModePlansOneShardPerThread) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/7);
+  ShardPlanOptions opts;
+  opts.shards = -1;
+  opts.threads_hint = 4;
+  ShardPlan plan = PlanShards(q.query, opts);
+  EXPECT_EQ(plan.shards.size(), 4u);
+}
+
+TEST(ShardPlannerTest, ShardsWithNoDataAreFlaggedEmpty) {
+  // All values below 2^(d-1): every shard whose first split bit is 1 on
+  // any dimension restricts some atom to the empty relation.
+  Relation r = Relation::Make("R", {"A", "B"},
+                              {{0, 1}, {1, 2}, {2, 3}});
+  Relation s = Relation::Make("S", {"B", "C"},
+                              {{1, 0}, {2, 1}, {3, 2}});
+  JoinQuery q = JoinQuery::Build({&r, &s});
+  ShardPlanOptions opts;
+  opts.shards = 8;
+  opts.depth = 3;  // values < 4 = 2^(depth-1): top halves are empty
+  ShardPlan plan = PlanShards(q, opts);
+  ASSERT_EQ(plan.shards.size(), 8u);
+  size_t empty = 0;
+  for (const Shard& shard : plan.shards) {
+    if (shard.empty) ++empty;
+  }
+  EXPECT_GT(empty, 0u);
+  // Shard 0 (all-zero prefixes) keeps data.
+  EXPECT_FALSE(plan.shards[0].empty);
+}
+
+TEST(ShardPlannerTest, EstimateMirrorsSortedIndexFootprint) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/25, /*d=*/4,
+                                   /*seed=*/8);
+  const Atom& atom = q.query.atoms()[0];
+  SortedIndex index(*atom.rel, q.depth);
+  EXPECT_EQ(EstimateAtomBytes(atom.rel->size(),
+                              static_cast<int>(atom.var_ids.size())),
+            index.MemoryBytes());
+}
+
+TEST(ShardPlannerTest, RestrictedQueriesKeepAttributeIds) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/30, /*d=*/4,
+                                   /*seed=*/9);
+  ShardPlanOptions opts;
+  opts.shards = 2;
+  ShardPlan plan = PlanShards(q.query, opts);
+  for (const Shard& shard : plan.shards) {
+    ASSERT_EQ(shard.query.attrs(), q.query.attrs());
+    for (size_t a = 0; a < q.query.atoms().size(); ++a) {
+      EXPECT_EQ(shard.query.atoms()[a].var_ids,
+                q.query.atoms()[a].var_ids);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tetris
