@@ -65,7 +65,8 @@ int main(int argc, char** argv) {
                     "here"
                   : "");
   rep.Summary("hardware_threads", static_cast<double>(hw),
-              "speedup acceptance (> 1.5 at 4 threads) needs >= 4");
+              hw < 4 ? "speedup acceptance SKIPPED (needs >= 4 cores)"
+                     : "speedup acceptance (> 1.5 at 4 threads)");
 
   bool ok = true;
   for (EngineKind kind : opts.engines) {
@@ -103,17 +104,42 @@ int main(int argc, char** argv) {
         if (shards == 4 && threads == 4) speedup_4x4 = speedup;
         const std::string scenario =
             "s" + std::to_string(shards) + "t" + std::to_string(threads);
+        // The peak-memory columns of the zero-copy acceptance: per-shard
+        // peak (the budget-facing number), the estimator's prediction,
+        // and the plan's own residency (row indices, flat in the shard
+        // count — the old materializing planner scaled with it).
         rep.Row(scenario,
                 {{"shards", static_cast<double>(shards)},
                  {"threads", static_cast<double>(threads)},
                  {"speedup", speedup},
                  {"shard_peak_KiB",
-                  run.result.stats.max_shard_peak_bytes / 1024.0}},
+                  run.result.stats.max_shard_peak_bytes / 1024.0},
+                 {"est_peak_KiB",
+                  run.result.stats.estimated_max_shard_peak_bytes /
+                      1024.0},
+                 {"plan_KiB", run.result.stats.plan_bytes / 1024.0}},
                 run);
       }
     }
-    rep.Summary(std::string(EngineKindName(kind)) + "_speedup_s4t4",
-                speedup_4x4, "acceptance: > 1.5 at 4 threads");
+    // Acceptance check: > 1.5x at shards=4, threads=4 — only meaningful
+    // on a machine with at least 4 cores, so below that the check is an
+    // explicit SKIPPED, not a silent miss; at or above it, a miss fails
+    // the run (the exit code is the acceptance signal).
+    if (hw < 4) {
+      rep.Summary(std::string(EngineKindName(kind)) + "_speedup_s4t4",
+                  speedup_4x4, "SKIPPED (needs >= 4 cores)");
+      rep.Note("   %s acceptance SKIPPED (needs >= 4 cores, have %d)",
+               EngineKindName(kind), hw);
+    } else {
+      rep.Summary(std::string(EngineKindName(kind)) + "_speedup_s4t4",
+                  speedup_4x4, "acceptance: > 1.5 at 4 threads");
+      if (speedup_4x4 <= 1.5) {
+        rep.Error("!! SPEEDUP ACCEPTANCE MISSED: %s s4t4 = %.2fx "
+                  "(need > 1.5x on %d hardware threads)",
+                  EngineKindName(kind), speedup_4x4, hw);
+        ok = false;
+      }
+    }
   }
 
   // Memory-budgeted run: the planner chooses the split from the budget
@@ -134,7 +160,9 @@ int main(int argc, char** argv) {
             {{"budget_bytes", static_cast<double>(estimate / 4)},
              {"shards", static_cast<double>(run.result.stats.shards)},
              {"shard_peak_KiB",
-              run.result.stats.max_shard_peak_bytes / 1024.0}},
+              run.result.stats.max_shard_peak_bytes / 1024.0},
+             {"est_peak_KiB",
+              run.result.stats.estimated_max_shard_peak_bytes / 1024.0}},
             run);
   }
   return ok && rep.AllAgreed() ? 0 : 1;

@@ -39,6 +39,38 @@ bool ParseU64(const std::string& text, uint64_t* out) {
   return true;
 }
 
+// Byte count with an optional binary suffix: "65536", "512K", "64M",
+// "2G" (case-insensitive, optional trailing "B": "64MB"). False on
+// junk, negatives, or a value that overflows after scaling.
+bool ParseByteCount(const std::string& text, uint64_t* out) {
+  size_t digits = 0;
+  while (digits < text.size() &&
+         std::isdigit(static_cast<unsigned char>(text[digits]))) {
+    ++digits;
+  }
+  if (digits == 0) return false;
+  uint64_t value;
+  if (!ParseU64(text.substr(0, digits), &value)) return false;
+  std::string suffix = text.substr(digits);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(
+      static_cast<unsigned char>(c)));
+  int shift = 0;
+  if (suffix == "" || suffix == "b") {
+    shift = 0;
+  } else if (suffix == "k" || suffix == "kb") {
+    shift = 10;
+  } else if (suffix == "m" || suffix == "mb") {
+    shift = 20;
+  } else if (suffix == "g" || suffix == "gb") {
+    shift = 30;
+  } else {
+    return false;
+  }
+  if (shift > 0 && value > (UINT64_MAX >> shift)) return false;
+  *out = value << shift;
+  return true;
+}
+
 // "--name=value" accessor: true iff `arg` starts with "--name=", leaving
 // the value in *value.
 bool FlagValue(const char* arg, const char* name, std::string* value) {
@@ -208,21 +240,29 @@ bool ParseHarnessArgs(int* argc, char** argv, HarnessOptions* opts,
       }
       opts->shards_set = true;
     } else if (FlagValue(arg, "--threads", &value)) {
-      uint64_t threads;
-      if (!ParseU64(value, &threads) || threads > 256) {
+      uint64_t threads = 0;
+      if (value == "auto") {
+        opts->threads = 0;  // the executor's full width
+      } else if (ParseU64(value, &threads) && threads >= 1 &&
+                 threads <= 256) {
+        opts->threads = static_cast<int>(threads);
+      } else {
         if (error) {
-          *error = "--threads wants 0 (hardware concurrency) or a thread "
-                   "count up to 256, got '" + value + "'";
+          *error = "--threads wants 'auto' (every worker of the shared "
+                   "executor) or a thread cap in [1, 256]; zero or "
+                   "negative counts cannot run anything (got '" +
+                   value + "')";
         }
         return false;
       }
-      opts->threads = static_cast<int>(threads);
       opts->threads_set = true;
     } else if (FlagValue(arg, "--memory-budget", &value)) {
       uint64_t budget;
-      if (!ParseU64(value, &budget)) {
+      if (!ParseByteCount(value, &budget)) {
         if (error) {
-          *error = "--memory-budget wants a byte count, got '" + value + "'";
+          *error = "--memory-budget wants a byte count, optionally with "
+                   "a binary suffix (65536, 512K, 64M, 2G), got '" +
+                   value + "'";
         }
         return false;
       }
@@ -261,9 +301,9 @@ void PrintHarnessUsage() {
       "  --seed=<n>              workload seed override\n"
       "  --size=<n>              workload scale override\n"
       "  --shards=<n|auto>       dyadic-prefix sharding per run\n"
-      "  --threads=<n>           worker threads per sharded run (0 = "
-      "hardware)\n"
-      "  --memory-budget=<bytes> per-shard resident budget (implies "
+      "  --threads=<n|auto>      worker cap per sharded run (auto = the "
+      "shared executor's full width)\n"
+      "  --memory-budget=<n[K|M|G]> per-shard resident budget (implies "
       "sharding)\n"
       "  --parallel              run the selected engines concurrently\n"
       "  --list-engines          print the engine names and exit\n"
@@ -334,8 +374,11 @@ std::vector<EngineRun> RunEngines(const JoinQuery& query,
   const int n = static_cast<int>(opts.engines.size());
   if (opts.parallel && n > 1) {
     // One pool task per engine; results land in per-engine slots, so
-    // the returned order matches the sequential sweep exactly.
-    ParallelFor(/*threads=*/0, n, run_one);
+    // the returned order matches the sequential sweep exactly. The
+    // sweep and any sharding inside the engines draw from the same
+    // executor (eopts.executor, default the process-global pool), so
+    // nesting stays within one thread budget.
+    ParallelFor(eopts.executor, /*max_parallel=*/0, n, run_one);
   } else {
     for (int i = 0; i < n; ++i) run_one(i);
   }
@@ -398,13 +441,14 @@ void RunReporter::EmitRow(const char* row_type, const std::string& scenario,
                     "tuples,wall_ms,resolutions,boxes_loaded,probes,seeks,"
                     "max_intermediate,kb_bytes,index_bytes,"
                     "intermediate_bytes,output_bytes,shards,threads,"
-                    "shard_peak_bytes,box,error,note\n");
+                    "shard_peak_bytes,est_shard_peak_bytes,plan_bytes,"
+                    "box,error,note\n");
         csv_header_printed_ = true;
       }
       const std::string params_field = FormatParams(params, ";", false);
       std::printf("%s,%s,%s,%s,%s,%s,%d,%zu,%.3f,%" PRId64 ",%" PRId64
                   ",%" PRId64 ",%" PRId64 ",%zu,%zu,%zu,%zu,%zu,%zu,%zu,"
-                  "%zu,%s,%s,%s\n",
+                  "%zu,%zu,%zu,%s,%s,%s\n",
                   row_type, CsvField(bench_).c_str(),
                   CsvField(section_).c_str(), CsvField(scenario).c_str(),
                   params_field.c_str(), engine_name, ok ? 1 : 0, tuples,
@@ -413,6 +457,7 @@ void RunReporter::EmitRow(const char* row_type, const std::string& scenario,
                   s.memory.kb_bytes, s.memory.index_bytes,
                   s.memory.intermediate_bytes, s.memory.output_bytes,
                   s.shards, s.threads, s.max_shard_peak_bytes,
+                  s.estimated_max_shard_peak_bytes, s.plan_bytes,
                   CsvField(box).c_str(), CsvField(error).c_str(),
                   CsvField(note).c_str());
       return;
@@ -427,7 +472,8 @@ void RunReporter::EmitRow(const char* row_type, const std::string& scenario,
                   ",\"seeks\":%" PRId64 ",\"max_intermediate\":%zu,"
                   "\"memory\":{\"kb_bytes\":%zu,\"index_bytes\":%zu,"
                   "\"intermediate_bytes\":%zu,\"output_bytes\":%zu},"
-                  "\"shards\":%zu,\"threads\":%zu,\"shard_peak_bytes\":%zu"
+                  "\"shards\":%zu,\"threads\":%zu,\"shard_peak_bytes\":%zu,"
+                  "\"est_shard_peak_bytes\":%zu,\"plan_bytes\":%zu"
                   "%s%s%s%s%s%s%s%s%s}\n",
                   row_type, JsonEscape(bench_).c_str(),
                   JsonEscape(section_).c_str(), JsonEscape(scenario).c_str(),
@@ -437,7 +483,8 @@ void RunReporter::EmitRow(const char* row_type, const std::string& scenario,
                   s.baseline.max_intermediate, s.memory.kb_bytes,
                   s.memory.index_bytes, s.memory.intermediate_bytes,
                   s.memory.output_bytes, s.shards, s.threads,
-                  s.max_shard_peak_bytes,
+                  s.max_shard_peak_bytes, s.estimated_max_shard_peak_bytes,
+                  s.plan_bytes,
                   box.empty() ? "" : ",\"box\":\"",
                   box.empty() ? "" : JsonEscape(box).c_str(),
                   box.empty() ? "" : "\"", ok ? "" : ",\"error\":\"",

@@ -10,8 +10,10 @@
 //   --seed=<n>             workload seed override (0 = binary default)
 //   --size=<n>             generic scale knob (0 = binary default)
 //   --shards=<n|auto>      dyadic-prefix sharding per run (default: off)
-//   --threads=<n>          worker threads per sharded run (0 = hardware)
-//   --memory-budget=<bytes> per-shard resident budget (implies sharding)
+//   --threads=<n|auto>     worker cap per sharded run (auto = the shared
+//                          executor's full width; 0/negative rejected)
+//   --memory-budget=<n[K|M|G]> per-shard resident budget (implies
+//                          sharding; binary suffixes)
 //   --parallel             run the selected *engines* concurrently too
 //   --list-engines, --help
 //

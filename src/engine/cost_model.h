@@ -1,0 +1,64 @@
+// Calibrated per-engine-family shard cost estimation.
+//
+// The shard planner budgets shards before running them, so it needs a
+// model mapping a shard's restricted input payload to the peak resident
+// bytes the engine will actually touch (MemoryStats::PeakBytes). A flat
+// payload proxy cannot anticipate engine-internal growth: the Tetris
+// family's knowledge base grows with the resolutions it caches, the
+// worst-case-optimal baselines are dominated by output volume, and the
+// pairwise plans by materialized intermediates. The executor therefore
+// fits a per-family linear model from a *cheap probe pass* — it runs one
+// small probe shard exactly the way the real shards will run and fits
+// the slope peak/payload from the family's dominant metric — and the
+// planner scales every shard's payload through it. After the run the
+// executor verifies the prediction against the actual per-shard peaks
+// and reports the miss, so the model is auditable, not just plausible.
+#ifndef TETRIS_ENGINE_COST_MODEL_H_
+#define TETRIS_ENGINE_COST_MODEL_H_
+
+#include <string>
+
+#include "engine/join_engine.h"
+
+namespace tetris {
+
+/// Engine families with distinct peak-memory shapes.
+enum class EngineFamily {
+  kTetris,         ///< knowledge-base growth (kb_bytes) dominates
+  kWcoj,           ///< Leapfrog / Generic Join: output volume dominates
+  kMaterializing,  ///< Yannakakis / pairwise: intermediates dominate
+};
+
+EngineFamily EngineFamilyOf(EngineKind kind);
+const char* EngineFamilyName(EngineFamily family);
+
+/// Per-shard peak model: EstimatePeak(payload) = max(floor_bytes,
+/// bytes_per_payload_byte * payload), where payload is the restricted
+/// input payload of the shard (shard_planner.h's EstimateAtomBytes
+/// summed over the shard's atoms). The default is the uncalibrated
+/// payload proxy (slope 1).
+struct ShardCostModel {
+  EngineFamily family = EngineFamily::kWcoj;
+  double bytes_per_payload_byte = 1.0;
+  size_t floor_bytes = 0;
+  bool calibrated = false;
+  /// Where the slope came from, for diagnostics: "payload-proxy" or
+  /// "probe(<payload>B -> <peak>B)".
+  std::string source = "payload-proxy";
+
+  size_t EstimatePeak(size_t payload_bytes) const;
+};
+
+/// Fits the model from one probe shard run. The family selects the
+/// dominant metric of the probe's RunStats: KB growth for the Tetris
+/// variants, output volume for the WCOJ baselines, intermediate volume
+/// for the materializing plans; the slope is metric / payload. Falls
+/// back to the payload proxy when the probe carries no signal
+/// (`probe_payload_bytes == 0`).
+ShardCostModel FitShardCostModel(EngineKind kind,
+                                 size_t probe_payload_bytes,
+                                 const RunStats& probe_stats);
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_COST_MODEL_H_

@@ -13,12 +13,10 @@
 
 namespace tetris {
 
-namespace {
-
 // Maps the Tetris-family kinds to their join_runner algorithm; nullopt
 // for non-Tetris engines. Exhaustive switch: a new EngineKind fails the
 // -Werror build until it is routed here.
-std::optional<JoinAlgorithm> TetrisAlgorithm(EngineKind kind) {
+std::optional<JoinAlgorithm> TetrisAlgorithmOf(EngineKind kind) {
   switch (kind) {
     case EngineKind::kTetrisPreloaded:
       return JoinAlgorithm::kTetrisPreloaded;
@@ -40,6 +38,8 @@ std::optional<JoinAlgorithm> TetrisAlgorithm(EngineKind kind) {
   }
   return std::nullopt;
 }
+
+namespace {
 
 // The Balance-lifted variants choose their own SAO (join_runner asserts
 // sao.empty()), so an explicit order hint must be rejected up front.
@@ -175,7 +175,7 @@ EngineResult RunJoin(const JoinQuery& query, EngineKind kind,
   result.stats.engine = kind;
   const auto start = std::chrono::steady_clock::now();
 
-  const std::optional<JoinAlgorithm> tetris_algo = TetrisAlgorithm(kind);
+  const std::optional<JoinAlgorithm> tetris_algo = TetrisAlgorithmOf(kind);
   if (!options.order.empty()) {
     if (!IsPermutation(options.order, query.num_attrs())) {
       result.error = "order: not a permutation of the query attribute ids";

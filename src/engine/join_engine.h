@@ -15,6 +15,7 @@
 #ifndef TETRIS_ENGINE_JOIN_ENGINE_H_
 #define TETRIS_ENGINE_JOIN_ENGINE_H_
 
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -24,6 +25,8 @@
 #include "query/join_query.h"
 
 namespace tetris {
+
+class WorkStealingPool;  // engine/parallel_executor.h
 
 /// Every evaluator the repo knows how to run.
 enum class EngineKind {
@@ -53,6 +56,11 @@ const std::vector<EngineKind>& AllEngineKinds();
 /// True iff `kind` can evaluate `query` (Yannakakis requires α-acyclicity;
 /// everything else is universal).
 bool EngineSupports(EngineKind kind, const JoinQuery& query);
+
+/// The join_runner algorithm behind a Tetris-family kind; nullopt for
+/// the baselines. The sharded executor uses it to pick the zero-copy
+/// view path (Tetris family) over lazy materialization (baselines).
+std::optional<JoinAlgorithm> TetrisAlgorithmOf(EngineKind kind);
 
 /// Approximate resident-space counters (bytes). A counter is zero when
 /// the engine has no corresponding structure: only the Tetris family
@@ -94,9 +102,15 @@ struct RunStats {
 
   // Sharded runs only (engine/parallel_executor.h); zero otherwise.
   size_t shards = 0;   ///< planned shard count (incl. empty shards)
-  size_t threads = 0;  ///< pool size the shards ran on
+  size_t threads = 0;  ///< executor workers the run may occupy
   size_t max_shard_peak_bytes = 0;  ///< max MemoryStats::PeakBytes() over
                                     ///< shards — the budget-facing number
+  /// The planner's cost-model prediction of max_shard_peak_bytes
+  /// (engine/cost_model.h) — compare the two to audit the estimator.
+  size_t estimated_max_shard_peak_bytes = 0;
+  /// Bytes the shard plan itself keeps resident (row buckets): 8 bytes
+  /// per (atom, tuple), independent of the shard count.
+  size_t plan_bytes = 0;
 };
 
 /// Per-shard outcome of a sharded run, in shard-id order.
@@ -137,13 +151,15 @@ struct EngineOptions {
   std::vector<int> order;
 
   /// Pre-built per-atom indexes (`indexes[i]` serves atom i). The Tetris
-  /// family probes them directly; Leapfrog and Generic Join derive their
-  /// trie order (GAO) from SortedIndex column orders when `order` is
-  /// empty, so index ablations cover the WCOJ baselines too. Ignored by
-  /// Yannakakis and the pairwise plans; rejected when sharding is
-  /// requested (each shard rebuilds indexes over its restricted
-  /// relations). Empty = engine-appropriate defaults. Pointers must
-  /// outlive the call; the size must match the atom count.
+  /// family probes them directly — including under sharding, where each
+  /// shard wraps them in zero-copy IndexViews (index/index_view.h);
+  /// Leapfrog and Generic Join derive their trie order (GAO) from
+  /// SortedIndex column orders when `order` is empty, so index ablations
+  /// cover the WCOJ baselines too. Ignored by Yannakakis and the
+  /// pairwise plans; rejected when sharding is requested on a non-Tetris
+  /// engine (the baselines rescan materialized shard copies). Empty =
+  /// engine-appropriate defaults. Pointers must outlive the call; the
+  /// size must match the atom count.
   std::vector<const Index*> indexes;
 
   /// Dyadic depth of the value domain; 0 = query.MinDepth(). Only
@@ -157,15 +173,27 @@ struct EngineOptions {
   /// to 0 or > 1 while this is 0 implies kAutoShards.
   int shards = 0;
 
-  /// Worker threads for the sharded run: 1 = sequential (default),
-  /// 0 = hardware concurrency, N = exactly N.
+  /// Worker-parallelism cap for the sharded run: 1 = sequential
+  /// (default), 0 = the executor's full width, N = at most N workers.
+  /// Always clamped to the executor's width — the shared thread budget —
+  /// so nested parallelism cannot oversubscribe the machine.
   int threads = 1;
 
   /// When nonzero, the shard planner keeps splitting until every
   /// shard's estimated peak resident bytes fit this budget (see
-  /// MemoryStats::PeakBytes); EngineResult::shard_note reports when it
-  /// cannot. Implies sharded execution.
+  /// MemoryStats::PeakBytes), scaling payloads through a per-engine-
+  /// family cost model calibrated from a probe pass
+  /// (engine/cost_model.h); EngineResult::shard_note reports when it
+  /// cannot, and carries the post-run prediction-vs-actual audit.
+  /// Implies sharded execution.
   size_t memory_budget_bytes = 0;
+
+  /// Executor the sharded run (and cli::RunEngines --parallel) draws its
+  /// workers from. nullptr = the process-global pool, sized once to the
+  /// hardware and shared by every caller — the shared thread budget.
+  /// Pass a private pool to isolate a run's parallelism. Must outlive
+  /// the call.
+  WorkStealingPool* executor = nullptr;
 };
 
 /// Evaluates `query` with the chosen engine. Never throws: unsupported

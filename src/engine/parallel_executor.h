@@ -1,14 +1,30 @@
-// Parallel execution of independent join work: a small work-stealing
-// thread pool plus the sharded-run driver behind the JoinEngine facade.
+// Parallel execution of independent join work: a work-stealing thread
+// pool with nested task groups, plus the sharded-run driver behind the
+// JoinEngine facade.
 //
-// The pool runs arbitrary closures; the facade uses it for two shapes of
-// parallelism:
+// The pool of record is the *process-global executor* (Global()): created
+// on first use, sized once to the hardware, threads alive until process
+// exit — repeated sharded runs reuse the same workers instead of
+// churning threads. Every facade-level consumer draws from that one
+// thread budget: RunShardedJoin fans its shards out on it and
+// cli::RunEngines --parallel fans its engines out on it, and because Run
+// is *reentrant* — a task that calls Run on its own pool helps execute
+// queued tasks until its group completes instead of blocking a worker —
+// nested parallelism (a parallel engine sweep whose engines shard
+// internally) is bounded by the pool width and cannot oversubscribe the
+// machine. Callers that really want a separate budget pass their own
+// pool through EngineOptions::executor.
+//
+// The facade uses the pool for two shapes of parallelism:
 //
 //   * per-shard: RunShardedJoin plans a dyadic-prefix decomposition
-//     (engine/shard_planner.h), evaluates every shard concurrently with
-//     the selected engine, and merges outputs and RunStats
-//     deterministically by shard id — the result is bit-identical to the
-//     sequential unsharded run;
+//     (engine/shard_planner.h) and evaluates every shard concurrently
+//     with the selected engine — the Tetris family through zero-copy
+//     IndexViews over base indexes built once per run
+//     (index/index_view.h), the baselines through shard relations
+//     materialized lazily inside the worker task and dropped when the
+//     shard finishes — then merges outputs and RunStats deterministically
+//     by shard id, bit-identical to the sequential unsharded run;
 //   * per-engine: cli::RunEngines uses ParallelFor to sweep whole engine
 //     matrices concurrently (one task per engine).
 //
@@ -16,7 +32,9 @@
 // state (oracles, knowledge bases, scratch) from const inputs —
 // relations, indexes and queries are only read. The evaluator layer keeps
 // that contract re-entrant: probe counters are atomic
-// (kb/box_oracle.h) and oracle adapters carry no shared mutable scratch.
+// (kb/box_oracle.h) and oracle adapters carry no shared mutable scratch;
+// IndexViews share one base index across shards through the same
+// const-probe contract.
 #ifndef TETRIS_ENGINE_PARALLEL_EXECUTOR_H_
 #define TETRIS_ENGINE_PARALLEL_EXECUTOR_H_
 
@@ -48,42 +66,72 @@ class WorkStealingPool {
   int threads() const { return static_cast<int>(workers_.size()); }
 
   /// Runs every task and blocks until all complete. Tasks must not
-  /// throw and must not call Run on the same pool (deadlock). One Run
-  /// at a time per pool.
+  /// throw. Reentrant: concurrent Runs from several threads interleave
+  /// on the same workers, and a Run issued from inside a pool task
+  /// *helps* — the calling worker executes queued tasks until its own
+  /// group completes — so nested parallelism never deadlocks and never
+  /// grows the thread count.
   void Run(std::vector<std::function<void()>> tasks);
 
   /// std::thread::hardware_concurrency with a sane floor of 1.
   static int HardwareThreads();
 
+  /// The process-global executor: lazily created, sized to
+  /// HardwareThreads(), threads persist until process exit. All facade
+  /// parallelism (sharded runs, --parallel sweeps) defaults to it, so
+  /// nested uses share one thread budget.
+  static WorkStealingPool& Global();
+
  private:
+  /// One blocking Run call: the tasks it enqueued that have not finished.
+  struct Group {
+    size_t pending = 0;
+  };
+  struct Task {
+    std::function<void()> fn;
+    Group* group = nullptr;
+  };
+
   void WorkerLoop(int self);
   // Pops own back, else steals another deque's front. Caller holds mu_.
-  std::function<void()> NextTask(int self);
+  Task NextTask(int self);
 
   std::mutex mu_;
-  std::condition_variable work_cv_;  // workers: tasks may be available
-  std::condition_variable done_cv_;  // Run: all tasks completed
-  std::vector<std::deque<std::function<void()>>> queues_;
+  std::condition_variable cv_;  // new work, group completion, stop
+  std::vector<std::deque<Task>> queues_;
   size_t unassigned_ = 0;  // tasks sitting in deques
-  size_t pending_ = 0;     // tasks not yet completed
   bool stop_ = false;
   std::vector<std::thread> workers_;
 };
 
-/// Runs fn(0..n-1) across `threads` pool workers (0 = hardware
-/// concurrency) and returns when all completed. Results belong in
-/// caller-owned slots indexed by i, which keeps the outcome
-/// deterministic regardless of scheduling.
+/// Runs fn(0..n-1) on `pool` (nullptr = the global executor), occupying
+/// at most max_parallel of its workers (<= 0 = the pool's full width;
+/// always clamped to the pool width — the shared thread budget). Blocks
+/// until all complete; n <= 1 or an effective width of 1 runs inline on
+/// the calling thread. Results belong in caller-owned slots indexed by
+/// i, which keeps the outcome deterministic regardless of scheduling.
+void ParallelFor(WorkStealingPool* pool, int max_parallel, int n,
+                 const std::function<void(int)>& fn);
+
+/// Back-compat shim on the global executor: threads = 0 means the pool's
+/// full width.
 void ParallelFor(int threads, int n, const std::function<void(int)>& fn);
 
 /// Sharded evaluation of `query` on `kind`: plans dyadic-prefix shards
-/// per options.shards / options.memory_budget_bytes, runs them on
-/// options.threads workers, and merges tuples and stats by shard id.
-/// Empty shards are skipped without touching the engine. The merged
-/// MemoryStats fields hold per-shard *peaks* (the budget-facing number),
-/// not concurrent sums; RunStats::shards and ::max_shard_peak_bytes and
-/// EngineResult::shard_runs/::shard_note carry the per-shard detail.
-/// Called by RunJoin after option validation; callable directly in tests.
+/// per options.shards / options.memory_budget_bytes (calibrating a
+/// per-engine-family cost model from a probe pass when a budget is in
+/// play), runs them on at most options.threads workers of
+/// options.executor (nullptr = the global pool), and merges tuples and
+/// stats by shard id. Empty shards are skipped without touching the
+/// engine. The Tetris family evaluates shards through zero-copy
+/// IndexViews over base indexes built once; the baselines materialize
+/// each shard lazily inside its worker task. The merged MemoryStats
+/// fields hold per-shard *peaks* (the budget-facing number), not
+/// concurrent sums; RunStats::{shards, threads, max_shard_peak_bytes,
+/// estimated_max_shard_peak_bytes, plan_bytes} and
+/// EngineResult::shard_runs/::shard_note carry the per-shard and
+/// estimator detail. Called by RunJoin after option validation; callable
+/// directly in tests.
 EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
                             const EngineOptions& options);
 

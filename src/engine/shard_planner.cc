@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <unordered_map>
+
+#include "engine/cost_model.h"
+#include "relation/relation_view.h"
 
 namespace tetris {
 
@@ -48,27 +50,14 @@ DyadicBox ShardBox(int num_attrs, const std::vector<int>& dims, int id) {
 // (depth-1-r) of the tuple's value in every column bound to that
 // dimension. The pinned-bit *positions* depend only on the atom, so
 // bucketing tuples by their pinned-bit values answers both the planner's
-// counting queries and the materialization without rescanning the
+// counting queries and any later materialization without rescanning the
 // relation once per shard: shard `id` holds exactly bucket[id & mask].
 // Tuples whose repeated-attribute columns disagree on a pinned bit can
 // match no shard and land in no bucket (they can also match no output).
-struct AtomBuckets {
-  int id_mask = 0;  // shard-id bits this atom pins
-  std::unordered_map<int, std::vector<size_t>> tuples;  // key -> indices
-
-  const std::vector<size_t>* ForShard(int id) const {
-    auto it = tuples.find(id & id_mask);
-    return it == tuples.end() ? nullptr : &it->second;
-  }
-  size_t CountForShard(int id) const {
-    const std::vector<size_t>* b = ForShard(id);
-    return b == nullptr ? 0 : b->size();
-  }
-};
-
-AtomBuckets BucketAtomTuples(const Atom& atom, const std::vector<int>& dims,
-                             int depth) {
-  AtomBuckets out;
+ShardPlan::AtomBuckets BucketAtomTuples(const Atom& atom,
+                                        const std::vector<int>& dims,
+                                        int depth) {
+  ShardPlan::AtomBuckets out;
   const int k = static_cast<int>(dims.size());
   // Per constrained level: its shard-id bit and the value bit each
   // relevant column must supply.
@@ -109,15 +98,14 @@ AtomBuckets BucketAtomTuples(const Atom& atom, const std::vector<int>& dims,
       if (contradiction) break;
       key |= bit << pin.id_shift;
     }
-    if (!contradiction) out.tuples[key].push_back(t);
+    if (!contradiction) out.rows[key].push_back(t);
   }
   return out;
 }
 
-std::vector<AtomBuckets> BucketAllAtoms(const JoinQuery& query,
-                                        const std::vector<int>& dims,
-                                        int depth) {
-  std::vector<AtomBuckets> buckets;
+std::vector<ShardPlan::AtomBuckets> BucketAllAtoms(
+    const JoinQuery& query, const std::vector<int>& dims, int depth) {
+  std::vector<ShardPlan::AtomBuckets> buckets;
   buckets.reserve(query.atoms().size());
   for (const Atom& atom : query.atoms()) {
     buckets.push_back(BucketAtomTuples(atom, dims, depth));
@@ -125,22 +113,34 @@ std::vector<AtomBuckets> BucketAllAtoms(const JoinQuery& query,
   return buckets;
 }
 
-// Estimated peak resident bytes of the largest shard: max over shards
-// of the SUM over atoms of the restricted payload — all per-atom
-// indexes are resident simultaneously during a run, so the runtime
-// `MemoryStats::index_bytes` the budget is checked against is a sum,
-// and the estimate must match that shape.
+size_t BucketCount(const ShardPlan::AtomBuckets& b, int id) {
+  auto it = b.rows.find(id & b.id_mask);
+  return it == b.rows.end() ? 0 : it->second.size();
+}
+
+// Restricted input payload of shard `id`: the SUM over atoms of the
+// restricted tuples' payload — all per-atom structures are resident
+// simultaneously during a run, so the estimate must be sum-shaped.
+size_t ShardPayload(const JoinQuery& query,
+                    const std::vector<ShardPlan::AtomBuckets>& buckets,
+                    int id) {
+  size_t payload = 0;
+  for (size_t a = 0; a < buckets.size(); ++a) {
+    payload += EstimateAtomBytes(
+        BucketCount(buckets[a], id),
+        static_cast<int>(query.atoms()[a].var_ids.size()));
+  }
+  return payload;
+}
+
+// Estimated peak resident bytes of the costliest shard under `model`.
 size_t MaxShardEstimate(const JoinQuery& query,
-                        const std::vector<AtomBuckets>& buckets, int k) {
+                        const std::vector<ShardPlan::AtomBuckets>& buckets,
+                        int k, const ShardCostModel& model) {
   size_t worst = 0;
   for (int id = 0; id < (1 << k); ++id) {
-    size_t shard_bytes = 0;
-    for (size_t a = 0; a < buckets.size(); ++a) {
-      shard_bytes += EstimateAtomBytes(
-          buckets[a].CountForShard(id),
-          static_cast<int>(query.atoms()[a].var_ids.size()));
-    }
-    worst = std::max(worst, shard_bytes);
+    worst = std::max(worst,
+                     model.EstimatePeak(ShardPayload(query, buckets, id)));
   }
   return worst;
 }
@@ -166,10 +166,31 @@ size_t EstimateAtomBytes(size_t tuples, int arity) {
          (sizeof(Tuple) + static_cast<size_t>(arity) * sizeof(uint64_t));
 }
 
+const std::vector<size_t>* ShardPlan::AtomRows(int shard_id,
+                                               size_t atom) const {
+  const AtomBuckets& b = buckets[atom];
+  auto it = b.rows.find(shard_id & b.id_mask);
+  return it == b.rows.end() ? nullptr : &it->second;
+}
+
+size_t ShardPlan::PlanningBytes() const {
+  size_t total = shards.size() * sizeof(Shard);
+  for (const AtomBuckets& b : buckets) {
+    for (const auto& [key, rows] : b.rows) {
+      (void)key;
+      total += rows.size() * sizeof(size_t);
+    }
+  }
+  return total;
+}
+
 ShardPlan PlanShards(const JoinQuery& query, const ShardPlanOptions& options) {
   ShardPlan plan;
   plan.depth = options.depth > 0 ? options.depth : query.MinDepth();
   const int n = query.num_attrs();
+  const ShardCostModel default_model;  // payload proxy, slope 1
+  const ShardCostModel& model =
+      options.cost_model != nullptr ? *options.cost_model : default_model;
   // The domain has n*depth prefix bits in total; splitting beyond that
   // would create shards finer than single points. 20 bits (1M shards) is
   // a hard sanity ceiling on top. max_split_bits caps only budget/auto
@@ -203,21 +224,20 @@ ShardPlan PlanShards(const JoinQuery& query, const ShardPlanOptions& options) {
   }
   plan.split_dims = SplitDims(n, plan.depth, k);
   k = static_cast<int>(plan.split_dims.size());
-  std::vector<AtomBuckets> buckets =
-      BucketAllAtoms(query, plan.split_dims, plan.depth);
+  plan.buckets = BucketAllAtoms(query, plan.split_dims, plan.depth);
 
   if (options.memory_budget_bytes > 0 && n > 0) {
     // Adaptive split: grow k while some shard's estimate exceeds the
     // budget. Explicitly requested shard counts are honoured as the
     // floor; the budget can only make the split finer.
-    size_t est = MaxShardEstimate(query, buckets, k);
+    size_t est = MaxShardEstimate(query, plan.buckets, k, model);
     while (est > options.memory_budget_bytes && k < growth_cap) {
       std::vector<int> next = SplitDims(n, plan.depth, k + 1);
       if (static_cast<int>(next.size()) <= k) break;  // domain exhausted
       plan.split_dims = std::move(next);
       k = static_cast<int>(plan.split_dims.size());
-      buckets = BucketAllAtoms(query, plan.split_dims, plan.depth);
-      est = MaxShardEstimate(query, buckets, k);
+      plan.buckets = BucketAllAtoms(query, plan.split_dims, plan.depth);
+      est = MaxShardEstimate(query, plan.buckets, k, model);
     }
     if (est > options.memory_budget_bytes) {
       plan.budget_ok = false;
@@ -225,47 +245,52 @@ ShardPlan PlanShards(const JoinQuery& query, const ShardPlanOptions& options) {
                   " cannot be met: the finest allowed split (2^" +
                   std::to_string(k) +
                   " shards) still has an estimated per-shard peak of " +
-                  HumanBytes(est) +
-                  " — a single tuple's atom payload may already exceed "
+                  HumanBytes(est) + " (cost model: " + model.source +
+                  ") — a single tuple's footprint may already exceed "
                   "the budget");
     }
   }
   plan.split_bits = k;
 
-  // Materialize the shards from the buckets (shard id selects each
-  // atom's bucket; no per-shard rescans of the relations). The source
-  // tuples are already canonical and bucket order preserves relation
-  // order, but Canonicalize() is cheap insurance against non-canonical
-  // inputs.
+  // Describe the shards from the buckets (shard id selects each atom's
+  // bucket; no tuple is copied — consumers restrict probes to the box or
+  // materialize lazily via MaterializeShard).
   plan.shards.reserve(static_cast<size_t>(1) << k);
   for (int id = 0; id < (1 << k); ++id) {
     Shard shard;
     shard.id = id;
     shard.box = ShardBox(n, plan.split_dims, id);
-    std::vector<const Relation*> ptrs;
-    ptrs.reserve(query.atoms().size());
-    for (size_t a = 0; a < query.atoms().size(); ++a) {
-      const Atom& atom = query.atoms()[a];
-      auto rel = std::make_unique<Relation>(atom.rel->name(),
-                                            atom.rel->attrs());
-      if (const std::vector<size_t>* idx = buckets[a].ForShard(id)) {
-        for (size_t t : *idx) rel->Add(atom.rel->tuples()[t]);
-      }
-      rel->Canonicalize();
-      if (rel->size() == 0) shard.empty = true;
-      // Sum over atoms, matching MaxShardEstimate and the runtime
-      // index_bytes accounting.
-      shard.estimated_peak_bytes += EstimateAtomBytes(
-          rel->size(), static_cast<int>(atom.var_ids.size()));
-      ptrs.push_back(rel.get());
-      shard.storage.push_back(std::move(rel));
+    for (size_t a = 0; a < plan.buckets.size(); ++a) {
+      const size_t count = BucketCount(plan.buckets[a], id);
+      if (count == 0) shard.empty = true;
+      shard.payload_bytes += EstimateAtomBytes(
+          count, static_cast<int>(query.atoms()[a].var_ids.size()));
     }
-    shard.query = JoinQuery::Build(ptrs);
+    shard.estimated_peak_bytes = model.EstimatePeak(shard.payload_bytes);
     plan.max_estimated_peak_bytes =
         std::max(plan.max_estimated_peak_bytes, shard.estimated_peak_bytes);
-    plan.shards.push_back(std::move(shard));
+    plan.shards.push_back(shard);
   }
   return plan;
+}
+
+MaterializedShard MaterializeShard(const JoinQuery& query,
+                                   const ShardPlan& plan, int shard_id) {
+  MaterializedShard out;
+  std::vector<const Relation*> ptrs;
+  ptrs.reserve(query.atoms().size());
+  for (size_t a = 0; a < query.atoms().size(); ++a) {
+    const Atom& atom = query.atoms()[a];
+    const std::vector<size_t>* rows = plan.AtomRows(shard_id, a);
+    auto rel = std::make_unique<Relation>(
+        rows == nullptr
+            ? Relation(atom.rel->name(), atom.rel->attrs())
+            : RelationView(atom.rel, rows).Materialize());
+    ptrs.push_back(rel.get());
+    out.storage.push_back(std::move(rel));
+  }
+  out.query = JoinQuery::Build(ptrs);
+  return out;
 }
 
 }  // namespace tetris

@@ -17,15 +17,25 @@
 // Shards are therefore independent — the parallel executor
 // (engine/parallel_executor.h) runs them concurrently on any engine.
 //
+// The plan is *lazy*: it never copies tuples. Each atom's rows are
+// bucketed once by their shard-id bits (8 bytes per row, independent of
+// the shard count), and a Shard is just a subcube plus bookkeeping.
+// Consumers either restrict probes to the subcube directly
+// (index/index_view.h — the zero-copy path the Tetris family uses) or
+// call MaterializeShard inside the worker task and drop the copy when
+// the shard finishes (the baselines' lazy path).
+//
 // The planner is memory-aware: given a budget, it increases k until the
-// estimated resident footprint of every shard fits (the first consumer of
-// the RunStats::memory counters), and reports — rather than hangs or
-// lies — when no split can satisfy the budget.
+// estimated resident footprint of every shard fits — scaling each
+// shard's restricted payload through a per-engine-family cost model
+// (engine/cost_model.h) when the executor supplies one — and reports,
+// rather than hangs or lies, when no split can satisfy the budget.
 #ifndef TETRIS_ENGINE_SHARD_PLANNER_H_
 #define TETRIS_ENGINE_SHARD_PLANNER_H_
 
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "geometry/dyadic_box.h"
@@ -33,6 +43,8 @@
 #include "relation/relation.h"
 
 namespace tetris {
+
+struct ShardCostModel;  // engine/cost_model.h
 
 /// Planner knobs.
 struct ShardPlanOptions {
@@ -58,22 +70,40 @@ struct ShardPlanOptions {
   /// to the domain itself (num_attrs * depth prefix bits) and a hard
   /// 2^20-shard ceiling.
   int max_split_bits = 8;
+
+  /// Maps a shard's restricted payload to its estimated peak resident
+  /// bytes. nullptr = the uncalibrated payload proxy (slope 1). The
+  /// executor calibrates one per run from a probe pass
+  /// (engine/cost_model.h).
+  const ShardCostModel* cost_model = nullptr;
 };
 
-/// One independent unit of work: a subcube of the output space plus the
-/// query restricted to it. Owns its restricted relations (one per atom,
-/// since two atoms may bind the same relation to different attributes).
+/// One independent unit of work: a subcube of the output space plus
+/// per-shard bookkeeping. Owns no tuples — the rows restricted to this
+/// shard live in ShardPlan's shared buckets (`ShardPlan::AtomRows`).
 struct Shard {
   int id = 0;
   DyadicBox box;  ///< the subcube, over query attribute dimensions
-  std::vector<std::unique_ptr<Relation>> storage;
-  JoinQuery query;  ///< rebuilt over `storage`; same attribute ids
+  /// Restricted input payload: what a materialized copy would occupy
+  /// (the cost model's input).
+  size_t payload_bytes = 0;
+  /// The cost model's peak estimate for this shard.
   size_t estimated_peak_bytes = 0;
   bool empty = false;  ///< some atom restricted to ∅ — output is empty
 };
 
-/// The planner's output.
+/// The planner's output. Resident footprint is one row index per
+/// (atom, tuple) — independent of the shard count (`PlanningBytes`).
 struct ShardPlan {
+  /// Shard-membership buckets of one atom's rows: tuples keyed by the
+  /// shard-id bits this atom pins. Shard `id` owns bucket `id & id_mask`;
+  /// atoms not split on a bit share buckets across the shards that only
+  /// differ there.
+  struct AtomBuckets {
+    int id_mask = 0;
+    std::unordered_map<int, std::vector<size_t>> rows;
+  };
+
   std::vector<Shard> shards;  ///< 2^split_bits entries, ordered by id
   int split_bits = 0;         ///< k
   std::vector<int> split_dims;  ///< dimension split at each level
@@ -85,17 +115,39 @@ struct ShardPlan {
   /// Human-readable planner diagnostics: budget misses, clamped shard
   /// counts. Empty when the plan is exactly what was asked for.
   std::string note;
+  /// Per-atom row buckets, shared across shards.
+  std::vector<AtomBuckets> buckets;
+
+  /// Rows of atom `atom` restricted to shard `shard_id`, as indices into
+  /// the base relation; nullptr when the restriction is empty.
+  const std::vector<size_t>* AtomRows(int shard_id, size_t atom) const;
+
+  /// Bytes the plan keeps resident: the row buckets (the shards
+  /// themselves are a few words each).
+  size_t PlanningBytes() const;
 };
 
 /// Plans the shard decomposition. Never fails: infeasible requests
 /// degrade to the closest feasible plan with `note`/`budget_ok` set.
 ShardPlan PlanShards(const JoinQuery& query, const ShardPlanOptions& options);
 
+/// An owning restricted copy of one shard's query — the lazy
+/// materialization path: built inside the worker task, dropped when the
+/// shard finishes. `query` is rebuilt over `storage` with the same
+/// attribute ids as the original.
+struct MaterializedShard {
+  std::vector<std::unique_ptr<Relation>> storage;
+  JoinQuery query;
+};
+
+/// Materializes shard `shard_id` of `plan` against the original `query`.
+MaterializedShard MaterializeShard(const JoinQuery& query,
+                                   const ShardPlan& plan, int shard_id);
+
 /// The planner's per-atom resident-footprint estimate: the payload of
 /// `tuples` arity-`arity` tuples, mirroring SortedIndex::MemoryBytes.
-/// A shard's estimated peak is the SUM of this over its atoms (all
-/// per-atom indexes are resident at once during a run, matching the
-/// runtime MemoryStats::index_bytes the budget is checked against).
+/// A shard's payload is the SUM of this over its atoms (all per-atom
+/// structures are resident at once during a run).
 size_t EstimateAtomBytes(size_t tuples, int arity);
 
 }  // namespace tetris

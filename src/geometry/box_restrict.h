@@ -1,0 +1,105 @@
+// Restriction algebra over dyadic boxes — the geometric substrate of the
+// zero-copy shard views (index/index_view.h, kb RestrictedOracle).
+//
+// Restricting a relation or a box set to a dyadic subcube never needs new
+// data structures: the restricted gap set is the original gaps *clipped*
+// to the subcube plus the dyadic complement of the subcube itself (every
+// point outside the subcube is a gap of the restriction). Both pieces are
+// O(1)-per-box prefix arithmetic on dyadic intervals.
+#ifndef TETRIS_GEOMETRY_BOX_RESTRICT_H_
+#define TETRIS_GEOMETRY_BOX_RESTRICT_H_
+
+#include <vector>
+
+#include "geometry/dyadic_box.h"
+
+namespace tetris {
+
+/// Intersection of two same-dimensionality dyadic boxes. Dyadic intervals
+/// intersect iff comparable, and then the intersection is the longer one;
+/// so the box intersection is the componentwise-longer box, or empty.
+/// Returns false (and leaves *out* untouched) when the boxes are disjoint.
+inline bool IntersectBoxes(const DyadicBox& a, const DyadicBox& b,
+                           DyadicBox* out) {
+  DyadicBox r = DyadicBox::Universal(a.dims());
+  r.set_output_derived(a.output_derived());
+  for (int i = 0; i < a.dims(); ++i) {
+    if (!a[i].ComparableWith(b[i])) return false;
+    r[i] = a[i].IntersectComparable(b[i]);
+  }
+  *out = r;
+  return true;
+}
+
+/// The maximal dyadic interval that contains `probe` and is disjoint from
+/// `restrict_iv`: the sibling of restrict_iv's path at the first bit where
+/// probe diverges from it. Returns false iff the two intervals are
+/// comparable (no separating sibling exists).
+inline bool DivergenceSlab(const DyadicInterval& restrict_iv,
+                           const DyadicInterval& probe_iv,
+                           DyadicInterval* slab) {
+  const int l = restrict_iv.len < probe_iv.len
+                    ? restrict_iv.len
+                    : probe_iv.len;
+  const uint64_t a = restrict_iv.bits >> (restrict_iv.len - l);
+  const uint64_t b = probe_iv.bits >> (probe_iv.len - l);
+  if (a == b) return false;  // one is a prefix of the other
+  // First differing bit, counted from the most significant of the l bits.
+  int j = 0;
+  while ((((a ^ b) >> (l - 1 - j)) & 1) == 0) ++j;
+  *slab = probe_iv.Prefix(j + 1);
+  return true;
+}
+
+/// Clips boxes[start..] to `box` in place, dropping the ones disjoint
+/// from it (their space belongs to the box complement) and compacting
+/// the tail. The shared idiom of every restriction view's probe and
+/// enumeration path.
+inline void ClipBoxesInPlace(const DyadicBox& box, size_t start,
+                             std::vector<DyadicBox>* boxes) {
+  size_t w = start;
+  for (size_t i = start; i < boxes->size(); ++i) {
+    DyadicBox clipped;
+    if (IntersectBoxes((*boxes)[i], box, &clipped)) {
+      (*boxes)[w++] = clipped;
+    }
+  }
+  boxes->resize(w);
+}
+
+/// Appends the maximal dyadic boxes covering the complement of `box`:
+/// for every non-λ component, the sibling of each prefix along its path,
+/// padded with λ elsewhere. The slabs overlap across dimensions, which is
+/// fine for gap sets; each is maximal (growing any slab would reach into
+/// `box`).
+inline void AppendBoxComplement(const DyadicBox& box,
+                                std::vector<DyadicBox>* out) {
+  for (int i = 0; i < box.dims(); ++i) {
+    for (int j = 1; j <= box[i].len; ++j) {
+      DyadicInterval pref = box[i].Prefix(j);
+      DyadicBox slab = DyadicBox::Universal(box.dims());
+      slab[i] = DyadicInterval{pref.bits ^ 1, pref.len};
+      out->push_back(slab);
+    }
+  }
+}
+
+/// Appends the maximal complement boxes of `box` that contain `point`
+/// (one per dimension where the point leaves the box). Appends nothing
+/// iff `box` contains `point`.
+inline void AppendComplementContaining(const DyadicBox& box,
+                                       const DyadicBox& point,
+                                       std::vector<DyadicBox>* out) {
+  for (int i = 0; i < box.dims(); ++i) {
+    DyadicInterval slab;
+    if (DivergenceSlab(box[i], point[i], &slab)) {
+      DyadicBox b = DyadicBox::Universal(box.dims());
+      b[i] = slab;
+      out->push_back(b);
+    }
+  }
+}
+
+}  // namespace tetris
+
+#endif  // TETRIS_GEOMETRY_BOX_RESTRICT_H_

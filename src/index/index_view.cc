@@ -1,0 +1,43 @@
+#include "index/index_view.h"
+
+#include <cassert>
+
+namespace tetris {
+
+IndexView::IndexView(const Index* base, DyadicBox box)
+    : base_(base), box_(box) {
+  assert(box_.dims() == base_->arity() &&
+         "view box must span the base index's columns");
+}
+
+bool IndexView::Contains(const Tuple& t) const {
+  return box_.ContainsPoint(t.data(), base_->depth()) && base_->Contains(t);
+}
+
+void IndexView::GapsContaining(const Tuple& t,
+                               std::vector<DyadicBox>* out) const {
+  const DyadicBox point = DyadicBox::Point(t.data(), box_.dims(),
+                                           base_->depth());
+  if (!box_.Contains(point)) {
+    AppendComplementContaining(box_, point, out);
+    return;
+  }
+  const size_t start = out->size();
+  base_->GapsContaining(t, out);
+  // Base probes may emit sibling band boxes that do not contain the
+  // probe; clip each to the box and drop the ones disjoint from it (the
+  // complement slabs already cover that space). The gap that contains
+  // the in-box probe always survives: two dyadic intervals containing
+  // the same point are comparable, so its clip cannot fail — the
+  // postcondition (empty iff Contains) carries over.
+  ClipBoxesInPlace(box_, start, out);
+}
+
+void IndexView::AllGaps(std::vector<DyadicBox>* out) const {
+  AppendBoxComplement(box_, out);
+  const size_t start = out->size();
+  base_->AllGaps(out);
+  ClipBoxesInPlace(box_, start, out);
+}
+
+}  // namespace tetris

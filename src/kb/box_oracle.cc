@@ -1,6 +1,47 @@
 #include "kb/box_oracle.h"
 
+#include <cassert>
+
+#include "geometry/box_restrict.h"
+
 namespace tetris {
+
+RestrictedOracle::RestrictedOracle(const BoxOracle* base, DyadicBox box)
+    : base_(base), box_(box) {
+  assert(box_.dims() == base_->dims() &&
+         "restriction box must span the oracle's output space");
+}
+
+void RestrictedOracle::Probe(const DyadicBox& point,
+                             std::vector<DyadicBox>* out) const {
+  ++probe_count_;
+  if (!box_.Contains(point)) {
+    AppendComplementContaining(box_, point, out);
+    return;
+  }
+  const size_t start = out->size();
+  base_->Probe(point, out);
+  // Clip each result to the box; drop the ones disjoint from it (some
+  // oracles emit sibling band boxes that do not contain the probe — the
+  // complement slabs already cover the outside). A result containing
+  // the in-box probe always survives the clip, so probe-emptiness is
+  // preserved.
+  ClipBoxesInPlace(box_, start, out);
+}
+
+bool RestrictedOracle::EnumerateAll(std::vector<DyadicBox>* out) const {
+  const size_t start = out->size();
+  AppendBoxComplement(box_, out);
+  std::vector<DyadicBox> base_boxes;
+  if (!base_->EnumerateAll(&base_boxes)) {
+    out->resize(start);  // leave no partial result behind
+    return false;
+  }
+  const size_t base_start = out->size();
+  out->insert(out->end(), base_boxes.begin(), base_boxes.end());
+  ClipBoxesInPlace(box_, base_start, out);
+  return true;
+}
 
 void KeepMaximalBoxes(std::vector<DyadicBox>* boxes) {
   std::vector<DyadicBox>& v = *boxes;

@@ -85,6 +85,32 @@ class MaterializedOracle : public BoxOracle {
   size_t size_ = 0;
 };
 
+/// Zero-copy restriction of an oracle to a dyadic subcube of the output
+/// space. Probes outside `box` answer with the box's complement slabs
+/// containing the probe; probes inside defer to the base oracle with the
+/// results clipped to the box; EnumerateAll is the clipped base set plus
+/// the full complement. This is the kb-level member of the restriction
+/// view stack (relation/relation_view.h, index/index_view.h): it lets a
+/// raw BCP instance — or any live oracle — be sharded without copying
+/// its box set. Non-owning: the base must outlive the view.
+class RestrictedOracle : public BoxOracle {
+ public:
+  RestrictedOracle(const BoxOracle* base, DyadicBox box);
+
+  void Probe(const DyadicBox& point,
+             std::vector<DyadicBox>* out) const override;
+
+  int dims() const override { return base_->dims(); }
+
+  bool EnumerateAll(std::vector<DyadicBox>* out) const override;
+
+  const DyadicBox& box() const { return box_; }
+
+ private:
+  const BoxOracle* base_;
+  DyadicBox box_;
+};
+
 /// Removes from `boxes` every box strictly contained in another element.
 void KeepMaximalBoxes(std::vector<DyadicBox>* boxes);
 

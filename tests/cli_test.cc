@@ -258,19 +258,45 @@ TEST(CliTest, ParseHarnessArgsShardingFlags) {
   EXPECT_EQ(seq_opts.threads, 1);
   EXPECT_EQ(seq_opts.shards, 0);
 
-  Argv auto_args({"--shards=auto", "--threads=0"});
+  Argv auto_args({"--shards=auto", "--threads=auto"});
   HarnessOptions auto_opts;
   ASSERT_TRUE(ParseHarnessArgs(auto_args.argc(), auto_args.argv(),
                                &auto_opts, &error))
       << error;
   EXPECT_EQ(auto_opts.shards, kAutoShards);
-  EXPECT_EQ(auto_opts.threads, 0);
+  EXPECT_EQ(auto_opts.threads, 0);  // 0 = the executor's full width
+}
+
+TEST(CliTest, ParseHarnessArgsMemoryBudgetSuffixes) {
+  struct Case {
+    const char* flag;
+    size_t bytes;
+  };
+  for (const Case& c : {Case{"--memory-budget=65536", 65536u},
+                        Case{"--memory-budget=512K", 512u << 10},
+                        Case{"--memory-budget=64M", 64u << 20},
+                        Case{"--memory-budget=2G", 2ull << 30},
+                        Case{"--memory-budget=3gb", 3ull << 30},
+                        Case{"--memory-budget=16kb", 16u << 10}}) {
+    Argv args({c.flag});
+    HarnessOptions opts;
+    std::string error;
+    ASSERT_TRUE(ParseHarnessArgs(args.argc(), args.argv(), &opts, &error))
+        << c.flag << ": " << error;
+    EXPECT_EQ(opts.memory_budget, c.bytes) << c.flag;
+    EXPECT_TRUE(opts.memory_budget_set);
+  }
 }
 
 TEST(CliTest, ParseHarnessArgsShardingBadValuesFail) {
+  // --threads=0 is rejected (zero workers cannot run anything); the
+  // spelled-out form is --threads=auto. Negative and junk values get a
+  // clear error in every case.
   for (const char* bad :
        {"--shards=some", "--shards=-2", "--threads=1000", "--threads=x",
-        "--memory-budget=big"}) {
+        "--threads=0", "--threads=-3", "--memory-budget=big",
+        "--memory-budget=64X", "--memory-budget=-5", "--memory-budget=9T",
+        "--memory-budget=999999999999999999999G"}) {
     Argv args({bad});
     HarnessOptions opts;
     std::string error;

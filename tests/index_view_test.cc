@@ -1,0 +1,259 @@
+// The zero-copy restriction views: for every index type, an IndexView
+// over a dyadic box must answer probes exactly like a freshly built index
+// over the materialized restricted relation — same membership, same
+// probe-emptiness, and gap sets that cover exactly the restricted
+// complement without ever touching a restricted tuple. The kb-level
+// RestrictedOracle must match a materialized restricted box set the same
+// way. These are the invariants the sharded executor leans on when it
+// swaps restricted copies for views.
+#include "index/index_view.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "geometry/box_restrict.h"
+#include "index/dyadic_index.h"
+#include "index/kdtree_index.h"
+#include "index/multi_index.h"
+#include "index/rtree_index.h"
+#include "index/sorted_index.h"
+#include "kb/box_oracle.h"
+#include "util/rng.h"
+
+namespace tetris {
+namespace {
+
+constexpr int kDepth = 3;  // 2 columns over [0,8): 64-point brute force
+
+Relation RandomRelation2(uint64_t seed, size_t tuples) {
+  Rng rng(seed);
+  std::vector<Tuple> ts;
+  for (size_t i = 0; i < tuples; ++i) {
+    ts.push_back({rng.Below(1u << kDepth), rng.Below(1u << kDepth)});
+  }
+  return Relation::Make("R", {"A", "B"}, std::move(ts));
+}
+
+DyadicBox RandomBox2(uint64_t seed) {
+  Rng rng(seed);
+  DyadicBox box = DyadicBox::Universal(2);
+  for (int i = 0; i < 2; ++i) {
+    const int len = static_cast<int>(rng.Below(kDepth + 1));
+    box[i] = DyadicInterval{rng.Below(uint64_t{1} << len),
+                            static_cast<uint8_t>(len)};
+  }
+  return box;
+}
+
+Relation Restrict(const Relation& rel, const DyadicBox& box) {
+  std::vector<Tuple> ts;
+  for (const Tuple& t : rel.tuples()) {
+    if (box.ContainsPoint(t, kDepth)) ts.push_back(t);
+  }
+  return Relation::Make(rel.name(), rel.attrs(), std::move(ts));
+}
+
+using IndexFactory =
+    std::function<std::unique_ptr<Index>(const Relation&, int)>;
+
+// The view over `base` and a fresh same-type index over the materialized
+// restriction must agree on every point of the domain: membership, probe
+// emptiness, probe soundness (gaps contain the probe, never a restricted
+// tuple), and AllGaps covering exactly the restricted complement.
+void ExpectViewMatchesMaterialized(const IndexFactory& make,
+                                   const std::string& label,
+                                   uint64_t seed) {
+  SCOPED_TRACE(label + " seed=" + std::to_string(seed));
+  Relation rel = RandomRelation2(seed, /*tuples=*/24);
+  DyadicBox box = RandomBox2(seed * 977 + 11);
+  SCOPED_TRACE("box=" + box.ToString());
+  Relation restricted = Restrict(rel, box);
+
+  std::unique_ptr<Index> base = make(rel, kDepth);
+  IndexView view(base.get(), box);
+  std::unique_ptr<Index> copy = make(restricted, kDepth);
+
+  EXPECT_EQ(view.arity(), 2);
+  EXPECT_EQ(view.depth(), kDepth);
+  // The view's own footprint is a few words; the base is shared.
+  EXPECT_LE(view.MemoryBytes(), sizeof(IndexView));
+
+  std::vector<DyadicBox> view_all;
+  view.AllGaps(&view_all);
+
+  Tuple t(2, 0);
+  for (uint64_t a = 0; a < (1u << kDepth); ++a) {
+    for (uint64_t b = 0; b < (1u << kDepth); ++b) {
+      t[0] = a;
+      t[1] = b;
+      const bool in_restriction = restricted.Contains(t);
+      EXPECT_EQ(view.Contains(t), copy->Contains(t)) << a << "," << b;
+      EXPECT_EQ(view.Contains(t), in_restriction) << a << "," << b;
+
+      std::vector<DyadicBox> view_gaps;
+      view.GapsContaining(t, &view_gaps);
+      std::vector<DyadicBox> copy_gaps;
+      copy->GapsContaining(t, &copy_gaps);
+      // Probe-emptiness is the oracle contract both sides must share.
+      EXPECT_EQ(view_gaps.empty(), copy_gaps.empty()) << a << "," << b;
+      EXPECT_EQ(view_gaps.empty(), in_restriction) << a << "," << b;
+      // At least one gap contains the probe (band probes may also emit
+      // sibling boxes that do not — same as the base contract), and no
+      // gap may ever cover a tuple of the restriction.
+      bool some_gap_contains_probe = view_gaps.empty();
+      for (const DyadicBox& g : view_gaps) {
+        if (g.ContainsPoint(t, kDepth)) some_gap_contains_probe = true;
+        for (const Tuple& r : restricted.tuples()) {
+          EXPECT_FALSE(g.ContainsPoint(r, kDepth))
+              << g.ToString() << " covers restricted tuple";
+        }
+      }
+      EXPECT_TRUE(some_gap_contains_probe) << a << "," << b;
+
+      // AllGaps covers exactly the complement of the restriction.
+      bool covered = false;
+      for (const DyadicBox& g : view_all) {
+        if (g.ContainsPoint(t, kDepth)) {
+          covered = true;
+          break;
+        }
+      }
+      EXPECT_EQ(covered, !in_restriction) << a << "," << b;
+    }
+  }
+}
+
+void RunAllSeeds(const IndexFactory& make, const std::string& label) {
+  for (uint64_t seed = 1; seed <= 4; ++seed) {
+    ExpectViewMatchesMaterialized(make, label, seed);
+  }
+}
+
+TEST(IndexViewTest, SortedIndexViewMatchesMaterializedCopy) {
+  RunAllSeeds(
+      [](const Relation& r, int d) {
+        return std::make_unique<SortedIndex>(r, d);
+      },
+      "sorted");
+}
+
+TEST(IndexViewTest, ReverseOrderSortedIndexViewMatchesMaterializedCopy) {
+  RunAllSeeds(
+      [](const Relation& r, int d) {
+        return std::make_unique<SortedIndex>(r, std::vector<int>{1, 0}, d);
+      },
+      "sorted(B,A)");
+}
+
+TEST(IndexViewTest, DyadicTreeIndexViewMatchesMaterializedCopy) {
+  RunAllSeeds(
+      [](const Relation& r, int d) {
+        return std::make_unique<DyadicTreeIndex>(r, d);
+      },
+      "dyadic-tree");
+}
+
+TEST(IndexViewTest, KdTreeIndexViewMatchesMaterializedCopy) {
+  RunAllSeeds(
+      [](const Relation& r, int d) {
+        return std::make_unique<KdTreeIndex>(r, d);
+      },
+      "kd-tree");
+}
+
+TEST(IndexViewTest, RTreeIndexViewMatchesMaterializedCopy) {
+  RunAllSeeds(
+      [](const Relation& r, int d) {
+        return std::make_unique<RTreeIndex>(r, d);
+      },
+      "r-tree");
+}
+
+TEST(IndexViewTest, MultiIndexViewMatchesMaterializedCopy) {
+  RunAllSeeds(
+      [](const Relation& r, int d) {
+        std::vector<std::unique_ptr<Index>> parts;
+        parts.push_back(std::make_unique<SortedIndex>(
+            r, std::vector<int>{0, 1}, d));
+        parts.push_back(std::make_unique<SortedIndex>(
+            r, std::vector<int>{1, 0}, d));
+        return std::make_unique<MultiIndex>(std::move(parts));
+      },
+      "multi");
+}
+
+TEST(IndexViewTest, UniversalBoxViewIsTransparent) {
+  Relation rel = RandomRelation2(/*seed=*/7, /*tuples=*/20);
+  SortedIndex base(rel, kDepth);
+  IndexView view(&base, DyadicBox::Universal(2));
+  std::vector<DyadicBox> view_all, base_all;
+  view.AllGaps(&view_all);
+  base.AllGaps(&base_all);
+  // No complement slabs, no clipping: the view is the base.
+  EXPECT_EQ(view_all.size(), base_all.size());
+  for (const Tuple& t : rel.tuples()) EXPECT_TRUE(view.Contains(t));
+}
+
+// The kb-level decorator: RestrictedOracle over a materialized box set
+// answers exactly like an oracle over the clipped set plus the box
+// complement — probe-for-probe, over the whole grid.
+TEST(RestrictedOracleTest, MatchesMaterializedRestriction) {
+  for (uint64_t seed = 1; seed <= 3; ++seed) {
+    SCOPED_TRACE(seed);
+    Rng rng(seed);
+    MaterializedOracle base(/*dims=*/2);
+    for (int i = 0; i < 12; ++i) {
+      DyadicBox b = RandomBox2(rng.Next());
+      base.Add(b);
+    }
+    DyadicBox box = RandomBox2(rng.Next());
+    SCOPED_TRACE("box=" + box.ToString());
+    RestrictedOracle view(&base, box);
+    EXPECT_EQ(view.dims(), 2);
+
+    // Reference: the clipped set plus the complement, materialized.
+    MaterializedOracle ref(/*dims=*/2, /*maximal_only=*/false);
+    std::vector<DyadicBox> clipped;
+    AppendBoxComplement(box, &clipped);
+    std::vector<DyadicBox> all;
+    ASSERT_TRUE(base.EnumerateAll(&all));
+    for (const DyadicBox& b : all) {
+      DyadicBox c;
+      if (IntersectBoxes(b, box, &c)) clipped.push_back(c);
+    }
+    ref.AddAll(clipped);
+
+    std::vector<DyadicBox> enumerated;
+    ASSERT_TRUE(view.EnumerateAll(&enumerated));
+
+    for (uint64_t a = 0; a < (1u << kDepth); ++a) {
+      for (uint64_t b = 0; b < (1u << kDepth); ++b) {
+        const DyadicBox point = DyadicBox::Point({a, b}, kDepth);
+        std::vector<DyadicBox> got, want;
+        view.Probe(point, &got);
+        ref.Probe(point, &want);
+        EXPECT_EQ(got.empty(), want.empty()) << a << "," << b;
+        for (const DyadicBox& g : got) {
+          EXPECT_TRUE(g.Contains(point)) << g.ToString();
+        }
+        // EnumerateAll and Probe agree on coverage.
+        bool covered = false;
+        for (const DyadicBox& g : enumerated) {
+          if (g.Contains(point)) {
+            covered = true;
+            break;
+          }
+        }
+        EXPECT_EQ(covered, !got.empty()) << a << "," << b;
+      }
+    }
+    EXPECT_GT(view.probe_count(), 0);
+  }
+}
+
+}  // namespace
+}  // namespace tetris

@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <set>
 #include <vector>
 
 #include "engine/join_engine.h"
@@ -47,6 +48,68 @@ TEST(WorkStealingPoolTest, ClampsThreadCount) {
   WorkStealingPool pool(0);
   EXPECT_EQ(pool.threads(), 1);
   EXPECT_GE(WorkStealingPool::HardwareThreads(), 1);
+}
+
+TEST(WorkStealingPoolTest, GlobalPoolIsOneProcessWideInstance) {
+  WorkStealingPool& a = WorkStealingPool::Global();
+  WorkStealingPool& b = WorkStealingPool::Global();
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.threads(), WorkStealingPool::HardwareThreads());
+}
+
+TEST(WorkStealingPoolTest, PoolThreadsPersistAcrossRuns) {
+  // No per-call thread churn: across many Runs, the union of serving
+  // threads never exceeds the pool width (per-call thread creation
+  // would surface a fresh id per round).
+  WorkStealingPool pool(2);
+  std::mutex mu;
+  std::set<std::thread::id> ids;
+  for (int round = 0; round < 6; ++round) {
+    std::vector<std::function<void()>> tasks;
+    for (int i = 0; i < 32; ++i) {
+      tasks.push_back([&mu, &ids] {
+        std::lock_guard<std::mutex> lock(mu);
+        ids.insert(std::this_thread::get_id());
+      });
+    }
+    pool.Run(std::move(tasks));
+  }
+  EXPECT_GE(ids.size(), 1u);
+  EXPECT_LE(ids.size(), 2u);
+}
+
+TEST(WorkStealingPoolTest, NestedRunHelpsInsteadOfDeadlocking) {
+  // Each outer task issues an inner Run on the same pool: with only two
+  // workers this deadlocks unless the nested Run helps drain the queue.
+  WorkStealingPool pool(2);
+  std::atomic<int> inner_hits{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&pool, &inner_hits] {
+      std::vector<std::function<void()>> inner;
+      for (int j = 0; j < 8; ++j) {
+        inner.push_back([&inner_hits] { ++inner_hits; });
+      }
+      pool.Run(std::move(inner));
+    });
+  }
+  pool.Run(std::move(outer));
+  EXPECT_EQ(inner_hits.load(), 32);
+}
+
+TEST(WorkStealingPoolTest, ConcurrentExternalRunsShareThePool) {
+  WorkStealingPool pool(2);
+  std::atomic<int> hits{0};
+  std::vector<std::thread> callers;
+  for (int c = 0; c < 3; ++c) {
+    callers.emplace_back([&pool, &hits] {
+      std::vector<std::function<void()>> tasks;
+      for (int i = 0; i < 16; ++i) tasks.push_back([&hits] { ++hits; });
+      pool.Run(std::move(tasks));
+    });
+  }
+  for (std::thread& t : callers) t.join();
+  EXPECT_EQ(hits.load(), 48);
 }
 
 TEST(ParallelForTest, CoversTheWholeRange) {
@@ -223,18 +286,33 @@ TEST(RunShardedJoinTest, EmptyShardsAreSkippedNotRun) {
   EXPECT_GT(skipped, 0u);
 }
 
-TEST(RunShardedJoinTest, RejectsCustomIndexesAndBadOptionValues) {
+TEST(RunShardedJoinTest, CustomIndexesRideThroughTetrisShardingOnly) {
   QueryInstance q = RandomTriangle(/*tuples_per_rel=*/20, /*d=*/4,
                                    /*seed=*/15);
-  // Custom indexes cannot ride through sharding: shards rebuild their
-  // own over the restricted relations.
+  // The Tetris family wraps caller indexes in zero-copy IndexViews per
+  // shard, so the sharded run must match the plain custom-index run.
   auto owned = MakeSaoConsistentIndexes(q.query, {0, 1, 2}, q.depth);
   EngineOptions opts;
+  opts.order = {0, 1, 2};
   opts.indexes = IndexPtrs(owned);
+  EngineResult plain = RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(plain.ok) << plain.error;
   opts.shards = 4;
-  EngineResult r = RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
-  EXPECT_FALSE(r.ok);
-  EXPECT_NE(r.error.find("indexes"), std::string::npos);
+  EngineResult sharded =
+      RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(sharded.ok) << sharded.error;
+  EXPECT_EQ(sharded.tuples, plain.tuples);
+  EXPECT_EQ(sharded.stats.shards, 4u);
+
+  // The baselines rescan materialized shard copies, so caller indexes
+  // cannot ride along there.
+  EngineOptions baseline_opts;
+  baseline_opts.indexes = IndexPtrs(owned);
+  baseline_opts.shards = 4;
+  EngineResult rejected =
+      RunJoin(q.query, EngineKind::kLeapfrog, baseline_opts);
+  EXPECT_FALSE(rejected.ok);
+  EXPECT_NE(rejected.error.find("indexes"), std::string::npos);
 
   EngineOptions bad_shards;
   bad_shards.shards = -2;
@@ -242,6 +320,130 @@ TEST(RunShardedJoinTest, RejectsCustomIndexesAndBadOptionValues) {
   EngineOptions bad_threads;
   bad_threads.threads = -1;
   EXPECT_FALSE(RunJoin(q.query, EngineKind::kLeapfrog, bad_threads).ok);
+}
+
+// The acceptance memory contract of the zero-copy refactor: a finely
+// sharded run's peak no longer scales with the sum of materialized shard
+// copies — per-shard peaks stay within a constant of the unsharded run,
+// the Tetris shards carry no per-shard index copies at all, and the plan
+// itself keeps only row indices.
+TEST(RunShardedJoinTest, ShardedPeakStaysNearUnshardedWithoutCopies) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/120, /*d=*/6,
+                                   /*seed=*/31);
+  EngineResult plain = RunJoin(q.query, EngineKind::kTetrisPreloaded);
+  ASSERT_TRUE(plain.ok);
+  const size_t plain_peak = plain.stats.memory.PeakBytes();
+  ASSERT_GT(plain_peak, 0u);
+
+  EngineOptions opts;
+  opts.shards = 16;
+  EngineResult sharded = RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(sharded.ok) << sharded.error;
+  EXPECT_EQ(sharded.tuples, plain.tuples);
+
+  // Per-shard peaks bounded by a constant of the unsharded peak (the
+  // clipped per-shard knowledge bases are no bigger than the full one;
+  // the factor absorbs the box-complement slabs).
+  EXPECT_LE(sharded.stats.max_shard_peak_bytes, 2 * plain_peak + 4096);
+
+  // Zero copies: every live shard's own index residency is a few view
+  // objects, not a restricted SortedIndex rebuild — so the *sum* over
+  // shards stays tiny even at 16 shards.
+  size_t summed_shard_index_bytes = 0;
+  for (const ShardRunInfo& shard : sharded.shard_runs) {
+    if (!shard.skipped_empty) {
+      summed_shard_index_bytes += shard.stats.memory.index_bytes;
+    }
+  }
+  EXPECT_LT(summed_shard_index_bytes, plain.stats.memory.index_bytes);
+
+  // The run-level counter still reports the shared base indexes once.
+  EXPECT_GE(sharded.stats.memory.index_bytes,
+            plain.stats.memory.index_bytes);
+
+  // Planner residency: row indices, not tuple copies.
+  EXPECT_GT(sharded.stats.plan_bytes, 0u);
+  size_t total_tuples = 0;
+  for (const auto& atom : q.query.atoms()) total_tuples += atom.rel->size();
+  EXPECT_LE(sharded.stats.plan_bytes,
+            total_tuples * sizeof(size_t) + 16 * sizeof(Shard) + 1024);
+}
+
+// Nested parallelism on one shared executor: a parallel engine sweep
+// whose engines shard internally reuses the same workers (the nested
+// Run helps), stays within the pool's width, and still produces the
+// sequential results. This is the global-pool reuse path the TSan job
+// covers.
+TEST(RunShardedJoinTest, NestedShardingSharesOneExecutor) {
+  WorkStealingPool pool(3);
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
+                                   /*seed=*/32);
+  std::vector<EngineKind> kinds = {EngineKind::kTetrisPreloaded,
+                                   EngineKind::kGenericJoin,
+                                   EngineKind::kPairwiseHash};
+  std::vector<EngineResult> nested(kinds.size());
+  ParallelFor(&pool, /*max_parallel=*/0,
+              static_cast<int>(kinds.size()), [&](int i) {
+                EngineOptions opts;
+                opts.shards = 4;
+                opts.threads = 3;
+                opts.executor = &pool;  // nested Run on the same pool
+                nested[i] = RunJoin(q.query, kinds[i], opts);
+              });
+  for (size_t i = 0; i < kinds.size(); ++i) {
+    ASSERT_TRUE(nested[i].ok) << nested[i].error;
+    EngineResult plain = RunJoin(q.query, kinds[i]);
+    ASSERT_TRUE(plain.ok);
+    EXPECT_EQ(nested[i].tuples, plain.tuples);
+    // The worker cap is the shared budget, not a new set of threads.
+    EXPECT_LE(nested[i].stats.threads, 3u);
+  }
+}
+
+// Budget runs calibrate the estimator from a probe pass and audit the
+// prediction after the run.
+TEST(RunShardedJoinTest, BudgetRunsReportTheEstimatorAudit) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/60, /*d=*/5,
+                                   /*seed=*/33);
+  const size_t estimate = PlanShards(q.query, {}).max_estimated_peak_bytes;
+  EngineOptions opts;
+  opts.memory_budget_bytes = estimate / 4;
+  EngineResult r = RunJoin(q.query, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_GT(r.stats.estimated_max_shard_peak_bytes, 0u);
+  EXPECT_NE(r.shard_note.find("estimator("), std::string::npos)
+      << r.shard_note;
+  EXPECT_NE(r.shard_note.find("predicted max shard peak"),
+            std::string::npos);
+}
+
+// The budget accounting cannot lie by omission: materialized shard
+// copies count toward the per-shard peak (the baselines keep them
+// resident for the whole shard run), and a budget below the
+// always-resident shared base indexes is called out up front.
+TEST(RunShardedJoinTest, BudgetAccountingCountsCopiesAndBaseIndexes) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/50, /*d=*/5,
+                                   /*seed=*/34);
+  EngineOptions opts;
+  opts.shards = 4;
+  EngineResult lf = RunJoin(q.query, EngineKind::kLeapfrog, opts);
+  ASSERT_TRUE(lf.ok) << lf.error;
+  for (const ShardRunInfo& shard : lf.shard_runs) {
+    if (shard.skipped_empty) continue;
+    // The restricted input copy is resident: the shard peak can never
+    // read as ~0 for a selective join.
+    EXPECT_GT(shard.stats.memory.index_bytes, 0u) << shard.shard_id;
+    EXPECT_GE(shard.stats.memory.PeakBytes(),
+              shard.stats.memory.index_bytes);
+  }
+
+  EngineOptions tiny;
+  tiny.memory_budget_bytes = 1;  // far below the base SortedIndexes
+  EngineResult tp = RunJoin(q.query, EngineKind::kTetrisPreloaded, tiny);
+  ASSERT_TRUE(tp.ok) << tp.error;
+  EXPECT_NE(tp.shard_note.find("below the shared base indexes"),
+            std::string::npos)
+      << tp.shard_note;
 }
 
 TEST(RunShardedJoinTest, ShardedRunHonorsOrderHints) {

@@ -10,6 +10,7 @@
 #include <algorithm>
 #include <set>
 
+#include "engine/cost_model.h"
 #include "index/sorted_index.h"
 #include "workload/generators.h"
 
@@ -19,12 +20,14 @@ namespace {
 // Sums, per atom, the restricted tuple multisets across all shards and
 // compares with the original relation: every tuple must land in at least
 // one shard, and tuples fully constrained by the shard boxes land in
-// exactly one.
+// exactly one. Exercises the lazy path: shards own no tuples until
+// MaterializeShard copies them.
 void ExpectShardsCoverAtoms(const QueryInstance& q, const ShardPlan& plan) {
   for (size_t a = 0; a < q.query.atoms().size(); ++a) {
     std::set<Tuple> seen;
     for (const Shard& shard : plan.shards) {
-      for (const Tuple& t : shard.query.atoms()[a].rel->tuples()) {
+      MaterializedShard ms = MaterializeShard(q.query, plan, shard.id);
+      for (const Tuple& t : ms.query.atoms()[a].rel->tuples()) {
         seen.insert(t);
       }
     }
@@ -44,8 +47,13 @@ TEST(ShardPlannerTest, DefaultPlanIsOneUniversalShard) {
   EXPECT_TRUE(plan.budget_ok);
   EXPECT_TRUE(plan.note.empty());
   for (size_t a = 0; a < q.query.atoms().size(); ++a) {
-    EXPECT_EQ(plan.shards[0].query.atoms()[a].rel->size(),
-              q.query.atoms()[a].rel->size());
+    ASSERT_NE(plan.AtomRows(0, a), nullptr);
+    EXPECT_EQ(plan.AtomRows(0, a)->size(), q.query.atoms()[a].rel->size());
+  }
+  MaterializedShard ms = MaterializeShard(q.query, plan, 0);
+  for (size_t a = 0; a < q.query.atoms().size(); ++a) {
+    EXPECT_EQ(ms.query.atoms()[a].rel->tuples(),
+              q.query.atoms()[a].rel->tuples());
   }
 }
 
@@ -173,12 +181,60 @@ TEST(ShardPlannerTest, RestrictedQueriesKeepAttributeIds) {
   opts.shards = 2;
   ShardPlan plan = PlanShards(q.query, opts);
   for (const Shard& shard : plan.shards) {
-    ASSERT_EQ(shard.query.attrs(), q.query.attrs());
+    MaterializedShard ms = MaterializeShard(q.query, plan, shard.id);
+    ASSERT_EQ(ms.query.attrs(), q.query.attrs());
     for (size_t a = 0; a < q.query.atoms().size(); ++a) {
-      EXPECT_EQ(shard.query.atoms()[a].var_ids,
+      EXPECT_EQ(ms.query.atoms()[a].var_ids,
                 q.query.atoms()[a].var_ids);
     }
   }
+}
+
+TEST(ShardPlannerTest, CostModelScalesTheEstimatesAndTheSplit) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/60, /*d=*/5,
+                                   /*seed=*/21);
+  ShardPlan proxy = PlanShards(q.query, {});
+  ASSERT_GT(proxy.max_estimated_peak_bytes, 0u);
+
+  // A slope-4 model quadruples every estimate...
+  ShardCostModel model;
+  model.family = EngineFamily::kTetris;
+  model.bytes_per_payload_byte = 4.0;
+  model.calibrated = true;
+  model.source = "test(slope=4)";
+  ShardPlanOptions opts;
+  opts.cost_model = &model;
+  ShardPlan scaled = PlanShards(q.query, opts);
+  EXPECT_EQ(scaled.max_estimated_peak_bytes,
+            model.EstimatePeak(proxy.shards[0].payload_bytes));
+  EXPECT_GE(scaled.max_estimated_peak_bytes,
+            4 * proxy.max_estimated_peak_bytes);
+
+  // ...so under the same budget the calibrated planner splits finer
+  // than the payload proxy: it anticipates the engine-internal growth.
+  ShardPlanOptions budget;
+  budget.shards = -1;
+  budget.memory_budget_bytes = proxy.max_estimated_peak_bytes / 2;
+  ShardPlan coarse = PlanShards(q.query, budget);
+  budget.cost_model = &model;
+  ShardPlan fine = PlanShards(q.query, budget);
+  EXPECT_GT(fine.split_bits, coarse.split_bits);
+}
+
+TEST(ShardPlannerTest, PlanningBytesStayFlatAsTheSplitGrows) {
+  QueryInstance q = RandomTriangle(/*tuples_per_rel=*/80, /*d=*/5,
+                                   /*seed=*/22);
+  ShardPlanOptions one;
+  one.shards = 1;
+  const size_t base = PlanShards(q.query, one).PlanningBytes();
+  ShardPlanOptions many;
+  many.shards = 64;
+  const size_t fine = PlanShards(q.query, many).PlanningBytes();
+  // The old materializing planner copied every atom into its shards, so
+  // its residency scaled with the split; bucket row lists stay within a
+  // small constant (the per-shard Shard structs) of the single-shard
+  // plan no matter how fine the split.
+  EXPECT_LT(fine, 2 * base + 64 * sizeof(Shard) + 1024);
 }
 
 }  // namespace
