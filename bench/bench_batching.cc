@@ -1,0 +1,239 @@
+// Cross-query batching: sweeps batch size vs per-query latency on a
+// shared-relation workload and reports the throughput gain of
+// RunBatch (engine/batch_runner.h) over a sequential per-query RunJoin
+// sweep — the cost the batch amortizes is one index build + one shard
+// plan per query, and the parallelism it unlocks is the queries×shards
+// task set on the shared executor (no per-query barrier).
+//
+// Every batch must reproduce the sequential per-query outputs exactly —
+// the binary exits nonzero otherwise. Acceptance target: >= 1.5x
+// throughput at batch=8 on >= 4 hardware threads (below that the check
+// is an explicit SKIPPED, matching bench_sharding).
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "engine/batch_runner.h"
+#include "engine/cli.h"
+#include "engine/parallel_executor.h"
+#include "workload/generators.h"
+
+using namespace tetris;
+using namespace tetris::bench;
+
+namespace {
+
+// The sequential baseline: one plain RunJoin per query, `reps` times
+// (fastest total kept). Also the equivalence reference — per-query
+// results land in *results.
+double TimedSequential(const std::vector<JoinQuery>& queries,
+                       EngineKind kind, int reps,
+                       std::vector<EngineResult>* results) {
+  double best_ms = -1.0;
+  for (int rep = 0; rep < std::max(1, reps); ++rep) {
+    std::vector<EngineResult> r;
+    r.reserve(queries.size());
+    const auto start = std::chrono::steady_clock::now();
+    for (const JoinQuery& q : queries) {
+      r.push_back(RunJoin(q, kind));
+    }
+    const auto end = std::chrono::steady_clock::now();
+    const double ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    if (best_ms < 0.0 || ms < best_ms) {
+      best_ms = ms;
+      *results = std::move(r);
+    }
+  }
+  return best_ms;
+}
+
+// True iff every query's batch result matches the sequential reference
+// (same ok flag; identical canonical tuples when ok).
+bool BatchMatchesSequential(const std::vector<EngineResult>& seq,
+                            const BatchResult& batch,
+                            cli::RunReporter* rep, const char* engine,
+                            const char* scenario) {
+  bool ok = true;
+  for (size_t i = 0; i < seq.size(); ++i) {
+    const EngineResult& b = batch.results[i];
+    if (seq[i].ok != b.ok) {
+      rep->Error("!! %s %s: query %zu ok mismatch (sequential %d, "
+                 "batch %d: %s)",
+                 engine, scenario, i, seq[i].ok ? 1 : 0, b.ok ? 1 : 0,
+                 b.error.c_str());
+      ok = false;
+      continue;
+    }
+    if (seq[i].ok && seq[i].tuples != b.tuples) {
+      rep->Error("!! OUTPUT MISMATCH: %s %s: query %zu: batch found %zu "
+                 "tuples, sequential %zu",
+                 engine, scenario, i, b.tuples.size(),
+                 seq[i].tuples.size());
+      ok = false;
+    }
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  cli::HarnessOptions opts;
+  opts.engines = {EngineKind::kTetrisPreloaded, EngineKind::kGenericJoin};
+  if (auto exit_code = cli::HandleStartup(
+          &argc, argv, &opts,
+          "bench_batching — cross-query batching over shared shard "
+          "plans: batch-size sweep vs sequential per-query RunJoin on "
+          "shared-relation workloads")) {
+    return *exit_code;
+  }
+
+  cli::RunReporter rep(opts.format, "batching");
+  const size_t tuples = opts.size ? opts.size : 400;
+  const int d = 8;
+  const uint64_t seed = opts.seed ? opts.seed : 7;
+  const size_t max_batch = opts.batch ? opts.batch : 8;
+  const int hw = WorkStealingPool::HardwareThreads();
+  rep.Note("shared pool {R(A,B), S(B,C), T(A,C)}: %zu tuples per "
+           "relation, depth %d; batch sweep up to %zu queries",
+           tuples, d, max_batch);
+  rep.Note("hardware threads: %d%s", hw,
+           hw < 4 ? " — batch throughput rides the executor; on < 4 "
+                    "cores only the amortization gain (shared indexes "
+                    "and plans) shows"
+                  : "");
+  rep.Summary("hardware_threads", static_cast<double>(hw),
+              hw < 4 ? "throughput acceptance SKIPPED (needs >= 4 cores)"
+                     : "throughput acceptance (>= 1.5x at batch=8)");
+
+  // The shared-plan workload: identical triangles over one pool, or the
+  // --queries file's specs over the same pool.
+  BatchInstance inst;
+  if (!opts.queries_file.empty()) {
+    std::vector<std::string> specs;
+    std::string error;
+    if (!cli::ReadQuerySpecs(opts.queries_file, &specs, &error) ||
+        !SharedRelationBatch(specs, tuples, d, seed, &inst, &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 2;
+    }
+  } else {
+    inst = RepeatedTriangleBatch(max_batch, tuples, d, seed);
+  }
+
+  bool ok = true;
+  for (EngineKind kind : opts.engines) {
+    const char* engine = EngineKindName(kind);
+    rep.Section(std::string(engine) + ": batch-size sweep");
+
+    // Powers of two up to the batch, plus the full batch itself when it
+    // is not a power of two (a --queries file can have any length).
+    std::vector<size_t> sizes;
+    for (size_t b = 1; b <= inst.queries.size(); b *= 2) sizes.push_back(b);
+    if (sizes.empty() || sizes.back() != inst.queries.size()) {
+      sizes.push_back(inst.queries.size());
+    }
+    double speedup_max = 0.0;
+    size_t measured_at = 0;
+    for (size_t b : sizes) {
+      const std::vector<JoinQuery> queries(inst.queries.begin(),
+                                           inst.queries.begin() +
+                                               static_cast<long>(b));
+      std::vector<EngineResult> seq;
+      const double seq_ms = TimedSequential(queries, kind, opts.reps, &seq);
+      cli::HarnessOptions one = opts;
+      one.engines = {kind};
+      const cli::BatchRun run =
+          cli::RunBatch(inst.pool, queries, one, BatchOptions{})[0];
+      const std::string scenario = "b" + std::to_string(b);
+      if (!run.result.ok) {
+        rep.Error("!! %s %s failed: %s", engine, scenario.c_str(),
+                  run.result.error.c_str());
+        ok = false;
+        continue;
+      }
+      if (!BatchMatchesSequential(seq, run.result, &rep, engine,
+                                  scenario.c_str())) {
+        ok = false;
+      }
+      const double speedup =
+          run.result.stats.wall_ms > 0.0
+              ? seq_ms / run.result.stats.wall_ms
+              : 0.0;
+      if (b > measured_at) {
+        measured_at = b;
+        speedup_max = speedup;
+      }
+      rep.BatchRow(scenario,
+                   {{"batch", static_cast<double>(b)},
+                    {"seq_ms", seq_ms},
+                    {"throughput_x", speedup}},
+                   run);
+    }
+
+    // Acceptance: >= 1.5x throughput at batch=8 (or the largest swept
+    // size) — only meaningful with >= 4 cores; below that the check is
+    // an explicit SKIPPED, not a silent miss. At or above, a miss fails
+    // the run (the exit code is the acceptance signal).
+    const std::string metric =
+        std::string(engine) + "_batch" + std::to_string(measured_at) +
+        "_throughput_x";
+    if (hw < 4) {
+      rep.Summary(metric, speedup_max, "SKIPPED (needs >= 4 cores)");
+      rep.Note("   %s acceptance SKIPPED (needs >= 4 cores, have %d)",
+               engine, hw);
+    } else {
+      rep.Summary(metric, speedup_max,
+                  "acceptance: >= 1.5x at batch=" +
+                      std::to_string(measured_at));
+      if (speedup_max < 1.5) {
+        rep.Error("!! THROUGHPUT ACCEPTANCE MISSED: %s batch=%zu = "
+                  "%.2fx (need >= 1.5x on %d hardware threads)",
+                  engine, measured_at, speedup_max, hw);
+        ok = false;
+      }
+    }
+  }
+
+  // Mixed shapes over the same pool: several distinct plan signatures,
+  // shared base indexes throughout — the dedup numbers land in the
+  // batch row's plans/index_builds params. One section for every
+  // engine, so the reporter's cross-engine agreement check on the
+  // batch totals is live here.
+  if (opts.queries_file.empty()) {
+    BatchInstance mixed = MixedShapeBatch(max_batch, tuples, d, seed);
+    rep.Section("mixed shapes (plan dedup, shared indexes)");
+    for (EngineKind kind : opts.engines) {
+      const char* engine = EngineKindName(kind);
+      std::vector<EngineResult> seq;
+      const double seq_ms =
+          TimedSequential(mixed.queries, kind, opts.reps, &seq);
+      cli::HarnessOptions one = opts;
+      one.engines = {kind};
+      const cli::BatchRun run =
+          cli::RunBatch(mixed.pool, mixed.queries, one, BatchOptions{})[0];
+      if (!run.result.ok) {
+        rep.Error("!! %s mixed failed: %s", engine,
+                  run.result.error.c_str());
+        ok = false;
+        continue;
+      }
+      if (!BatchMatchesSequential(seq, run.result, &rep, engine, "mixed")) {
+        ok = false;
+      }
+      const double speedup = run.result.stats.wall_ms > 0.0
+                                 ? seq_ms / run.result.stats.wall_ms
+                                 : 0.0;
+      rep.BatchRow("mixed",
+                   {{"batch", static_cast<double>(mixed.queries.size())},
+                    {"seq_ms", seq_ms},
+                    {"throughput_x", speedup}},
+                   run);
+    }
+  }
+  return ok && rep.AllAgreed() ? 0 : 1;
+}

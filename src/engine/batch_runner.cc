@@ -1,0 +1,318 @@
+#include "engine/batch_runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <optional>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "engine/cost_model.h"
+#include "engine/parallel_executor.h"
+#include "engine/shard_planner.h"
+#include "index/sorted_index.h"
+
+namespace tetris {
+
+namespace {
+
+// The output-space signature of a query: everything PlanShards depends
+// on — the grid depth, the attribute count, and per atom the relation
+// identity plus its attribute binding. Queries with equal signatures
+// restrict the same rows to the same subcubes, so one ShardPlan serves
+// them all.
+std::string PlanSignature(const JoinQuery& query, int depth) {
+  std::string sig = std::to_string(depth) + "|" +
+                    std::to_string(query.num_attrs());
+  char buf[32];
+  for (const Atom& atom : query.atoms()) {
+    std::snprintf(buf, sizeof(buf), "|%p:", static_cast<const void*>(atom.rel));
+    sig += buf;
+    for (int v : atom.var_ids) sig += std::to_string(v) + ",";
+  }
+  return sig;
+}
+
+}  // namespace
+
+BatchResult RunBatch(const std::vector<const Relation*>& relations,
+                     const std::vector<JoinQuery>& queries, EngineKind kind,
+                     const BatchOptions& options) {
+  BatchResult batch;
+  const auto start = std::chrono::steady_clock::now();
+  auto finish = [&start, &batch]() -> BatchResult& {
+    const auto end = std::chrono::steady_clock::now();
+    batch.stats.wall_ms =
+        std::chrono::duration<double, std::milli>(end - start).count();
+    return batch;
+  };
+  auto append_note = [&batch](const std::string& s) {
+    AppendNote(&batch.note, s);
+  };
+
+  batch.results.resize(queries.size());
+  batch.stats.queries = queries.size();
+  for (EngineResult& r : batch.results) r.stats.engine = kind;
+  if (options.shards < kAutoShards) {
+    batch.error = "shards: want -1 (auto), 0/1 (off), or >= 2";
+    return finish();
+  }
+  if (options.threads < 0) {
+    batch.error = "threads: want 0 (the executor's full width) or >= 1";
+    return finish();
+  }
+  if (queries.empty()) {
+    batch.ok = true;
+    return finish();
+  }
+
+  // The relation universe: every atom must reference a declared pool
+  // relation (that identity is what makes index/plan sharing sound). An
+  // empty pool infers the universe from the queries themselves.
+  std::unordered_set<const Relation*> pool(relations.begin(),
+                                           relations.end());
+  std::vector<const Relation*> distinct;  // first-appearance order
+  std::unordered_set<const Relation*> seen;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    for (const Atom& atom : queries[q].atoms()) {
+      if (!relations.empty() && pool.count(atom.rel) == 0) {
+        batch.error = "query " + std::to_string(q) + ": atom relation '" +
+                      atom.rel->name() +
+                      "' is not in the batch's relation pool";
+        return finish();
+      }
+      if (seen.insert(atom.rel).second) distinct.push_back(atom.rel);
+    }
+  }
+  batch.stats.relations = distinct.size();
+
+  // One grid depth for the whole batch, so one index per relation can
+  // serve every query.
+  int depth = options.depth;
+  for (const JoinQuery& q : queries) {
+    if (options.depth > 0 && q.MinDepth() > options.depth) {
+      batch.error = "depth: too small for the batch "
+                    "(need at least every query's MinDepth())";
+      return finish();
+    }
+    depth = std::max(depth, q.MinDepth());
+  }
+
+  WorkStealingPool& pool_exec =
+      options.executor != nullptr ? *options.executor
+                                  : WorkStealingPool::Global();
+  const int requested = options.threads == 0
+                            ? pool_exec.threads()
+                            : std::max(1, options.threads);
+
+  // (a) Shared base indexes: one per distinct relation, built once,
+  // probed by every query's shards through zero-copy IndexViews. Only
+  // the Tetris family probes indexes; the baselines scan relations.
+  const std::optional<JoinAlgorithm> algo = TetrisAlgorithmOf(kind);
+  std::unordered_map<const Relation*, std::unique_ptr<Index>> shared_index;
+  if (algo.has_value()) {
+    for (const Relation* rel : distinct) {
+      auto ix = std::make_unique<SortedIndex>(*rel, depth);
+      batch.stats.index_bytes += ix->MemoryBytes();
+      shared_index.emplace(rel, std::move(ix));
+    }
+    batch.stats.indexes_built = shared_index.size();
+  }
+
+  // Per-query support check + Tetris contexts over the shared bases.
+  std::vector<TetrisShardContext> contexts(queries.size());
+  std::vector<bool> supported(queries.size(), false);
+  size_t supported_count = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!EngineSupports(kind, queries[q])) {
+      batch.results[q].error = std::string(EngineKindName(kind)) +
+                               ": engine does not support this query";
+      continue;
+    }
+    supported[q] = true;
+    ++supported_count;
+    if (algo.has_value()) {
+      std::vector<const Index*> base;
+      base.reserve(queries[q].atoms().size());
+      for (const Atom& atom : queries[q].atoms()) {
+        base.push_back(shared_index.at(atom.rel).get());
+      }
+      contexts[q] = MakeTetrisShardContext(queries[q], *algo, depth,
+                                           /*order=*/{}, std::move(base));
+    }
+  }
+  if (supported_count == 0) {
+    batch.ok = true;  // every per-query result carries its reason
+    return finish();
+  }
+
+  // Per-shard engine options for the materializing path: plain
+  // sequential runs at the batch depth.
+  EngineOptions shard_opts;
+  shard_opts.depth = depth;
+
+  // (d) One calibration for the whole batch: probe on the first
+  // supported query, share the fitted model with every plan, and keep
+  // the probe outputs for reuse as that query's shard results.
+  ShardCostModel model;
+  model.family = EngineFamilyOf(kind);
+  std::vector<ProbeRun> probes;
+  size_t calib_query = queries.size();
+  if (options.memory_budget_bytes > 0) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (!supported[q]) continue;
+      calib_query = q;
+      model = CalibrateShardCostModel(
+          queries[q], kind, algo.has_value() ? &contexts[q] : nullptr,
+          shard_opts, depth, &probes);
+      break;
+    }
+    append_note("cost model calibrated once for the batch (" +
+                std::string(EngineFamilyName(model.family)) + ", " +
+                model.source + ")");
+  }
+
+  // (b) One ShardPlan per distinct output-space signature. The plan's
+  // row buckets are the expensive part — queries sharing a signature
+  // share them instead of re-bucketing every relation.
+  ShardPlanOptions popt;
+  // EngineOptions::shards semantics: 0/1 plan a single shard per
+  // signature, kAutoShards (the BatchOptions default) lets the planner
+  // choose, >= 2 is explicit.
+  popt.shards = options.shards;
+  // Auto mode sizes each plan so the whole batch has at least one task
+  // per worker; with many queries, query-level parallelism already
+  // covers the machine and plans stay single-shard.
+  popt.threads_hint = std::max(
+      1, static_cast<int>((static_cast<size_t>(requested) +
+                           supported_count - 1) /
+                          supported_count));
+  popt.memory_budget_bytes = options.memory_budget_bytes;
+  popt.depth = depth;
+  popt.cost_model = &model;
+  std::vector<std::unique_ptr<ShardPlan>> plans;
+  std::map<std::string, size_t> plan_of_signature;
+  std::vector<size_t> query_plan(queries.size(), 0);
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!supported[q]) continue;
+    const std::string sig = PlanSignature(queries[q], depth);
+    auto it = plan_of_signature.find(sig);
+    if (it == plan_of_signature.end()) {
+      plans.push_back(
+          std::make_unique<ShardPlan>(PlanShards(queries[q], popt)));
+      batch.stats.plan_bytes += plans.back()->PlanningBytes();
+      it = plan_of_signature.emplace(sig, plans.size() - 1).first;
+    }
+    query_plan[q] = it->second;
+  }
+  batch.stats.plans = plans.size();
+
+  // (c) The cross-product task set: every non-empty (query, shard) pair
+  // becomes one executor task — no per-query barrier anywhere. Probe
+  // results pre-fill the calibration query's matching shards.
+  struct TaskRef {
+    size_t q = 0;
+    int shard = 0;
+  };
+  std::vector<TaskRef> tasks;
+  std::vector<std::vector<EngineResult>> shard_results(queries.size());
+  std::map<std::string, size_t> probe_by_box;
+  for (size_t p = 0; p < probes.size(); ++p) {
+    probe_by_box.emplace(probes[p].box.ToString(), p);
+  }
+  size_t probes_reused = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!supported[q]) continue;
+    const ShardPlan& plan = *plans[query_plan[q]];
+    shard_results[q].resize(plan.shards.size());
+    for (const Shard& shard : plan.shards) {
+      if (shard.empty) continue;
+      if (q == calib_query) {
+        auto it = probe_by_box.find(shard.box.ToString());
+        if (it != probe_by_box.end()) {
+          shard_results[q][static_cast<size_t>(shard.id)] =
+              std::move(probes[it->second].result);
+          probe_by_box.erase(it);
+          ++probes_reused;
+          continue;
+        }
+      }
+      tasks.push_back({q, shard.id});
+    }
+  }
+  batch.stats.tasks = tasks.size();
+  append_note(ProbeReuseNote(probes_reused));
+
+  const int workers = std::max(
+      1, std::min({requested, pool_exec.threads(),
+                   static_cast<int>(tasks.size())}));
+  batch.stats.threads = static_cast<size_t>(workers);
+  auto run_task = [&](int t) {
+    const TaskRef& task = tasks[static_cast<size_t>(t)];
+    const ShardPlan& plan = *plans[query_plan[task.q]];
+    EngineResult& slot =
+        shard_results[task.q][static_cast<size_t>(task.shard)];
+    if (algo.has_value()) {
+      slot = RunTetrisViewShard(contexts[task.q],
+                                plan.shards[task.shard].box, kind);
+    } else if (plan.split_bits == 0) {
+      // A single-shard plan covers the whole output space: scan the
+      // original relations directly instead of materializing a full
+      // restricted copy that would equal them.
+      slot = RunJoin(queries[task.q], kind, shard_opts);
+    } else {
+      slot = RunMaterializedShard(queries[task.q], plan, task.shard, kind,
+                                  shard_opts);
+    }
+  };
+  if (workers <= 1) {
+    for (size_t t = 0; t < tasks.size(); ++t) {
+      run_task(static_cast<int>(t));
+    }
+  } else {
+    ParallelFor(&pool_exec, workers, static_cast<int>(tasks.size()),
+                run_task);
+  }
+
+  // Deterministic per-query merge, in input order.
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!supported[q]) continue;
+    const ShardPlan& plan = *plans[query_plan[q]];
+    // Attributed time: the summed wall time of this query's shard
+    // tasks. Queries overlap inside the batch, so a per-query wall
+    // clock is not well-defined; the batch wall time is stats.wall_ms.
+    double attributed_ms = 0.0;
+    for (const EngineResult& r : shard_results[q]) {
+      attributed_ms += r.stats.wall_ms;
+    }
+    EngineResult merged = MergeShardRuns(
+        queries[q], kind, plan, std::move(shard_results[q]),
+        options.memory_budget_bytes,
+        algo.has_value() ? contexts[q].base_index_bytes : 0);
+    merged.stats.threads = static_cast<size_t>(workers);
+    merged.stats.wall_ms = attributed_ms;
+    std::string query_note = plan.note;
+    AppendNote(&query_note, merged.shard_note);
+    if (merged.ok && options.memory_budget_bytes > 0) {
+      AppendNote(&query_note,
+                 EstimatorAuditNote(model, plan.max_estimated_peak_bytes,
+                                    merged.stats.max_shard_peak_bytes));
+    }
+    merged.shard_note = std::move(query_note);
+    batch.stats.sum_query_ms += attributed_ms;
+    batch.results[q] = std::move(merged);
+  }
+  append_note(std::to_string(batch.stats.plans) + " plan" +
+              (batch.stats.plans == 1 ? "" : "s") + " and " +
+              std::to_string(batch.stats.indexes_built) +
+              " base index builds served " +
+              std::to_string(supported_count) +
+              (supported_count == 1 ? " query" : " queries"));
+  batch.ok = true;
+  return finish();
+}
+
+}  // namespace tetris

@@ -1,0 +1,130 @@
+// Cross-query batching over shared shard plans.
+//
+// The paper's Tetris engine amortizes its geometric certificate work
+// across the whole output space; this layer amortizes the *harness*
+// work across a whole batch of queries over the same relations. A
+// sequential sweep of RunJoin pays full index-build + shard-planning
+// cost per query and puts a barrier between queries — a skewed shard of
+// query A leaves workers idle that query B could use. RunBatch instead:
+//
+//   (a) builds each relation's base indexes EXACTLY ONCE per batch and
+//       shares them across every query's shards through the existing
+//       zero-copy IndexView stack (index/index_view.h) — a relation
+//       referenced by five queries is indexed once, not five times;
+//   (b) plans dyadic-prefix shards ONCE per distinct output-space
+//       signature (depth + per-atom relation/attribute binding) and
+//       reuses the ShardPlan — its row buckets are the expensive part —
+//       across every query that shares it;
+//   (c) schedules the cross-product of queries × shards as ONE task set
+//       on the work-stealing executor (engine/parallel_executor.h), so
+//       shards of different queries interleave freely instead of
+//       synchronizing at per-query barriers;
+//   (d) calibrates the per-engine-family cost model ONCE per batch (the
+//       probe pass of engine/cost_model.h) and shares the fit with
+//       every plan, reusing the probe outputs as those shards' results.
+//
+// Results are per-query EngineResults, tuple-identical to what a
+// sequential per-query RunJoin would produce (tests/batch_runner_test.cc
+// asserts this across all 11 engines), plus batch-level amortization
+// stats.
+#ifndef TETRIS_ENGINE_BATCH_RUNNER_H_
+#define TETRIS_ENGINE_BATCH_RUNNER_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/join_engine.h"
+#include "query/join_query.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+class WorkStealingPool;  // engine/parallel_executor.h
+
+/// Per-batch knobs, all optional.
+struct BatchOptions {
+  /// Dyadic depth of the shared value domain; 0 = the max MinDepth()
+  /// over the batch (every query must fit one grid so indexes can be
+  /// shared). An explicit depth smaller than some query's MinDepth()
+  /// fails the batch.
+  int depth = 0;
+
+  /// Per-plan shard count, with EngineOptions::shards semantics:
+  /// kAutoShards (the default) = planner's choice — at least one task
+  /// per worker across the whole batch; 0 or 1 = one shard per plan
+  /// (query-level parallelism only); >= 2 = that many shards per plan
+  /// (rounded up to a power of two).
+  int shards = kAutoShards;
+
+  /// Worker-parallelism cap for the whole batch task set: 0 (default) =
+  /// the executor's full width, N = at most N workers, 1 = sequential
+  /// (deterministic debugging). Always clamped to the executor's width.
+  int threads = 0;
+
+  /// When nonzero, every plan splits until its shards' estimated peaks
+  /// fit (engine/shard_planner.h), through ONE cost model calibrated
+  /// once per batch.
+  size_t memory_budget_bytes = 0;
+
+  /// Executor the batch draws its workers from. nullptr = the
+  /// process-global pool. Must outlive the call.
+  WorkStealingPool* executor = nullptr;
+};
+
+/// Batch-level amortization counters.
+struct BatchStats {
+  size_t queries = 0;    ///< batch size
+  size_t relations = 0;  ///< distinct relations referenced by the batch
+  /// Base indexes built (== relations for the Tetris family — one per
+  /// relation, shared by every query; 0 for engines that scan relations
+  /// directly).
+  size_t indexes_built = 0;
+  /// Resident bytes of the shared base indexes — paid once per batch,
+  /// not once per query.
+  size_t index_bytes = 0;
+  size_t plans = 0;       ///< distinct output-space signatures planned
+  size_t plan_bytes = 0;  ///< summed residency of the shared plans
+  /// Non-empty (query, shard) tasks handed to the executor (probe-reused
+  /// shards excluded — their work already happened in calibration).
+  size_t tasks = 0;
+  size_t threads = 0;  ///< workers the batch may occupy
+  double wall_ms = 0.0;  ///< end-to-end batch wall time
+  /// Sum over queries of the attributed per-query times (see
+  /// EngineResult note in RunBatch) — compare against wall_ms to read
+  /// the overlap.
+  double sum_query_ms = 0.0;
+};
+
+/// Result of one batch run.
+struct BatchResult {
+  /// False only on batch-level structural errors (a query referencing a
+  /// relation outside the declared pool, a depth too small for the
+  /// batch). Per-query failures — an engine that cannot evaluate one
+  /// query — land in that query's EngineResult instead, and the rest of
+  /// the batch still runs.
+  bool ok = false;
+  std::string error;  ///< reason when !ok
+  /// One EngineResult per query, in input order, tuple-identical to a
+  /// per-query RunJoin. Each result's `wall_ms` is the query's
+  /// *attributed* time — the summed wall time of its shard tasks — not
+  /// a wall-clock latency (queries overlap inside the batch; the batch
+  /// wall time lives in `stats.wall_ms`).
+  std::vector<EngineResult> results;
+  BatchStats stats;
+  /// Batch-level diagnostics: calibration/probe reuse, plan sharing.
+  std::string note;
+};
+
+/// Evaluates every query of the batch with `kind` over the shared
+/// `relations` pool. `relations` declares the batch's relation universe
+/// — every atom of every query must reference one of them (that is what
+/// makes the sharing sound); pass the pool the queries were built over.
+/// An empty pool infers the universe from the queries themselves.
+/// Never throws; see BatchResult::ok for the failure contract.
+BatchResult RunBatch(const std::vector<const Relation*>& relations,
+                     const std::vector<JoinQuery>& queries, EngineKind kind,
+                     const BatchOptions& options = {});
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_BATCH_RUNNER_H_

@@ -270,6 +270,22 @@ bool ParseHarnessArgs(int* argc, char** argv, HarnessOptions* opts,
       opts->memory_budget_set = true;
     } else if (std::strcmp(arg, "--parallel") == 0) {
       opts->parallel = true;
+    } else if (FlagValue(arg, "--batch", &value)) {
+      uint64_t batch;
+      if (!ParseU64(value, &batch) || batch == 0 || batch > 1u << 20) {
+        if (error) {
+          *error = "--batch wants a batch size in [1, 2^20], got '" +
+                   value + "'";
+        }
+        return false;
+      }
+      opts->batch = batch;
+    } else if (FlagValue(arg, "--queries", &value)) {
+      if (value.empty()) {
+        if (error) *error = "--queries wants a file path";
+        return false;
+      }
+      opts->queries_file = value;
     } else if (std::strcmp(arg, "--list-engines") == 0) {
       opts->list_engines = true;
     } else if (std::strcmp(arg, "--help") == 0 ||
@@ -306,6 +322,8 @@ void PrintHarnessUsage() {
       "  --memory-budget=<n[K|M|G]> per-shard resident budget (implies "
       "sharding)\n"
       "  --parallel              run the selected engines concurrently\n"
+      "  --batch=<n>             batch size (batching binaries)\n"
+      "  --queries=<file>        batch query specs, one per line\n"
       "  --list-engines          print the engine names and exit\n"
       "  --help                  this message\n");
 }
@@ -381,6 +399,83 @@ std::vector<EngineRun> RunEngines(const JoinQuery& query,
     ParallelFor(eopts.executor, /*max_parallel=*/0, n, run_one);
   } else {
     for (int i = 0; i < n; ++i) run_one(i);
+  }
+  return runs;
+}
+
+bool ReadQuerySpecs(const std::string& path, std::vector<std::string>* specs,
+                    std::string* error) {
+  specs->clear();
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    if (error) *error = "--queries: cannot open '" + path + "'";
+    return false;
+  }
+  char chunk[512];
+  std::string s;
+  bool done = false;
+  while (!done) {
+    // Accumulate until the newline: a spec line longer than one fgets
+    // buffer must stay ONE spec, not silently split into fragments.
+    s.clear();
+    for (;;) {
+      if (std::fgets(chunk, sizeof(chunk), f) == nullptr) {
+        done = true;
+        break;
+      }
+      s += chunk;
+      if (!s.empty() && s.back() == '\n') break;
+    }
+    // Strip comments, then surrounding whitespace.
+    if (size_t hash = s.find('#'); hash != std::string::npos) {
+      s.erase(hash);
+    }
+    const char* ws = " \t\r\n";
+    s.erase(0, s.find_first_not_of(ws));
+    if (size_t last = s.find_last_not_of(ws); last != std::string::npos) {
+      s.erase(last + 1);
+    } else {
+      s.clear();
+    }
+    if (!s.empty()) specs->push_back(std::move(s));
+  }
+  std::fclose(f);
+  if (specs->empty()) {
+    if (error) *error = "--queries: '" + path + "' holds no query specs";
+    return false;
+  }
+  return true;
+}
+
+std::vector<BatchRun> RunBatch(const std::vector<const Relation*>& relations,
+                               const std::vector<JoinQuery>& queries,
+                               const HarnessOptions& opts,
+                               const BatchOptions& bopts) {
+  std::vector<BatchRun> runs;
+  runs.reserve(opts.engines.size());
+  for (EngineKind kind : opts.engines) {
+    BatchOptions batch_opts = bopts;
+    // Explicit harness flags override the binary's preset, like
+    // RunEngines. --threads keeps its RunJoin meaning (1 = sequential);
+    // the batch default of "full width" only applies when unset.
+    if (opts.shards_set) batch_opts.shards = opts.shards;
+    if (opts.threads_set) batch_opts.threads = opts.threads;
+    if (opts.memory_budget_set) {
+      batch_opts.memory_budget_bytes = opts.memory_budget;
+    }
+    BatchRun run;
+    run.kind = kind;
+    double best_ms = -1.0;
+    const int reps = std::max(1, opts.reps);
+    for (int rep = 0; rep < reps; ++rep) {
+      run.result = tetris::RunBatch(relations, queries, kind, batch_opts);
+      if (!run.result.ok) break;
+      if (best_ms < 0.0 || run.result.stats.wall_ms < best_ms) {
+        best_ms = run.result.stats.wall_ms;
+      }
+    }
+    if (run.result.ok) run.result.stats.wall_ms = best_ms;
+    runs.push_back(std::move(run));
   }
   return runs;
 }
@@ -528,6 +623,56 @@ void RunReporter::Row(const std::string& scenario, const Params& params,
   if (!run.result.shard_note.empty() && format_ == OutputFormat::kTable) {
     std::printf("   planner: %s\n", run.result.shard_note.c_str());
   }
+}
+
+void RunReporter::BatchRow(const std::string& scenario, const Params& params,
+                           const BatchRun& run) {
+  const BatchResult& b = run.result;
+  size_t total_tuples = 0;
+  size_t ok_queries = 0;
+  for (const EngineResult& r : b.results) {
+    if (!r.ok) continue;
+    total_tuples += r.tuples.size();
+    ++ok_queries;
+  }
+  // Cross-engine agreement on the batch total — but only when the
+  // engine evaluated every query (an engine that skips some queries,
+  // like Yannakakis on the cyclic members of a mixed batch, has an
+  // incomparable total).
+  if (b.ok && ok_queries == b.results.size() && !b.results.empty()) {
+    const std::string key = section_ + "/" + scenario;
+    auto [it, inserted] = expected_tuples_.emplace(key, total_tuples);
+    if (!inserted && it->second != total_tuples) {
+      agreed_ = false;
+      Error("!! OUTPUT MISMATCH: %s: %s batch found %zu total tuples, "
+            "expected %zu",
+            key.c_str(), EngineKindName(run.kind), total_tuples,
+            it->second);
+    }
+  }
+  const double qps = b.stats.wall_ms > 0.0
+                         ? 1000.0 * static_cast<double>(b.stats.queries) /
+                               b.stats.wall_ms
+                         : 0.0;
+  Params bp = params;
+  bp.emplace_back("queries", static_cast<double>(b.stats.queries));
+  bp.emplace_back("ok_queries", static_cast<double>(ok_queries));
+  bp.emplace_back("plans", static_cast<double>(b.stats.plans));
+  bp.emplace_back("index_builds", static_cast<double>(b.stats.indexes_built));
+  bp.emplace_back("tasks", static_cast<double>(b.stats.tasks));
+  bp.emplace_back("index_KiB", b.stats.index_bytes / 1024.0);
+  bp.emplace_back("plan_KiB", b.stats.plan_bytes / 1024.0);
+  bp.emplace_back("qps", qps);
+  bp.emplace_back("sum_query_ms", b.stats.sum_query_ms);
+  RunStats s;
+  s.engine = run.kind;
+  s.output_tuples = total_tuples;
+  s.wall_ms = b.stats.wall_ms;
+  s.threads = b.stats.threads;
+  s.plan_bytes = b.stats.plan_bytes;
+  s.memory.index_bytes = b.stats.index_bytes;
+  EmitRow("batch", scenario, bp, EngineKindName(run.kind), b.ok, b.error, s,
+          total_tuples, /*box=*/"", b.note);
 }
 
 void RunReporter::Summary(const std::string& metric, double value,

@@ -15,6 +15,9 @@
 //   --memory-budget=<n[K|M|G]> per-shard resident budget (implies
 //                          sharding; binary suffixes)
 //   --parallel             run the selected *engines* concurrently too
+//   --batch=<n>            batch size for the batching binaries
+//   --queries=<file>       batch query specs, one per line (see
+//                          workload/generators.h SharedRelationBatch)
 //   --list-engines, --help
 //
 // ParseHarnessArgs strips the recognized flags out of argv so binaries
@@ -37,6 +40,7 @@
 #include <utility>
 #include <vector>
 
+#include "engine/batch_runner.h"
 #include "engine/join_engine.h"
 
 namespace tetris::cli {
@@ -72,6 +76,11 @@ struct HarnessOptions {
   bool memory_budget_set = false;
   /// Run the selected engines concurrently (one pool task per engine).
   bool parallel = false;
+  /// Batch size for the batching binaries (0 = binary default).
+  uint64_t batch = 0;
+  /// Batch query-spec file (--queries): one spec per line, '#' comments
+  /// and blank lines ignored. Empty = not set.
+  std::string queries_file;
   bool list_engines = false;
   bool help = false;
 };
@@ -131,6 +140,30 @@ std::vector<EngineRun> RunEngines(const JoinQuery& query,
                                   const HarnessOptions& opts,
                                   const EngineOptions& eopts = {});
 
+/// Reads a --queries file: one batch query spec per line (see
+/// workload/generators.h SharedRelationBatch for the format), '#'
+/// comments and blank lines ignored. False with `error` set when the
+/// file cannot be read or holds no specs.
+bool ReadQuerySpecs(const std::string& path, std::vector<std::string>* specs,
+                    std::string* error);
+
+/// One batch run of one engine.
+struct BatchRun {
+  EngineKind kind = EngineKind::kTetrisPreloaded;
+  BatchResult result;
+};
+
+/// Runs the whole batch through RunBatch (engine/batch_runner.h) on
+/// every selected engine, `opts.reps` times each (fastest batch wall
+/// time kept). Explicit harness flags (--threads / --shards /
+/// --memory-budget) override `bopts` the same way RunEngines overrides
+/// EngineOptions. Engines run sequentially — each batch already fans
+/// out across the shared executor.
+std::vector<BatchRun> RunBatch(const std::vector<const Relation*>& relations,
+                               const std::vector<JoinQuery>& queries,
+                               const HarnessOptions& opts,
+                               const BatchOptions& bopts = {});
+
 /// Named numeric columns a binary attaches to a row (workload parameters
 /// and derived quantities, e.g. {"n", 4096} or {"res/agm", 1.02}).
 using Params = std::vector<std::pair<std::string, double>>;
@@ -151,6 +184,16 @@ class RunReporter {
   /// recorded (shard sub-rows are exempt — they carry partial outputs).
   void Row(const std::string& scenario, const Params& params,
            const EngineRun& run);
+
+  /// Emits one `row_type=batch` row for a whole batch run: the
+  /// BatchStats amortization counters land in `params`
+  /// (queries/plans/index_builds/tasks/threads, amortized index_KiB and
+  /// plan_KiB, qps throughput and the attributed sum_query_ms), `tuples`
+  /// is the total across queries, `wall_ms` the batch wall time, and
+  /// the batch note rides in `note`. Successful batches of the same
+  /// scenario must agree on the total output size, like Row.
+  void BatchRow(const std::string& scenario, const Params& params,
+                const BatchRun& run);
 
   /// printf-style commentary (context banners, prose). Printed in table
   /// mode only, so csv/jsonl stay machine-parseable.

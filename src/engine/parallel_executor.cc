@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <map>
+#include <string>
+#include <utility>
 
-#include "engine/cost_model.h"
 #include "index/index_view.h"
 #include "index/sorted_index.h"
 
@@ -152,13 +154,7 @@ void ParallelFor(int threads, int n, const std::function<void(int)>& fn) {
   ParallelFor(nullptr, threads, n, fn);
 }
 
-namespace {
-
-// Merges one shard's counters into the run total. Work counters add up;
-// the memory fields keep the per-shard *peak* — shards build and release
-// their resident structures independently, and the peak is what the
-// budget constrains.
-void AccumulateShard(RunStats* into, const RunStats& s) {
+void AccumulateShardStats(RunStats* into, const RunStats& s) {
   into->tetris.Accumulate(s.tetris);
   into->input_gap_boxes += s.input_gap_boxes;
   into->oracle_probes += s.oracle_probes;
@@ -179,24 +175,32 @@ void AccumulateShard(RunStats* into, const RunStats& s) {
       std::max(into->max_shard_peak_bytes, s.memory.PeakBytes());
 }
 
-// Shared state of a zero-copy Tetris-family sharded run: base indexes
-// built once over the *original* relations, restricted per shard through
-// IndexViews. Shards read the bases concurrently under the Index
-// const-probe contract.
-struct TetrisViewContext {
-  const JoinQuery* query = nullptr;
-  JoinAlgorithm algo = JoinAlgorithm::kTetrisPreloaded;
-  int depth = 0;
-  std::vector<int> order;
-  std::vector<std::unique_ptr<Index>> owned;  // empty with custom indexes
-  std::vector<const Index*> base;             // one per atom
-  size_t base_index_bytes = 0;
-};
+TetrisShardContext MakeTetrisShardContext(
+    const JoinQuery& query, JoinAlgorithm algo, int depth,
+    std::vector<int> order, std::vector<const Index*> shared_base) {
+  TetrisShardContext ctx;
+  ctx.query = &query;
+  ctx.algo = algo;
+  ctx.depth = depth;
+  ctx.order = std::move(order);
+  if (!shared_base.empty()) {
+    ctx.base = std::move(shared_base);
+  } else if (ctx.order.empty()) {
+    for (const Atom& a : query.atoms()) {
+      ctx.owned.push_back(std::make_unique<SortedIndex>(*a.rel, depth));
+      ctx.base.push_back(ctx.owned.back().get());
+    }
+  } else {
+    ctx.owned = MakeSaoConsistentIndexes(query, ctx.order, depth);
+    ctx.base = IndexPtrs(ctx.owned);
+  }
+  for (const Index* ix : ctx.base) {
+    ctx.base_index_bytes += ix->MemoryBytes();
+  }
+  return ctx;
+}
 
-// One shard of a Tetris-family run: per-atom IndexViews confine every
-// probe and gap scan to the shard's box — no tuple is copied, no index
-// rebuilt — and are dropped when the shard finishes.
-EngineResult RunTetrisViewShard(const TetrisViewContext& ctx,
+EngineResult RunTetrisViewShard(const TetrisShardContext& ctx,
                                 const DyadicBox& shard_box,
                                 EngineKind kind) {
   EngineResult result;
@@ -239,10 +243,6 @@ EngineResult RunTetrisViewShard(const TetrisViewContext& ctx,
   return result;
 }
 
-// The baselines' lazy path: the restricted copy exists only inside this
-// call — materialized when the worker picks the shard up, dropped when
-// it finishes — so at most `threads` shard copies are resident at once
-// instead of all 2^k.
 EngineResult RunMaterializedShard(const JoinQuery& query,
                                   const ShardPlan& plan, int shard_id,
                                   EngineKind kind,
@@ -258,7 +258,164 @@ EngineResult RunMaterializedShard(const JoinQuery& query,
   return r;
 }
 
-}  // namespace
+ShardCostModel CalibrateShardCostModel(const JoinQuery& query,
+                                       EngineKind kind,
+                                       const TetrisShardContext* tctx,
+                                       const EngineOptions& shard_opts,
+                                       int depth,
+                                       std::vector<ProbeRun>* probe_runs) {
+  ShardCostModel model;
+  model.family = EngineFamilyOf(kind);
+  struct Point {
+    size_t payload = 0;
+    RunStats stats;
+  };
+  std::vector<Point> points;
+  // Two scales: an 8-way plan (~1/8-scale probe) and a 4-way plan
+  // (~1/4-scale probe) — two points of the same curve the real shards
+  // lie on, so superlinear growth shows up as a steeper secant.
+  for (int scale_shards : {8, 4}) {
+    ShardPlanOptions probe_opts;
+    probe_opts.shards = scale_shards;
+    probe_opts.depth = depth;
+    ShardPlan probe = PlanShards(query, probe_opts);
+    int pick = -1;
+    size_t best = 0;
+    size_t total_payload = 0;
+    for (const Shard& s : probe.shards) {
+      total_payload += s.payload_bytes;
+      if (!s.empty && s.payload_bytes > best) {
+        best = s.payload_bytes;
+        pick = s.id;
+      }
+    }
+    // A probe worth running must be a fraction of the data: when the
+    // domain cannot split, or skew concentrates (almost) everything in
+    // one subcube, the "probe" would be a hidden near-full run that
+    // doubles wall time without teaching the model anything the real
+    // run won't — skip this scale.
+    if (probe.split_bits == 0 || best * 2 > total_payload) continue;
+    // Two clamped plans can degenerate to the same split; a repeated
+    // point teaches nothing.
+    bool duplicate = false;
+    for (const ProbeRun& pr : *probe_runs) {
+      if (pr.box == probe.shards[pick].box) duplicate = true;
+    }
+    if (duplicate) continue;
+    const EngineResult pr =
+        tctx != nullptr
+            ? RunTetrisViewShard(*tctx, probe.shards[pick].box, kind)
+            : RunMaterializedShard(query, probe, pick, kind, shard_opts);
+    if (!pr.ok) continue;
+    points.push_back({probe.shards[pick].payload_bytes, pr.stats});
+    ProbeRun kept;
+    kept.box = probe.shards[pick].box;
+    kept.payload_bytes = probe.shards[pick].payload_bytes;
+    kept.result = pr;
+    probe_runs->push_back(std::move(kept));
+  }
+  if (points.size() >= 2) {
+    model = FitShardCostModelAffine(kind, points[0].payload, points[0].stats,
+                                    points[1].payload, points[1].stats);
+  } else if (points.size() == 1) {
+    model = FitShardCostModel(kind, points[0].payload, points[0].stats);
+  }
+  return model;
+}
+
+void AppendNote(std::string* note, const std::string& s) {
+  if (s.empty()) return;
+  if (!note->empty()) *note += "; ";
+  *note += s;
+}
+
+std::string ProbeReuseNote(size_t probes_reused) {
+  if (probes_reused == 0) return "";
+  return "reused " + std::to_string(probes_reused) + " probe result" +
+         (probes_reused == 1 ? "" : "s") + " as shard output";
+}
+
+std::string EstimatorAuditNote(const ShardCostModel& model,
+                               size_t predicted_bytes, size_t actual_bytes) {
+  return "estimator(" + std::string(EngineFamilyName(model.family)) + ", " +
+         model.source + "): predicted max shard peak " +
+         std::to_string(predicted_bytes) + "B, actual " +
+         std::to_string(actual_bytes) + "B";
+}
+
+EngineResult MergeShardRuns(const JoinQuery& query, EngineKind kind,
+                            const ShardPlan& plan,
+                            std::vector<EngineResult> shard_results,
+                            size_t memory_budget_bytes,
+                            size_t shared_index_bytes) {
+  EngineResult result;
+  result.stats.engine = kind;
+  const size_t m = plan.shards.size();
+  result.stats.shards = m;
+  result.stats.estimated_max_shard_peak_bytes = plan.max_estimated_peak_bytes;
+  result.stats.plan_bytes = plan.PlanningBytes();
+  size_t over_budget = 0;
+  size_t worst_peak = 0;
+  size_t worst_shard = 0;
+  for (size_t i = 0; i < m; ++i) {
+    ShardRunInfo info;
+    info.shard_id = static_cast<int>(i);
+    info.box = plan.shards[i].box.ToString();
+    if (plan.shards[i].empty) {
+      info.skipped_empty = true;
+      result.shard_runs.push_back(std::move(info));
+      continue;
+    }
+    EngineResult& r = shard_results[i];
+    if (!r.ok) {
+      result.error = "shard " + std::to_string(i) + ": " + r.error;
+      result.shard_runs.clear();
+      return result;
+    }
+    result.tuples.insert(result.tuples.end(),
+                         std::make_move_iterator(r.tuples.begin()),
+                         std::make_move_iterator(r.tuples.end()));
+    AccumulateShardStats(&result.stats, r.stats);
+    info.output_tuples = r.tuples.size();
+    info.stats = r.stats;
+    if (memory_budget_bytes > 0 &&
+        r.stats.memory.PeakBytes() > memory_budget_bytes) {
+      ++over_budget;
+      if (r.stats.memory.PeakBytes() > worst_peak) {
+        worst_peak = r.stats.memory.PeakBytes();
+        worst_shard = i;
+      }
+    }
+    result.shard_runs.push_back(std::move(info));
+  }
+  // The shared base indexes of a zero-copy run stay resident for the
+  // whole run (the per-shard views are a few words each): surface them
+  // in the run-level counter so the unsharded/sharded numbers compare.
+  result.stats.memory.index_bytes =
+      std::max(result.stats.memory.index_bytes, shared_index_bytes);
+  if (over_budget > 0) {
+    result.shard_note =
+        std::to_string(over_budget) + " of " + std::to_string(m) +
+        " shards exceeded the " + std::to_string(memory_budget_bytes) +
+        "B budget at run time (worst: shard " + std::to_string(worst_shard) +
+        " peaked at " + std::to_string(worst_peak) + "B)";
+  }
+
+  // Shards are disjoint subcubes, so concatenation has no duplicates,
+  // but sorting restores the canonical facade order.
+  std::sort(result.tuples.begin(), result.tuples.end());
+  result.tuples.erase(
+      std::unique(result.tuples.begin(), result.tuples.end()),
+      result.tuples.end());
+  result.ok = true;
+  result.stats.output_tuples = result.tuples.size();
+  result.stats.memory.intermediate_bytes =
+      std::max(result.stats.memory.intermediate_bytes,
+               result.stats.baseline.max_intermediate_bytes);
+  result.stats.memory.output_bytes =
+      EstimateAtomBytes(result.tuples.size(), query.num_attrs());
+  return result;
+}
 
 EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
                             const EngineOptions& options) {
@@ -316,26 +473,10 @@ EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
 
   // Zero-copy context for the Tetris family: base indexes built once,
   // shared by every shard through IndexViews.
-  TetrisViewContext tctx;
+  TetrisShardContext tctx;
   if (algo.has_value()) {
-    tctx.query = &query;
-    tctx.algo = *algo;
-    tctx.depth = depth;
-    tctx.order = options.order;
-    if (!options.indexes.empty()) {
-      tctx.base = options.indexes;
-    } else if (options.order.empty()) {
-      for (const Atom& a : query.atoms()) {
-        tctx.owned.push_back(std::make_unique<SortedIndex>(*a.rel, depth));
-        tctx.base.push_back(tctx.owned.back().get());
-      }
-    } else {
-      tctx.owned = MakeSaoConsistentIndexes(query, options.order, depth);
-      tctx.base = IndexPtrs(tctx.owned);
-    }
-    for (const Index* ix : tctx.base) {
-      tctx.base_index_bytes += ix->MemoryBytes();
-    }
+    tctx = MakeTetrisShardContext(query, *algo, depth, options.order,
+                                  options.indexes);
   }
   // The shared base indexes stay resident for the whole run no matter
   // how fine the split — a budget below them is unsatisfiable by
@@ -360,42 +501,17 @@ EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
   shard_opts.order = options.order;
   shard_opts.depth = depth;
 
-  // Per-engine-family cost model, calibrated from a cheap probe pass
-  // when a budget is in play: run one small shard exactly the way the
-  // real shards will run and fit peak-per-payload from it.
+  // Per-engine-family cost model, calibrated from up to two cheap probe
+  // passes when a budget is in play (engine/cost_model.h); probe
+  // outputs are kept and reused when the final plan contains the same
+  // subcube.
   ShardCostModel model;
   model.family = EngineFamilyOf(kind);
+  std::vector<ProbeRun> probes;
   if (options.memory_budget_bytes > 0) {
-    ShardPlanOptions probe_opts;
-    probe_opts.shards = 8;  // a ~1/8-scale probe
-    probe_opts.depth = depth;
-    ShardPlan probe = PlanShards(query, probe_opts);
-    int pick = -1;
-    size_t best = 0;
-    size_t total_payload = 0;
-    for (const Shard& s : probe.shards) {
-      total_payload += s.payload_bytes;
-      if (!s.empty && s.payload_bytes > best) {
-        best = s.payload_bytes;
-        pick = s.id;
-      }
-    }
-    // A probe worth running must be a fraction of the data: when the
-    // domain cannot split, or skew concentrates (almost) everything in
-    // one subcube, the "probe" would be a hidden near-full run that
-    // doubles wall time without teaching the model anything the real
-    // run won't — keep the payload proxy instead.
-    if (probe.split_bits == 0 || best * 2 > total_payload) pick = -1;
-    if (pick >= 0) {
-      const EngineResult pr =
-          algo.has_value()
-              ? RunTetrisViewShard(tctx, probe.shards[pick].box, kind)
-              : RunMaterializedShard(query, probe, pick, kind, shard_opts);
-      if (pr.ok) {
-        model = FitShardCostModel(kind, probe.shards[pick].payload_bytes,
-                                  pr.stats);
-      }
-    }
+    model = CalibrateShardCostModel(
+        query, kind, algo.has_value() ? &tctx : nullptr, shard_opts, depth,
+        &probes);
   }
 
   ShardPlanOptions popt;
@@ -405,17 +521,30 @@ EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
   popt.depth = depth;
   popt.cost_model = &model;
   ShardPlan plan = PlanShards(query, popt);
-  result.shard_note = base_note;
-  if (!plan.note.empty()) {
-    if (!result.shard_note.empty()) result.shard_note += "; ";
-    result.shard_note += plan.note;
-  }
+  std::string plan_note = base_note;
+  AppendNote(&plan_note, plan.note);
 
   const size_t m = plan.shards.size();
   std::vector<EngineResult> shard_results(m);
+  // Probe reuse: a probe shard with the same subcube as a final-plan
+  // shard already IS that shard's result — dyadic splits nest, so same
+  // box means same restricted instance.
+  std::map<std::string, size_t> probe_by_box;
+  for (size_t p = 0; p < probes.size(); ++p) {
+    probe_by_box.emplace(probes[p].box.ToString(), p);
+  }
+  size_t probes_reused = 0;
   std::vector<int> live;  // shard ids actually handed to the engine
   for (size_t i = 0; i < m; ++i) {
-    if (!plan.shards[i].empty) live.push_back(static_cast<int>(i));
+    if (plan.shards[i].empty) continue;
+    auto it = probe_by_box.find(plan.shards[i].box.ToString());
+    if (it != probe_by_box.end()) {
+      shard_results[i] = std::move(probes[it->second].result);
+      probe_by_box.erase(it);
+      ++probes_reused;
+      continue;
+    }
+    live.push_back(static_cast<int>(i));
   }
   auto run_shard = [&](int i) {
     shard_results[i] =
@@ -434,85 +563,29 @@ EngineResult RunShardedJoin(const JoinQuery& query, EngineKind kind,
                 [&run_shard, &live](int j) { run_shard(live[j]); });
   }
 
-  // Deterministic merge by shard id.
-  result.stats.shards = m;
-  result.stats.estimated_max_shard_peak_bytes = plan.max_estimated_peak_bytes;
-  result.stats.plan_bytes = plan.PlanningBytes();
-  size_t over_budget = 0;
-  size_t worst_peak = 0;
-  size_t worst_shard = 0;
-  for (size_t i = 0; i < m; ++i) {
-    ShardRunInfo info;
-    info.shard_id = static_cast<int>(i);
-    info.box = plan.shards[i].box.ToString();
-    if (plan.shards[i].empty) {
-      info.skipped_empty = true;
-      result.shard_runs.push_back(std::move(info));
-      continue;
-    }
-    EngineResult& r = shard_results[i];
-    if (!r.ok) {
-      result.error = "shard " + std::to_string(i) + ": " + r.error;
-      result.shard_runs.clear();
-      return finish();
-    }
-    result.tuples.insert(result.tuples.end(),
-                         std::make_move_iterator(r.tuples.begin()),
-                         std::make_move_iterator(r.tuples.end()));
-    AccumulateShard(&result.stats, r.stats);
-    info.output_tuples = r.tuples.size();
-    info.stats = r.stats;
-    if (options.memory_budget_bytes > 0 &&
-        r.stats.memory.PeakBytes() > options.memory_budget_bytes) {
-      ++over_budget;
-      if (r.stats.memory.PeakBytes() > worst_peak) {
-        worst_peak = r.stats.memory.PeakBytes();
-        worst_shard = i;
-      }
-    }
-    result.shard_runs.push_back(std::move(info));
+  const size_t saved_threads = result.stats.threads;
+  result = MergeShardRuns(query, kind, plan, std::move(shard_results),
+                          options.memory_budget_bytes,
+                          algo.has_value() ? tctx.base_index_bytes : 0);
+  result.stats.threads = saved_threads;
+  if (!result.ok) {
+    // Keep the planner/budget diagnostics with the failure — an
+    // unsatisfiable-budget explanation must not vanish because a shard
+    // errored.
+    result.shard_runs.clear();
+    result.shard_note = std::move(plan_note);
+    return finish();
   }
-  if (algo.has_value()) {
-    // The shared base indexes stay resident for the whole run (the
-    // per-shard views are a few words each): surface them in the
-    // run-level counter so the unsharded/sharded numbers compare.
-    result.stats.memory.index_bytes =
-        std::max(result.stats.memory.index_bytes, tctx.base_index_bytes);
-  }
-  if (over_budget > 0) {
-    if (!result.shard_note.empty()) result.shard_note += "; ";
-    result.shard_note +=
-        std::to_string(over_budget) + " of " + std::to_string(m) +
-        " shards exceeded the " +
-        std::to_string(options.memory_budget_bytes) +
-        "B budget at run time (worst: shard " +
-        std::to_string(worst_shard) + " peaked at " +
-        std::to_string(worst_peak) + "B)";
-  }
+  AppendNote(&plan_note, result.shard_note);
+  AppendNote(&plan_note, ProbeReuseNote(probes_reused));
   if (options.memory_budget_bytes > 0) {
     // Post-run estimator verification: the prediction is auditable, not
     // just plausible — the reporter surfaces both numbers.
-    if (!result.shard_note.empty()) result.shard_note += "; ";
-    result.shard_note +=
-        "estimator(" + std::string(EngineFamilyName(model.family)) + ", " +
-        model.source + "): predicted max shard peak " +
-        std::to_string(plan.max_estimated_peak_bytes) + "B, actual " +
-        std::to_string(result.stats.max_shard_peak_bytes) + "B";
+    AppendNote(&plan_note,
+               EstimatorAuditNote(model, plan.max_estimated_peak_bytes,
+                                  result.stats.max_shard_peak_bytes));
   }
-
-  // Shards are disjoint subcubes, so concatenation has no duplicates,
-  // but sorting restores the canonical facade order.
-  std::sort(result.tuples.begin(), result.tuples.end());
-  result.tuples.erase(
-      std::unique(result.tuples.begin(), result.tuples.end()),
-      result.tuples.end());
-  result.ok = true;
-  result.stats.output_tuples = result.tuples.size();
-  result.stats.memory.intermediate_bytes =
-      std::max(result.stats.memory.intermediate_bytes,
-               result.stats.baseline.max_intermediate_bytes);
-  result.stats.memory.output_bytes =
-      EstimateAtomBytes(result.tuples.size(), query.num_attrs());
+  result.shard_note = std::move(plan_note);
   return finish();
 }
 

@@ -166,6 +166,66 @@ Relation StripedRelation(std::string name, std::vector<std::string> attrs,
 
 }  // namespace
 
+bool SharedRelationBatch(const std::vector<std::string>& specs,
+                         size_t tuples_per_rel, int d, uint64_t seed,
+                         BatchInstance* out, std::string* error) {
+  *out = BatchInstance{};
+  out->storage.push_back(std::make_unique<Relation>(
+      RandomRelation("R", {"A", "B"}, tuples_per_rel, d, seed)));
+  out->storage.push_back(std::make_unique<Relation>(
+      RandomRelation("S", {"B", "C"}, tuples_per_rel, d, seed + 1)));
+  out->storage.push_back(std::make_unique<Relation>(
+      RandomRelation("T", {"A", "C"}, tuples_per_rel, d, seed + 2)));
+  for (const auto& rel : out->storage) out->pool.push_back(rel.get());
+  for (const std::string& spec : specs) {
+    std::vector<const Relation*> atoms;
+    size_t start = 0;
+    while (start <= spec.size()) {
+      size_t comma = spec.find(',', start);
+      if (comma == std::string::npos) comma = spec.size();
+      const std::string name = spec.substr(start, comma - start);
+      const Relation* found = nullptr;
+      for (const Relation* rel : out->pool) {
+        if (rel->name() == name) found = rel;
+      }
+      if (found == nullptr) {
+        if (error) {
+          *error = "batch spec '" + spec + "': unknown relation '" + name +
+                   "' (pool: R, S, T)";
+        }
+        out->queries.clear();
+        return false;
+      }
+      atoms.push_back(found);
+      start = comma + 1;
+    }
+    out->queries.push_back(JoinQuery::Build(atoms));
+    out->depth = std::max(out->depth, out->queries.back().MinDepth());
+  }
+  return true;
+}
+
+BatchInstance RepeatedTriangleBatch(size_t count, size_t tuples_per_rel,
+                                    int d, uint64_t seed) {
+  BatchInstance out;
+  std::string error;
+  const std::vector<std::string> specs(count, "R,S,T");
+  SharedRelationBatch(specs, tuples_per_rel, d, seed, &out, &error);
+  return out;
+}
+
+BatchInstance MixedShapeBatch(size_t count, size_t tuples_per_rel, int d,
+                              uint64_t seed) {
+  static const char* kShapes[] = {"R,S,T", "R,S", "S,T"};
+  std::vector<std::string> specs;
+  specs.reserve(count);
+  for (size_t i = 0; i < count; ++i) specs.push_back(kShapes[i % 3]);
+  BatchInstance out;
+  std::string error;
+  SharedRelationBatch(specs, tuples_per_rel, d, seed, &out, &error);
+  return out;
+}
+
 QueryInstance StripedEmptyPath(int stripes_log2, size_t tuples_per_rel,
                                int d, uint64_t seed) {
   const int s = stripes_log2;

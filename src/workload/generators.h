@@ -85,6 +85,46 @@ QueryInstance StripedEmptyCycle(int stripes_log2, size_t tuples_per_rel,
 Relation RandomGraphEdges(std::string name, std::string a, std::string b,
                           uint64_t nodes, size_t edges, uint64_t seed);
 
+// ---------------------------------------------------------------------
+// Multi-query batch workloads (engine/batch_runner.h): several queries
+// over ONE shared relation pool, so the batch runner can amortize index
+// builds and shard plans across them.
+
+/// A self-contained query batch: owns the shared relation pool, exposes
+/// it as the non-owning `pool` the batch runner wants, and binds every
+/// query against the same Relation objects (that identity is what makes
+/// cross-query index/plan sharing sound).
+struct BatchInstance {
+  std::vector<std::unique_ptr<Relation>> storage;
+  std::vector<const Relation*> pool;
+  std::vector<JoinQuery> queries;
+  int depth = 1;
+};
+
+/// Builds the canonical shared pool {R(A,B), S(B,C), T(A,C)} with
+/// random relations, then one query per spec. A spec is a
+/// comma-separated list of pool relation names, joined naturally:
+/// "R,S,T" is the triangle, "R,S" the 2-hop path A-B-C. The same
+/// format backs the CLI's --queries=FILE (one spec per line). Returns
+/// an empty `queries` vector with *error set on an unknown relation
+/// name or an empty spec.
+bool SharedRelationBatch(const std::vector<std::string>& specs,
+                         size_t tuples_per_rel, int d, uint64_t seed,
+                         BatchInstance* out, std::string* error);
+
+/// `count` copies of the triangle R ⋈ S ⋈ T over one shared pool — the
+/// shared-plan throughput workload: every query has the same
+/// output-space signature, so the batch runner plans shards once and
+/// builds each relation's index once for the whole batch.
+BatchInstance RepeatedTriangleBatch(size_t count, size_t tuples_per_rel,
+                                    int d, uint64_t seed);
+
+/// `count` queries cycling through three shapes over one shared pool —
+/// triangle R⋈S⋈T, path R⋈S, path S⋈T: shared indexes throughout,
+/// several distinct plan signatures (plan dedup without plan identity).
+BatchInstance MixedShapeBatch(size_t count, size_t tuples_per_rel, int d,
+                              uint64_t seed);
+
 }  // namespace tetris
 
 #endif  // TETRIS_WORKLOAD_GENERATORS_H_

@@ -1,0 +1,224 @@
+// Cross-query batching (engine/batch_runner.h): batch results must be
+// tuple-identical to per-query RunJoin on every engine, deterministic
+// across thread counts and query order, and the amortization stats must
+// show the sharing (indexes built once per relation, plans once per
+// signature, one calibration per batch).
+
+#include "engine/batch_runner.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "engine/cost_model.h"
+#include "engine/parallel_executor.h"
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+// Per-query equivalence against the sequential facade: same ok flag,
+// identical canonical tuples when ok.
+void ExpectMatchesSequential(const BatchInstance& inst,
+                             const BatchResult& batch, EngineKind kind) {
+  ASSERT_TRUE(batch.ok) << batch.error;
+  ASSERT_EQ(batch.results.size(), inst.queries.size());
+  for (size_t i = 0; i < inst.queries.size(); ++i) {
+    const EngineResult seq = RunJoin(inst.queries[i], kind);
+    EXPECT_EQ(seq.ok, batch.results[i].ok)
+        << EngineKindName(kind) << " query " << i << ": "
+        << batch.results[i].error;
+    if (seq.ok && batch.results[i].ok) {
+      EXPECT_EQ(seq.tuples, batch.results[i].tuples)
+          << EngineKindName(kind) << " query " << i;
+    }
+  }
+}
+
+TEST(BatchRunnerTest, MatchesSequentialAcrossAllEngines) {
+  BatchInstance inst = MixedShapeBatch(/*count=*/6, /*tuples_per_rel=*/50,
+                                       /*d=*/5, /*seed=*/3);
+  for (EngineKind kind : AllEngineKinds()) {
+    BatchResult batch = RunBatch(inst.pool, inst.queries, kind, {});
+    ExpectMatchesSequential(inst, batch, kind);
+  }
+}
+
+TEST(BatchRunnerTest, MatchesSequentialUnderShardingAndBudget) {
+  BatchInstance inst = RepeatedTriangleBatch(/*count=*/4,
+                                             /*tuples_per_rel=*/60,
+                                             /*d=*/5, /*seed=*/9);
+  for (EngineKind kind :
+       {EngineKind::kTetrisPreloaded, EngineKind::kGenericJoin,
+        EngineKind::kPairwiseHash}) {
+    BatchOptions sharded;
+    sharded.shards = 4;
+    ExpectMatchesSequential(inst,
+                            RunBatch(inst.pool, inst.queries, kind, sharded),
+                            kind);
+    BatchOptions budgeted;
+    budgeted.memory_budget_bytes = 16 << 10;
+    BatchResult b = RunBatch(inst.pool, inst.queries, kind, budgeted);
+    ExpectMatchesSequential(inst, b, kind);
+    EXPECT_NE(b.note.find("cost model calibrated once"), std::string::npos)
+        << b.note;
+  }
+}
+
+TEST(BatchRunnerTest, DeterministicAcrossThreadCounts) {
+  BatchInstance inst = MixedShapeBatch(/*count=*/6, /*tuples_per_rel=*/60,
+                                       /*d=*/5, /*seed=*/11);
+  for (EngineKind kind :
+       {EngineKind::kTetrisPreloaded, EngineKind::kLeapfrog,
+        EngineKind::kPairwiseHash}) {
+    BatchOptions seq_opts;
+    seq_opts.threads = 1;
+    BatchResult one = RunBatch(inst.pool, inst.queries, kind, seq_opts);
+    BatchOptions auto_opts;
+    auto_opts.threads = 0;  // the executor's full width
+    BatchResult many = RunBatch(inst.pool, inst.queries, kind, auto_opts);
+    ASSERT_TRUE(one.ok) << one.error;
+    ASSERT_TRUE(many.ok) << many.error;
+    ASSERT_EQ(one.results.size(), many.results.size());
+    for (size_t i = 0; i < one.results.size(); ++i) {
+      EXPECT_EQ(one.results[i].ok, many.results[i].ok);
+      EXPECT_EQ(one.results[i].tuples, many.results[i].tuples)
+          << EngineKindName(kind) << " query " << i;
+    }
+  }
+}
+
+TEST(BatchRunnerTest, ShuffledQueryOrderYieldsSameResults) {
+  BatchInstance inst = MixedShapeBatch(/*count=*/6, /*tuples_per_rel=*/50,
+                                       /*d=*/5, /*seed=*/13);
+  // A fixed permutation of the batch; results must follow the queries.
+  const std::vector<size_t> perm = {4, 0, 5, 2, 1, 3};
+  std::vector<JoinQuery> shuffled;
+  shuffled.reserve(perm.size());
+  for (size_t p : perm) shuffled.push_back(inst.queries[p]);
+  for (EngineKind kind :
+       {EngineKind::kTetrisPreloaded, EngineKind::kGenericJoin,
+        EngineKind::kYannakakis}) {
+    BatchResult base = RunBatch(inst.pool, inst.queries, kind, {});
+    BatchResult shuf = RunBatch(inst.pool, shuffled, kind, {});
+    ASSERT_TRUE(base.ok) << base.error;
+    ASSERT_TRUE(shuf.ok) << shuf.error;
+    size_t base_total = 0, shuf_total = 0;
+    for (size_t i = 0; i < perm.size(); ++i) {
+      EXPECT_EQ(base.results[perm[i]].ok, shuf.results[i].ok);
+      EXPECT_EQ(base.results[perm[i]].tuples, shuf.results[i].tuples)
+          << EngineKindName(kind) << " shuffled slot " << i;
+      if (base.results[perm[i]].ok) {
+        base_total += base.results[perm[i]].tuples.size();
+      }
+      if (shuf.results[i].ok) shuf_total += shuf.results[i].tuples.size();
+    }
+    EXPECT_EQ(base_total, shuf_total);
+  }
+}
+
+TEST(BatchRunnerTest, SharesIndexesAndPlansAcrossTheBatch) {
+  BatchInstance rep = RepeatedTriangleBatch(/*count=*/6,
+                                            /*tuples_per_rel=*/60,
+                                            /*d=*/5, /*seed=*/17);
+  BatchResult same = RunBatch(rep.pool, rep.queries, EngineKind::kTetrisPreloaded, {});
+  ASSERT_TRUE(same.ok) << same.error;
+  EXPECT_EQ(same.stats.queries, 6u);
+  EXPECT_EQ(same.stats.relations, 3u);
+  // One index build per relation — not per (query, atom) — and ONE plan
+  // for six identical output-space signatures.
+  EXPECT_EQ(same.stats.indexes_built, 3u);
+  EXPECT_GT(same.stats.index_bytes, 0u);
+  EXPECT_EQ(same.stats.plans, 1u);
+
+  BatchInstance mixed = MixedShapeBatch(/*count=*/6, /*tuples_per_rel=*/60,
+                                        /*d=*/5, /*seed=*/17);
+  BatchResult shapes =
+      RunBatch(mixed.pool, mixed.queries, EngineKind::kTetrisPreloaded, {});
+  ASSERT_TRUE(shapes.ok) << shapes.error;
+  // Three distinct shapes cycle through six queries: three signatures,
+  // still three base indexes.
+  EXPECT_EQ(shapes.stats.plans, 3u);
+  EXPECT_EQ(shapes.stats.indexes_built, 3u);
+
+  // Engines that scan relations directly build no shared indexes.
+  BatchResult scan =
+      RunBatch(rep.pool, rep.queries, EngineKind::kPairwiseHash, {});
+  ASSERT_TRUE(scan.ok) << scan.error;
+  EXPECT_EQ(scan.stats.indexes_built, 0u);
+  EXPECT_EQ(scan.stats.index_bytes, 0u);
+}
+
+TEST(BatchRunnerTest, UnsupportedQueriesFailPerQueryNotPerBatch) {
+  // The mixed batch interleaves cyclic triangles (Yannakakis cannot)
+  // with acyclic paths (it can): the batch runs, each triangle slot
+  // carries its reason.
+  BatchInstance inst = MixedShapeBatch(/*count=*/6, /*tuples_per_rel=*/40,
+                                       /*d=*/5, /*seed=*/19);
+  BatchResult batch =
+      RunBatch(inst.pool, inst.queries, EngineKind::kYannakakis, {});
+  ASSERT_TRUE(batch.ok) << batch.error;
+  for (size_t i = 0; i < inst.queries.size(); ++i) {
+    const bool acyclic = inst.queries[i].ToHypergraph().IsAlphaAcyclic();
+    EXPECT_EQ(batch.results[i].ok, acyclic) << "query " << i;
+    if (!acyclic) {
+      EXPECT_NE(batch.results[i].error.find("does not support"),
+                std::string::npos);
+    }
+  }
+}
+
+TEST(BatchRunnerTest, RejectsForeignRelationsAndBadDepth) {
+  BatchInstance inst = RepeatedTriangleBatch(/*count=*/2,
+                                             /*tuples_per_rel=*/30,
+                                             /*d=*/5, /*seed=*/23);
+  // A query over a relation outside the declared pool breaks the
+  // sharing contract: batch-level error.
+  Relation foreign = RandomRelation("F", {"A", "B"}, 20, 5, 29);
+  std::vector<JoinQuery> with_foreign = inst.queries;
+  with_foreign.push_back(JoinQuery::Build({&foreign}));
+  BatchResult bad = RunBatch(inst.pool, with_foreign,
+                             EngineKind::kTetrisPreloaded, {});
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("relation pool"), std::string::npos);
+
+  // An explicit depth below a query's MinDepth cannot represent the
+  // data on one shared grid.
+  BatchOptions shallow;
+  shallow.depth = 1;
+  BatchResult too_small =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded,
+               shallow);
+  EXPECT_FALSE(too_small.ok);
+  EXPECT_NE(too_small.error.find("depth"), std::string::npos);
+
+  // An empty pool infers the universe instead of failing.
+  BatchResult inferred =
+      RunBatch({}, inst.queries, EngineKind::kTetrisPreloaded, {});
+  EXPECT_TRUE(inferred.ok) << inferred.error;
+  EXPECT_EQ(inferred.stats.relations, 3u);
+}
+
+TEST(BatchRunnerTest, EmptyBatchIsTriviallyOk) {
+  BatchResult batch = RunBatch({}, {}, EngineKind::kTetrisPreloaded, {});
+  EXPECT_TRUE(batch.ok);
+  EXPECT_TRUE(batch.results.empty());
+  EXPECT_EQ(batch.stats.queries, 0u);
+}
+
+TEST(BatchRunnerTest, SpecParsingRejectsUnknownRelations) {
+  BatchInstance inst;
+  std::string error;
+  EXPECT_TRUE(SharedRelationBatch({"R,S,T", "R,S"}, 20, 5, 31, &inst,
+                                  &error))
+      << error;
+  EXPECT_EQ(inst.queries.size(), 2u);
+  EXPECT_EQ(inst.pool.size(), 3u);
+  EXPECT_FALSE(SharedRelationBatch({"R,Q"}, 20, 5, 31, &inst, &error));
+  EXPECT_NE(error.find("unknown relation"), std::string::npos);
+  EXPECT_TRUE(inst.queries.empty());
+}
+
+}  // namespace
+}  // namespace tetris

@@ -417,6 +417,26 @@ TEST(RunShardedJoinTest, BudgetRunsReportTheEstimatorAudit) {
             std::string::npos);
 }
 
+// Probe passes are real shards of the output space: when the final plan
+// contains the probe's subcube, the probe's output is reused as that
+// shard's result instead of being discarded — and the merged output is
+// still exactly the unsharded one.
+TEST(RunShardedJoinTest, ProbeResultsAreReusedAsShardOutputs) {
+  QueryInstance q = FullGridTriangle(/*m=*/8);  // balanced: probes run
+  EngineOptions opts;
+  opts.shards = 8;  // the final plan repeats the 8-way probe plan
+  opts.memory_budget_bytes = 512 << 20;  // generous: k stays at 3
+  EngineResult sharded = RunJoin(q.query, EngineKind::kTetrisPreloaded,
+                                 opts);
+  ASSERT_TRUE(sharded.ok) << sharded.error;
+  EXPECT_NE(sharded.shard_note.find("reused"), std::string::npos)
+      << sharded.shard_note;
+  EXPECT_NE(sharded.shard_note.find("probe result"), std::string::npos);
+  EngineResult plain = RunJoin(q.query, EngineKind::kTetrisPreloaded, {});
+  ASSERT_TRUE(plain.ok);
+  EXPECT_EQ(sharded.tuples, plain.tuples);
+}
+
 // The budget accounting cannot lie by omission: materialized shard
 // copies count toward the per-shard peak (the baselines keep them
 // resident for the whole shard run), and a budget below the
