@@ -1,0 +1,22 @@
+// The resident join service over stdin/stdout (or a session file).
+//
+// Start it, register relations, and query them — each request is one
+// JSON line, each response one row (src/server/protocol.h documents the
+// ops; the query rows reuse the harness's jsonl schema):
+//
+//   $ ./serve
+//   {"op":"register","name":"R","attrs":["a","b"],"tuples":[[1,2],[2,3]]}
+//   {"op":"register","name":"S","attrs":["b","c"],"tuples":[[2,5],[3,7]]}
+//   {"op":"query","relations":["R","S"]}
+//   {"op":"query","relations":["R","S"]}          <- served from cache
+//   {"op":"replace","name":"S","attrs":["b","c"],"tuples":[[3,9]]}
+//   {"op":"query","relations":["R","S"]}          <- epoch bumped: re-run
+//   {"op":"stats"}
+//   {"op":"shutdown"}
+//
+// With a session file as the positional argument the same dialogue runs
+// non-interactively — examples/serve_session.jsonl is the smoke-test
+// session ctest replays.
+#include "server/serve_cli.h"
+
+int main(int argc, char** argv) { return tetris::cli::RunServe(argc, argv); }

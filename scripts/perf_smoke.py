@@ -2,10 +2,12 @@
 """Perf-smoke harness: quick benchmark runs, a machine-readable result
 file, and a ratio-based regression gate.
 
-Runs bench_micro, bench_sharding, and bench_batching in quick modes,
-collects per-bench wall time, peak resident bytes, and batch throughput
-into a BENCH JSON file, and (when given a baseline) fails on any metric
-that regressed by more than --max-regression (default 25%).
+Runs bench_micro, bench_sharding, bench_batching, and bench_serving in
+quick modes, collects per-bench wall time, peak resident bytes, batch
+throughput, and service cache-hit rates into a BENCH JSON file, and
+(when given a baseline) fails on any metric that regressed by more than
+--max-regression (default 25%). A metric the baseline tracks but the PR
+run did not produce also fails the gate.
 
 Wall-time metrics are normalized by a fixed CPU calibration loop timed
 on the same machine, so a checked-in baseline transfers between
@@ -24,7 +26,11 @@ Usage:
   # compare two existing result files without re-running anything
   perf_smoke.py --compare BENCH_pr.json --baseline BENCH_baseline.json
 
-  # self-test of the gate: pretend every timing is 2x slower
+  # self-test of the gate logic (no build needed): synthetic slowdowns,
+  # throughput drops, and missing metrics must all fail the gate
+  perf_smoke.py --self-test
+
+  # end-to-end self-test: pretend every timing is 2x slower
   perf_smoke.py --build-dir build --out /tmp/slow.json \
       --baseline BENCH_baseline.json --inject-slowdown 2
 
@@ -177,6 +183,40 @@ def collect(build_dir, cal):
             metrics["bench_batching.batch8.index_bytes"] = {
                 "value": params.get("index_KiB", 0.0) * 1024,
                 "unit": "B", "direction": "lower"}
+
+    # bench_serving: the resident join service, quick mode. The bench's
+    # own embedded acceptance (hit rate > 0, cache-hit >= 5x cold) is
+    # the exit_ok signal; the hit rates are near-deterministic ratios
+    # worth gating directly. The raw hit-speedup factor is deliberately
+    # NOT a metric — it is a cold-vs-microsecond ratio that swings
+    # orders of magnitude with machine noise; exit_ok already enforces
+    # its >= 5x floor.
+    out, wall, rc = run([
+        os.path.join(bench, "bench_serving"),
+        "--engine=tetris-preloaded", "--size=200", "--batch=16",
+        "--format=jsonl",
+    ], allow_fail=True)
+    metrics["bench_serving.exit_ok"] = {
+        "value": 1.0 if rc == 0 else 0.0, "unit": "bool",
+        "direction": "higher"}
+    metrics["bench_serving.proc_wall"] = {
+        "value": wall / cal, "unit": "cal", "direction": "lower"}
+    for row in jsonl_rows(out):
+        if row.get("row_type") != "summary":
+            continue
+        metric = row.get("metric")
+        if metric == "tetris-preloaded_hit_rate":
+            metrics["bench_serving.hit_rate"] = {
+                "value": row.get("value", 0.0), "unit": "frac",
+                "direction": "higher"}
+        elif metric == "closed_loop_hit_rate":
+            metrics["bench_serving.closed_loop_hit_rate"] = {
+                "value": row.get("value", 0.0), "unit": "frac",
+                "direction": "higher"}
+        elif metric == "closed_loop_qps":
+            metrics["bench_serving.closed_loop_qps"] = {
+                "value": row.get("value", 0.0) * cal,
+                "unit": "q/cal", "direction": "higher"}
     return metrics
 
 
@@ -187,7 +227,13 @@ def compare(pr, baseline, max_regression):
     for name, base in sorted(baseline.get("metrics", {}).items()):
         cur = pr.get("metrics", {}).get(name)
         if cur is None:
-            report.append((name, None, "MISSING (pass)"))
+            # A metric the baseline tracks but the PR run did not produce
+            # is indistinguishable from a regression (a bench that
+            # crashed, was renamed, or was dropped from collect() stops
+            # reporting) — it must fail the gate, not silently pass.
+            # Intentional removals go through a baseline refresh.
+            report.append((name, None, "MISSING FROM PR RUN (FAIL)"))
+            ok = False
             continue
         bval, cval = base["value"], cur["value"]
         if bval <= 0:
@@ -207,6 +253,60 @@ def compare(pr, baseline, max_regression):
     return report, ok
 
 
+def self_test(max_regression):
+    """Exercise the gate on synthetic results — no build required.
+
+    Every scenario the gate must catch (and must not catch) is driven
+    through compare() itself, so a refactor that weakens the gate —
+    e.g. a missing metric passing silently — fails this self-test.
+    """
+    import copy
+
+    base = {"metrics": {
+        "t.wall": {"value": 1.0, "unit": "cal", "direction": "lower"},
+        "t.qps": {"value": 100.0, "unit": "q/cal", "direction": "higher"},
+        "t.exit_ok": {"value": 1.0, "unit": "bool", "direction": "higher"},
+    }}
+    failures = []
+
+    def check(label, mutate, want_ok):
+        pr = copy.deepcopy(base)
+        mutate(pr["metrics"])
+        _, ok = compare(pr, base, max_regression)
+        good = ok == want_ok
+        print("self-test: %-44s %s" % (label, "ok" if good else "BROKEN"))
+        if not good:
+            failures.append(label)
+
+    check("identical run passes",
+          lambda m: None, True)
+    check("within-tolerance drift passes",
+          lambda m: m["t.wall"].__setitem__(
+              "value", m["t.wall"]["value"] * (1.0 + max_regression / 2)),
+          True)
+    check("lower-is-better slowdown fails",
+          lambda m: m["t.wall"].__setitem__(
+              "value", m["t.wall"]["value"] * 2.0), False)
+    check("higher-is-better throughput drop fails",
+          lambda m: m["t.qps"].__setitem__(
+              "value", m["t.qps"]["value"] / 2.0), False)
+    check("bench exit flip fails",
+          lambda m: m["t.exit_ok"].__setitem__("value", 0.0), False)
+    check("metric missing from PR run fails",
+          lambda m: m.pop("t.qps"), False)
+    check("new metric only in PR run passes",
+          lambda m: m.__setitem__(
+              "t.new", {"value": 1.0, "unit": "cal", "direction": "lower"}),
+          True)
+
+    if failures:
+        print("\nperf-smoke --self-test: GATE BROKEN (%s)" %
+              "; ".join(failures))
+        return 1
+    print("\nperf-smoke --self-test: ok")
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--build-dir", default="build")
@@ -222,7 +322,15 @@ def main():
                     help="multiply every lower-is-better metric (and "
                          "divide every higher-is-better one) — self-test "
                          "of the gate")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate logic on synthetic results "
+                         "(slowdowns, throughput drops, and missing "
+                         "metrics must fail; tolerable drift and new "
+                         "metrics must pass) without running any bench")
     args = ap.parse_args()
+
+    if args.self_test:
+        return self_test(args.max_regression)
 
     if args.compare:
         with open(args.compare) as f:

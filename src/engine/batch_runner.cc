@@ -11,30 +11,81 @@
 #include <utility>
 
 #include "engine/cost_model.h"
+#include "engine/index_cache.h"
 #include "engine/parallel_executor.h"
 #include "engine/shard_planner.h"
 #include "index/sorted_index.h"
 
 namespace tetris {
 
-namespace {
-
-// The output-space signature of a query: everything PlanShards depends
-// on — the grid depth, the attribute count, and per atom the relation
-// identity plus its attribute binding. Queries with equal signatures
-// restrict the same rows to the same subcubes, so one ShardPlan serves
-// them all.
-std::string PlanSignature(const JoinQuery& query, int depth) {
+std::string OutputSpaceSignature(
+    const JoinQuery& query, int depth,
+    const std::function<std::string(const Relation&)>& stamp) {
   std::string sig = std::to_string(depth) + "|" +
                     std::to_string(query.num_attrs());
-  char buf[32];
   for (const Atom& atom : query.atoms()) {
-    std::snprintf(buf, sizeof(buf), "|%p:", static_cast<const void*>(atom.rel));
-    sig += buf;
+    sig += "|" + stamp(*atom.rel) + ":";
     for (int v : atom.var_ids) sig += std::to_string(v) + ",";
   }
   return sig;
 }
+
+namespace {
+
+// RunBatch's plan-sharing signature: OutputSpaceSignature with atoms
+// stamped by Relation address. Address identity is exactly right within
+// one call (the pool pins every relation) and deliberately NOT durable
+// across calls — the server's ResultCache stamps by name@epoch instead.
+std::string PlanSignature(const JoinQuery& query, int depth) {
+  return OutputSpaceSignature(query, depth, [](const Relation& rel) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%p", static_cast<const void*>(&rel));
+    return std::string(buf);
+  });
+}
+
+// Mirrors RunJoin's order validation (join_engine.cc) so a bad hint
+// fails the same way batched or not.
+bool ChoosesOwnSao(EngineKind kind) {
+  return kind == EngineKind::kTetrisPreloadedLB ||
+         kind == EngineKind::kTetrisReloadedLB;
+}
+
+bool IsPermutation(const std::vector<int>& order, int n) {
+  if (order.size() != static_cast<size_t>(n)) return false;
+  std::vector<bool> seen(n, false);
+  for (int v : order) {
+    if (v < 0 || v >= n || seen[v]) return false;
+    seen[v] = true;
+  }
+  return true;
+}
+
+// The index layout an atom wants under an order hint: the atom's
+// columns sorted by SAO position (join_runner's MakeSaoConsistentIndexes
+// derivation), normalized to the empty layout when that comes out as the
+// relation's own column order — so hinted and unhinted queries share the
+// default-layout entry.
+IndexLayout LayoutFor(const Atom& atom, const std::vector<int>& sao_pos,
+                      int depth) {
+  IndexLayout layout;
+  layout.depth = depth;
+  if (sao_pos.empty()) return layout;
+  std::vector<int> cols(atom.var_ids.size());
+  for (size_t c = 0; c < cols.size(); ++c) cols[c] = static_cast<int>(c);
+  std::sort(cols.begin(), cols.end(), [&](int x, int y) {
+    return sao_pos[atom.var_ids[x]] < sao_pos[atom.var_ids[y]];
+  });
+  bool identity = true;
+  for (size_t c = 0; c < cols.size(); ++c) {
+    if (cols[c] != static_cast<int>(c)) identity = false;
+  }
+  if (!identity) layout.columns = std::move(cols);
+  return layout;
+}
+
+constexpr const char kDeadlineError[] =
+    "deadline exceeded: task abandoned before it started";
 
 }  // namespace
 
@@ -62,6 +113,10 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
   }
   if (options.threads < 0) {
     batch.error = "threads: want 0 (the executor's full width) or >= 1";
+    return finish();
+  }
+  if (!options.orders.empty() && options.orders.size() != queries.size()) {
+    batch.error = "orders: want one entry per query (or none)";
     return finish();
   }
   if (queries.empty()) {
@@ -108,23 +163,12 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
                             ? pool_exec.threads()
                             : std::max(1, options.threads);
 
-  // (a) Shared base indexes: one per distinct relation, built once,
-  // probed by every query's shards through zero-copy IndexViews. Only
-  // the Tetris family probes indexes; the baselines scan relations.
+  // Per-query support + order-hint validation, with RunJoin's error
+  // wording so a bad hint fails the same way batched or not. A bad hint
+  // fails that query only; the rest of the batch still runs.
   const std::optional<JoinAlgorithm> algo = TetrisAlgorithmOf(kind);
-  std::unordered_map<const Relation*, std::unique_ptr<Index>> shared_index;
-  if (algo.has_value()) {
-    for (const Relation* rel : distinct) {
-      auto ix = std::make_unique<SortedIndex>(*rel, depth);
-      batch.stats.index_bytes += ix->MemoryBytes();
-      shared_index.emplace(rel, std::move(ix));
-    }
-    batch.stats.indexes_built = shared_index.size();
-  }
-
-  // Per-query support check + Tetris contexts over the shared bases.
-  std::vector<TetrisShardContext> contexts(queries.size());
   std::vector<bool> supported(queries.size(), false);
+  std::vector<EngineOptions> query_opts(queries.size());
   size_t supported_count = 0;
   for (size_t q = 0; q < queries.size(); ++q) {
     if (!EngineSupports(kind, queries[q])) {
@@ -132,27 +176,68 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
                                ": engine does not support this query";
       continue;
     }
+    query_opts[q].depth = depth;
+    if (!options.orders.empty() && !options.orders[q].empty()) {
+      if (ChoosesOwnSao(kind)) {
+        batch.results[q].error =
+            "order: Balance-lifted variants choose their own SAO";
+        continue;
+      }
+      if (!IsPermutation(options.orders[q], queries[q].num_attrs())) {
+        batch.results[q].error =
+            "order: not a permutation of the query attribute ids";
+        continue;
+      }
+      query_opts[q].order = options.orders[q];
+    }
     supported[q] = true;
     ++supported_count;
-    if (algo.has_value()) {
-      std::vector<const Index*> base;
-      base.reserve(queries[q].atoms().size());
-      for (const Atom& atom : queries[q].atoms()) {
-        base.push_back(shared_index.at(atom.rel).get());
-      }
-      contexts[q] = MakeTetrisShardContext(queries[q], *algo, depth,
-                                           /*order=*/{}, std::move(base));
-    }
   }
   if (supported_count == 0) {
     batch.ok = true;  // every per-query result carries its reason
     return finish();
   }
 
-  // Per-shard engine options for the materializing path: plain
-  // sequential runs at the batch depth.
-  EngineOptions shard_opts;
-  shard_opts.depth = depth;
+  // (a) Shared base indexes through the (relation, layout) cache: one
+  // build per distinct layout a batch touches, no matter how many
+  // (query, atom) slots want it — and zero builds when the caller's
+  // long-lived cache (BatchOptions::index_cache) is already warm. Only
+  // the Tetris family probes indexes; the baselines scan relations.
+  IndexCache local_cache;
+  IndexCache& cache =
+      options.index_cache != nullptr ? *options.index_cache : local_cache;
+  std::vector<std::shared_ptr<const SortedIndex>> pinned;  // keep alive
+  std::unordered_set<const SortedIndex*> counted;
+  std::vector<TetrisShardContext> contexts(queries.size());
+  if (algo.has_value()) {
+    for (size_t q = 0; q < queries.size(); ++q) {
+      if (!supported[q]) continue;
+      std::vector<int> sao_pos;
+      if (!query_opts[q].order.empty()) {
+        sao_pos.resize(queries[q].num_attrs());
+        for (size_t i = 0; i < query_opts[q].order.size(); ++i) {
+          sao_pos[query_opts[q].order[i]] = static_cast<int>(i);
+        }
+      }
+      std::vector<const Index*> base;
+      base.reserve(queries[q].atoms().size());
+      for (const Atom& atom : queries[q].atoms()) {
+        bool built = false;
+        std::shared_ptr<const SortedIndex> ix =
+            cache.Get(atom.rel, LayoutFor(atom, sao_pos, depth), &built);
+        if (built) ++batch.stats.indexes_built;
+        else ++batch.stats.index_cache_hits;
+        if (counted.insert(ix.get()).second) {
+          batch.stats.index_bytes += ix->MemoryBytes();
+        }
+        base.push_back(ix.get());
+        pinned.push_back(std::move(ix));
+      }
+      contexts[q] = MakeTetrisShardContext(queries[q], *algo, depth,
+                                           query_opts[q].order,
+                                           std::move(base));
+    }
+  }
 
   // (d) One calibration for the whole batch: probe on the first
   // supported query, share the fitted model with every plan, and keep
@@ -167,7 +252,7 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
       calib_query = q;
       model = CalibrateShardCostModel(
           queries[q], kind, algo.has_value() ? &contexts[q] : nullptr,
-          shard_opts, depth, &probes);
+          query_opts[q], depth, &probes);
       break;
     }
     append_note("cost model calibrated once for the batch (" +
@@ -177,7 +262,9 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
 
   // (b) One ShardPlan per distinct output-space signature. The plan's
   // row buckets are the expensive part — queries sharing a signature
-  // share them instead of re-bucketing every relation.
+  // share them instead of re-bucketing every relation. (Order hints
+  // don't enter the signature: they steer traversal, not the output
+  // space.)
   ShardPlanOptions popt;
   // EngineOptions::shards semantics: 0/1 plan a single shard per
   // signature, kAutoShards (the BatchOptions default) lets the planner
@@ -250,11 +337,21 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
       1, std::min({requested, pool_exec.threads(),
                    static_cast<int>(tasks.size())}));
   batch.stats.threads = static_cast<size_t>(workers);
+  const bool has_deadline =
+      options.deadline != std::chrono::steady_clock::time_point{};
   auto run_task = [&](int t) {
     const TaskRef& task = tasks[static_cast<size_t>(t)];
     const ShardPlan& plan = *plans[query_plan[task.q]];
     EngineResult& slot =
         shard_results[task.q][static_cast<size_t>(task.shard)];
+    // Cooperative deadline, checked at task granularity: an unstarted
+    // task is abandoned and fails its query; a running task completes.
+    if (has_deadline &&
+        std::chrono::steady_clock::now() >= options.deadline) {
+      slot.stats.engine = kind;
+      slot.error = kDeadlineError;
+      return;
+    }
     if (algo.has_value()) {
       slot = RunTetrisViewShard(contexts[task.q],
                                 plan.shards[task.shard].box, kind);
@@ -262,12 +359,13 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
       // A single-shard plan covers the whole output space: scan the
       // original relations directly instead of materializing a full
       // restricted copy that would equal them.
-      slot = RunJoin(queries[task.q], kind, shard_opts);
+      slot = RunJoin(queries[task.q], kind, query_opts[task.q]);
     } else {
       slot = RunMaterializedShard(queries[task.q], plan, task.shard, kind,
-                                  shard_opts);
+                                  query_opts[task.q]);
     }
   };
+  const auto exec_start = std::chrono::steady_clock::now();
   if (workers <= 1) {
     for (size_t t = 0; t < tasks.size(); ++t) {
       run_task(static_cast<int>(t));
@@ -276,18 +374,54 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
     ParallelFor(&pool_exec, workers, static_cast<int>(tasks.size()),
                 run_task);
   }
+  const auto exec_end = std::chrono::steady_clock::now();
+  const double exec_ms =
+      std::chrono::duration<double, std::milli>(exec_end - exec_start)
+          .count();
 
-  // Deterministic per-query merge, in input order.
+  // Wall-time attribution. The shard tasks of different queries ran
+  // concurrently, so summing a query's shard walls would let one
+  // query's "time" exceed the whole batch wall (the pre-fix bug this
+  // replaces). Instead: the raw summed task time is the batch's
+  // occupancy (stats.cpu_ms), and each query is attributed the
+  // execution wall *split by its share of that occupancy* — attributed
+  // times are comparable, and their sum can never exceed the batch
+  // wall.
+  std::vector<double> task_ms(queries.size(), 0.0);
+  std::vector<size_t> abandoned(queries.size(), 0);
+  double total_task_ms = 0.0;
   for (size_t q = 0; q < queries.size(); ++q) {
     if (!supported[q]) continue;
-    const ShardPlan& plan = *plans[query_plan[q]];
-    // Attributed time: the summed wall time of this query's shard
-    // tasks. Queries overlap inside the batch, so a per-query wall
-    // clock is not well-defined; the batch wall time is stats.wall_ms.
-    double attributed_ms = 0.0;
     for (const EngineResult& r : shard_results[q]) {
-      attributed_ms += r.stats.wall_ms;
+      if (!r.ok && r.error == kDeadlineError) {
+        ++abandoned[q];
+        continue;
+      }
+      task_ms[q] += r.stats.wall_ms;
     }
+    total_task_ms += task_ms[q];
+  }
+  batch.stats.cpu_ms = total_task_ms;
+
+  // Deterministic per-query merge, in input order.
+  size_t deadline_failures = 0;
+  for (size_t q = 0; q < queries.size(); ++q) {
+    if (!supported[q]) continue;
+    if (abandoned[q] > 0) {
+      EngineResult failed;
+      failed.stats.engine = kind;
+      failed.error = "deadline exceeded: " + std::to_string(abandoned[q]) +
+                     " of " + std::to_string(shard_results[q].size()) +
+                     " shard tasks abandoned";
+      batch.results[q] = std::move(failed);
+      ++deadline_failures;
+      continue;
+    }
+    const ShardPlan& plan = *plans[query_plan[q]];
+    const double attributed_ms =
+        total_task_ms > 0.0
+            ? exec_ms * (task_ms[q] / total_task_ms)
+            : exec_ms / static_cast<double>(supported_count);
     EngineResult merged = MergeShardRuns(
         queries[q], kind, plan, std::move(shard_results[q]),
         options.memory_budget_bytes,
@@ -305,12 +439,22 @@ BatchResult RunBatch(const std::vector<const Relation*>& relations,
     batch.stats.sum_query_ms += attributed_ms;
     batch.results[q] = std::move(merged);
   }
-  append_note(std::to_string(batch.stats.plans) + " plan" +
-              (batch.stats.plans == 1 ? "" : "s") + " and " +
-              std::to_string(batch.stats.indexes_built) +
-              " base index builds served " +
-              std::to_string(supported_count) +
-              (supported_count == 1 ? " query" : " queries"));
+  std::string serve_note =
+      std::to_string(batch.stats.plans) + " plan" +
+      (batch.stats.plans == 1 ? "" : "s") + " and " +
+      std::to_string(batch.stats.indexes_built) +
+      " base index builds served " + std::to_string(supported_count) +
+      (supported_count == 1 ? " query" : " queries");
+  if (batch.stats.index_cache_hits > 0) {
+    serve_note += " (" + std::to_string(batch.stats.index_cache_hits) +
+                  " index cache hits)";
+  }
+  append_note(serve_note);
+  if (deadline_failures > 0) {
+    append_note(std::to_string(deadline_failures) +
+                (deadline_failures == 1 ? " query" : " queries") +
+                " failed on the deadline");
+  }
   batch.ok = true;
   return finish();
 }

@@ -30,6 +30,8 @@
 #ifndef TETRIS_ENGINE_BATCH_RUNNER_H_
 #define TETRIS_ENGINE_BATCH_RUNNER_H_
 
+#include <chrono>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -40,6 +42,19 @@
 namespace tetris {
 
 class WorkStealingPool;  // engine/parallel_executor.h
+class IndexCache;        // engine/index_cache.h
+
+/// The output-space signature of `query` at `depth`: the grid depth,
+/// the attribute count, and per atom a caller-supplied relation stamp
+/// plus the attribute binding — everything shard planning (and result
+/// caching) depends on. Queries with equal signatures restrict the same
+/// rows to the same subcubes. RunBatch stamps atoms by Relation address
+/// (plan sharing within one call); the server's ResultCache
+/// (src/server/result_cache.h) stamps by name@epoch so keys survive
+/// across calls and go stale the moment a relation mutates.
+std::string OutputSpaceSignature(
+    const JoinQuery& query, int depth,
+    const std::function<std::string(const Relation&)>& stamp);
 
 /// Per-batch knobs, all optional.
 struct BatchOptions {
@@ -69,16 +84,50 @@ struct BatchOptions {
   /// Executor the batch draws its workers from. nullptr = the
   /// process-global pool. Must outlive the call.
   WorkStealingPool* executor = nullptr;
+
+  /// Per-query attribute-order hints with EngineOptions::order
+  /// semantics (SAO for the Tetris family, GAO for Leapfrog / Generic
+  /// Join). Empty = no hints; otherwise exactly one entry per query
+  /// (individual entries may be empty). A bad hint — not a permutation,
+  /// or any hint on a Balance-lifted variant, which chooses its own
+  /// SAO — fails that query (per-query error, like RunJoin), not the
+  /// batch. Order hints change the index *layout* an atom wants; the
+  /// (relation, layout) index cache below keeps that from forcing
+  /// per-query rebuilds.
+  std::vector<std::vector<int>> orders;
+
+  /// Shared index cache keyed by (relation, layout)
+  /// (engine/index_cache.h). nullptr = a batch-local cache — indexes
+  /// are still built once per distinct (relation, layout) *within* the
+  /// batch. Passing a long-lived cache (the server's RelationRegistry
+  /// owns one) amortizes builds *across* RunBatch calls; such a caller
+  /// must keep every relation alive per the IndexCache lifetime
+  /// contract. Only the Tetris family builds base indexes.
+  IndexCache* index_cache = nullptr;
+
+  /// Cooperative deadline (steady clock); the default-constructed
+  /// time_point = none. (query, shard) tasks not yet *started* when the
+  /// deadline passes are abandoned, and their queries fail with a
+  /// per-query "deadline exceeded" error — tasks already running
+  /// complete (the check happens at task granularity, which is what
+  /// keeps it cheap). The server's JoinService maps per-request
+  /// deadlines onto this.
+  std::chrono::steady_clock::time_point deadline{};
 };
 
 /// Batch-level amortization counters.
 struct BatchStats {
   size_t queries = 0;    ///< batch size
   size_t relations = 0;  ///< distinct relations referenced by the batch
-  /// Base indexes built (== relations for the Tetris family — one per
-  /// relation, shared by every query; 0 for engines that scan relations
-  /// directly).
+  /// Base indexes built this batch (one per distinct (relation, layout)
+  /// the Tetris family touches; 0 for engines that scan relations
+  /// directly — and 0 on a fully warm shared cache, where
+  /// index_cache_hits carries the reuse instead).
   size_t indexes_built = 0;
+  /// (query, atom) index requests served from the cache without a
+  /// build — within the batch, or across calls when the caller passed a
+  /// long-lived BatchOptions::index_cache.
+  size_t index_cache_hits = 0;
   /// Resident bytes of the shared base indexes — paid once per batch,
   /// not once per query.
   size_t index_bytes = 0;
@@ -89,9 +138,17 @@ struct BatchStats {
   size_t tasks = 0;
   size_t threads = 0;  ///< workers the batch may occupy
   double wall_ms = 0.0;  ///< end-to-end batch wall time
-  /// Sum over queries of the attributed per-query times (see
-  /// EngineResult note in RunBatch) — compare against wall_ms to read
-  /// the overlap.
+  /// Summed wall time of the individual (query, shard) tasks — the
+  /// batch's total task occupancy, which *can* exceed wall_ms when
+  /// tasks run concurrently. cpu_ms / wall_ms reads as the batch's
+  /// average parallelism.
+  double cpu_ms = 0.0;
+  /// Sum over queries of the attributed per-query times (see the
+  /// EngineResult note in BatchResult). Attribution splits the
+  /// execution wall time by each query's share of cpu_ms, so
+  /// sum_query_ms <= wall_ms always holds (equality up to the
+  /// non-execution overhead — planning, merging — when every query
+  /// ran).
   double sum_query_ms = 0.0;
 };
 
@@ -106,9 +163,12 @@ struct BatchResult {
   std::string error;  ///< reason when !ok
   /// One EngineResult per query, in input order, tuple-identical to a
   /// per-query RunJoin. Each result's `wall_ms` is the query's
-  /// *attributed* time — the summed wall time of its shard tasks — not
-  /// a wall-clock latency (queries overlap inside the batch; the batch
-  /// wall time lives in `stats.wall_ms`).
+  /// *attributed* time — the batch's execution wall split by the
+  /// query's share of summed task time — not a wall-clock latency
+  /// (queries overlap inside the batch; the batch wall time lives in
+  /// `stats.wall_ms`, the raw task occupancy in `stats.cpu_ms`).
+  /// Invariants: every attributed time <= stats.wall_ms, and their sum
+  /// (stats.sum_query_ms) <= stats.wall_ms.
   std::vector<EngineResult> results;
   BatchStats stats;
   /// Batch-level diagnostics: calibration/probe reuse, plan sharing.

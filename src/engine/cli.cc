@@ -25,8 +25,8 @@ std::string AllEngineNames(const char* sep) {
   return s;
 }
 
-// Parses a full-string unsigned integer; false on junk, sign characters
-// (strtoull would silently wrap "-3" modulo 2^64) or overflow.
+}  // namespace
+
 bool ParseU64(const std::string& text, uint64_t* out) {
   if (text.empty() || !std::isdigit(static_cast<unsigned char>(text[0]))) {
     return false;
@@ -39,9 +39,6 @@ bool ParseU64(const std::string& text, uint64_t* out) {
   return true;
 }
 
-// Byte count with an optional binary suffix: "65536", "512K", "64M",
-// "2G" (case-insensitive, optional trailing "B": "64MB"). False on
-// junk, negatives, or a value that overflows after scaling.
 bool ParseByteCount(const std::string& text, uint64_t* out) {
   size_t digits = 0;
   while (digits < text.size() &&
@@ -71,14 +68,14 @@ bool ParseByteCount(const std::string& text, uint64_t* out) {
   return true;
 }
 
-// "--name=value" accessor: true iff `arg` starts with "--name=", leaving
-// the value in *value.
 bool FlagValue(const char* arg, const char* name, std::string* value) {
   size_t n = std::strlen(name);
   if (std::strncmp(arg, name, n) != 0 || arg[n] != '=') return false;
   *value = arg + n + 1;
   return true;
 }
+
+namespace {
 
 // CSV fields are not quoted; commas inside them become semicolons.
 std::string CsvField(const std::string& s) {

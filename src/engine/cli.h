@@ -85,6 +85,22 @@ struct HarnessOptions {
   bool help = false;
 };
 
+/// Parses a full-string unsigned integer; false on junk, sign characters
+/// (strtoull would silently wrap "-3" modulo 2^64) or overflow past
+/// UINT64_MAX.
+bool ParseU64(const std::string& text, uint64_t* out);
+
+/// Byte count with an optional binary suffix: "65536", "512K", "64M",
+/// "2G" (case-insensitive, optional trailing "B": "64MB"). False on
+/// junk, negatives, a digit string past UINT64_MAX, or a value that
+/// overflows after scaling ("18446744073709551615G") — out-of-range
+/// byte counts are rejected, never silently wrapped.
+bool ParseByteCount(const std::string& text, uint64_t* out);
+
+/// "--name=value" accessor: true iff `arg` starts with "--name=",
+/// leaving the value in *value.
+bool FlagValue(const char* arg, const char* name, std::string* value);
+
 /// Exact-name lookup against EngineKindName. On failure returns false and
 /// sets `error` to a message listing the valid names.
 bool ParseEngineKind(const std::string& name, EngineKind* out,

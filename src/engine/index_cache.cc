@@ -1,0 +1,78 @@
+#include "engine/index_cache.h"
+
+#include <utility>
+
+namespace tetris {
+
+std::shared_ptr<const SortedIndex> IndexCache::Get(
+    const Relation* rel, const IndexLayout& layout, bool* built_out) {
+  if (built_out != nullptr) *built_out = false;
+  Key key{rel, layout};
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(key);
+    if (it != entries_.end()) {
+      ++hits_;
+      return it->second;
+    }
+  }
+  // Build outside the lock: an index build is milliseconds of work and
+  // holding the cache mutex for it would serialize every concurrent
+  // query on one build. Two racers may both build; the first insert
+  // wins and the loser's copy is dropped.
+  std::shared_ptr<const SortedIndex> built =
+      layout.columns.empty()
+          ? std::make_shared<const SortedIndex>(*rel, layout.depth)
+          : std::make_shared<const SortedIndex>(*rel, layout.columns,
+                                                layout.depth);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(std::move(key), built);
+  if (inserted) {
+    ++builds_;
+    bytes_ += it->second->MemoryBytes();
+    if (built_out != nullptr) *built_out = true;
+  } else {
+    ++hits_;
+  }
+  return it->second;
+}
+
+size_t IndexCache::EvictRelation(const Relation* rel) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t removed = 0;
+  auto it = entries_.lower_bound(Key{rel, IndexLayout{}});
+  while (it != entries_.end() && it->first.first == rel) {
+    bytes_ -= it->second->MemoryBytes();
+    it = entries_.erase(it);
+    ++removed;
+  }
+  return removed;
+}
+
+void IndexCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_.clear();
+  bytes_ = 0;
+}
+
+size_t IndexCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.size();
+}
+
+size_t IndexCache::builds() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return builds_;
+}
+
+size_t IndexCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t IndexCache::MemoryBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+}  // namespace tetris

@@ -1,0 +1,95 @@
+// Shared SortedIndex cache keyed by (relation, layout).
+//
+// RunBatch (engine/batch_runner.h) builds each relation's base index
+// once per batch — but only in the default layout. A per-query order
+// hint changes the layout an atom needs (SAO-consistent column orders),
+// and before this cache existed every non-default layout forced a fresh
+// build per query. IndexCache keys built indexes by (relation identity,
+// column order, dyadic depth) so every (query, atom) wanting the same
+// layout shares one build — within one batch through
+// BatchOptions::index_cache, and across calls when a long-lived owner
+// (the server's RelationRegistry, src/server/relation_registry.h) holds
+// the cache for the lifetime of its registered relations.
+//
+// Lifetime contract: entries are keyed by Relation address, so every
+// relation passed to Get must stay alive until its entries are removed
+// with EvictRelation (or the cache is destroyed). Batch-local caches
+// satisfy this trivially; the RelationRegistry evicts a version's
+// entries whenever a mutation retires it, and re-evicts after in-flight
+// queries that may have re-inserted stale entries finish
+// (src/server/join_service.cc), so a recycled heap address can never
+// resurrect another relation's index.
+#ifndef TETRIS_ENGINE_INDEX_CACHE_H_
+#define TETRIS_ENGINE_INDEX_CACHE_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "index/sorted_index.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// Everything that distinguishes one SortedIndex over a relation from
+/// another: the trie column order and the dyadic depth.
+struct IndexLayout {
+  /// `columns[level]` = relation column compared at trie level `level`;
+  /// empty = relation column order (the SortedIndex default).
+  std::vector<int> columns;
+  int depth = 0;
+
+  bool operator<(const IndexLayout& o) const {
+    if (depth != o.depth) return depth < o.depth;
+    return columns < o.columns;
+  }
+};
+
+/// Thread-safe build-once cache of SortedIndexes keyed by
+/// (relation, layout). Concurrent Gets for the same key may race to
+/// build, but exactly one build wins and is shared; losers are dropped.
+class IndexCache {
+ public:
+  IndexCache() = default;
+  IndexCache(const IndexCache&) = delete;
+  IndexCache& operator=(const IndexCache&) = delete;
+
+  /// The shared index for `rel` in `layout`, built on first use.
+  /// `rel` must outlive the entry (see the lifetime contract above).
+  /// When `built` is non-null it reports whether THIS call performed
+  /// the build that landed in the cache — callers sharing a long-lived
+  /// cache use it to attribute builds/hits to themselves without racing
+  /// on the global counters.
+  std::shared_ptr<const SortedIndex> Get(const Relation* rel,
+                                         const IndexLayout& layout,
+                                         bool* built = nullptr);
+
+  /// Removes every entry of `rel` (all layouts). Call before the
+  /// relation dies. Returns the number of entries removed.
+  size_t EvictRelation(const Relation* rel);
+
+  /// Drops everything.
+  void Clear();
+
+  size_t entries() const;
+  /// Indexes actually built (cache misses) / served from cache (hits)
+  /// since construction.
+  size_t builds() const;
+  size_t hits() const;
+  /// Summed MemoryBytes() of the resident entries.
+  size_t MemoryBytes() const;
+
+ private:
+  using Key = std::pair<const Relation*, IndexLayout>;
+
+  mutable std::mutex mu_;
+  std::map<Key, std::shared_ptr<const SortedIndex>> entries_;
+  size_t builds_ = 0;
+  size_t hits_ = 0;
+  size_t bytes_ = 0;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_INDEX_CACHE_H_

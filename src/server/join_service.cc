@@ -1,0 +1,170 @@
+#include "server/join_service.h"
+
+#include <chrono>
+#include <unordered_map>
+#include <utility>
+
+#include "engine/batch_runner.h"
+#include "engine/parallel_executor.h"
+#include "query/join_query.h"
+
+namespace tetris {
+
+namespace {
+
+std::shared_ptr<const EngineResult> FailedResult(EngineKind kind,
+                                                 std::string error) {
+  EngineResult r;
+  r.stats.engine = kind;
+  r.error = std::move(error);
+  return std::make_shared<const EngineResult>(std::move(r));
+}
+
+}  // namespace
+
+JoinService::JoinService(ServiceOptions options)
+    : options_(options), cache_(options.cache_bytes) {}
+
+bool JoinService::Register(Relation rel, std::string* error) {
+  const std::string name = rel.name();
+  if (!registry_.Register(std::move(rel), error)) return false;
+  cache_.InvalidateRelation(name);
+  registry_.PurgeRetired();
+  return true;
+}
+
+bool JoinService::Replace(Relation rel, std::string* error) {
+  const std::string name = rel.name();
+  if (!registry_.Replace(std::move(rel), error)) return false;
+  cache_.InvalidateRelation(name);
+  registry_.PurgeRetired();
+  return true;
+}
+
+bool JoinService::Append(const std::string& name,
+                         const std::vector<Tuple>& tuples,
+                         std::string* error) {
+  if (!registry_.Append(name, tuples, error)) return false;
+  cache_.InvalidateRelation(name);
+  registry_.PurgeRetired();
+  return true;
+}
+
+bool JoinService::Drop(const std::string& name, std::string* error) {
+  if (!registry_.Drop(name, error)) return false;
+  cache_.InvalidateRelation(name);
+  registry_.PurgeRetired();
+  return true;
+}
+
+QueryResponse JoinService::Execute(const QueryRequest& request) {
+  const auto t0 = std::chrono::steady_clock::now();
+  QueryResponse resp;
+  auto finish = [&t0, &resp]() -> QueryResponse& {
+    const auto t1 = std::chrono::steady_clock::now();
+    resp.service_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    return resp;
+  };
+
+  // 1. Admission. fetch_add first so concurrent racers see each other;
+  // over the limit means hand back a rejection NOW rather than queue
+  // without bound — the caller can retry, shed, or re-plan.
+  const size_t prior = inflight_.fetch_add(1);
+  if (options_.max_inflight > 0 && prior >= options_.max_inflight) {
+    inflight_.fetch_sub(1);
+    rejected_.fetch_add(1);
+    resp.rejected = true;
+    resp.result = FailedResult(
+        request.engine,
+        "admission rejected: " + std::to_string(prior) +
+            " queries in flight (max " +
+            std::to_string(options_.max_inflight) + ")");
+    return finish();
+  }
+  admitted_.fetch_add(1);
+  struct InflightGuard {
+    std::atomic<size_t>* counter;
+    ~InflightGuard() { counter->fetch_sub(1); }
+  } guard{&inflight_};
+
+  if (request.relations.empty()) {
+    resp.result = FailedResult(request.engine, "query: no relations named");
+    return finish();
+  }
+
+  // 2. Snapshot: pin every named version for the whole execution.
+  const RegistrySnapshot snap = registry_.Snap();
+  resp.epoch = snap.epoch;
+  std::vector<const Relation*> rels;
+  std::unordered_map<const Relation*, std::string> stamp_of;
+  rels.reserve(request.relations.size());
+  for (const std::string& name : request.relations) {
+    const RelationVersion* v = snap.Find(name);
+    if (v == nullptr) {
+      resp.result = FailedResult(request.engine,
+                                 "unknown relation '" + name + "'");
+      return finish();
+    }
+    rels.push_back(v->rel.get());
+    stamp_of.emplace(v->rel.get(), name + "@" + std::to_string(v->epoch));
+  }
+  const JoinQuery query = JoinQuery::Build(rels);
+  const int eff_depth =
+      request.depth > 0 ? request.depth : query.MinDepth();
+
+  // 3. Result cache: engine + versioned output-space signature.
+  const bool cache_on = request.use_cache && options_.cache_bytes > 0;
+  std::string key;
+  if (cache_on) {
+    key = std::string(EngineKindName(request.engine)) + "|" +
+          OutputSpaceSignature(query, eff_depth,
+                               [&stamp_of](const Relation& rel) {
+                                 return stamp_of.at(&rel);
+                               });
+    if (std::shared_ptr<const EngineResult> hit = cache_.Get(key)) {
+      resp.result = std::move(hit);
+      resp.cache_hit = true;
+      return finish();
+    }
+  }
+
+  // 4. Execute as a one-query batch on the pool, sharing the registry's
+  // index cache and carrying the deadline into the task loop.
+  BatchOptions bopts;
+  bopts.depth = request.depth;
+  bopts.shards = options_.shards;
+  bopts.memory_budget_bytes = options_.memory_budget_bytes;
+  bopts.executor = options_.executor;
+  bopts.index_cache = &registry_.index_cache();
+  if (!request.order.empty()) {
+    bopts.orders.assign(1, request.order);
+  }
+  const double deadline_ms = request.deadline_ms < 0
+                                 ? options_.default_deadline_ms
+                                 : request.deadline_ms;
+  if (deadline_ms > 0) {
+    bopts.deadline =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+  BatchResult batch = RunBatch(rels, {query}, request.engine, bopts);
+  std::shared_ptr<const EngineResult> result =
+      batch.ok ? std::make_shared<const EngineResult>(
+                     std::move(batch.results[0]))
+               : FailedResult(request.engine, std::move(batch.error));
+  if (cache_on && result->ok) {
+    cache_.Put(key, request.relations, result);
+  }
+  resp.result = std::move(result);
+
+  // The snapshot above still pins the versions this query used; purge
+  // whatever mutations retired meanwhile AFTER we are the last pin, so
+  // index entries this run re-inserted for a retired version die with
+  // it. (Snap is destroyed at return — purge what is already free now;
+  // the next query or mutation sweeps the rest.)
+  registry_.PurgeRetired();
+  return finish();
+}
+
+}  // namespace tetris

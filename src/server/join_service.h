@@ -1,0 +1,126 @@
+// The resident join service: registry → snapshot → result cache → pool.
+//
+// JoinService is the front end every later serving feature plugs into.
+// One query's life:
+//
+//   1. ADMISSION — an atomic in-flight counter enforces
+//      ServiceOptions::max_inflight; a query over the limit is rejected
+//      immediately with a per-query error (same shape as BatchResult's
+//      per-query failures) instead of queuing without bound.
+//   2. SNAPSHOT — RelationRegistry::Snap() pins every named relation
+//      version the query touches; concurrent Replace/Append cannot tear
+//      the data out from under it.
+//   3. CACHE — the key is engine + OutputSpaceSignature with atoms
+//      stamped "name@epoch". A hit returns the shared cached result
+//      without touching the engine (the order hint deliberately stays
+//      OUT of the key: it steers traversal, never the tuple set). A
+//      mutation bumps the epoch, so stale entries become unreachable by
+//      construction.
+//   4. POOL — a miss runs as a one-query RunBatch on the configured
+//      executor (WorkStealingPool::Global() by default), drawing shared
+//      base indexes from the registry's (relation, layout) IndexCache
+//      and carrying the per-query deadline into the task loop.
+//
+// Mutations route through the service (Register/Replace/Append/Drop) so
+// the result cache is invalidated and retired relation versions purged
+// in step with the registry.
+#ifndef TETRIS_SERVER_JOIN_SERVICE_H_
+#define TETRIS_SERVER_JOIN_SERVICE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "engine/join_engine.h"
+#include "server/relation_registry.h"
+#include "server/result_cache.h"
+
+namespace tetris {
+
+class WorkStealingPool;  // engine/parallel_executor.h
+
+/// Service-wide knobs, fixed at construction.
+struct ServiceOptions {
+  /// Queries allowed to execute concurrently; one more is rejected at
+  /// admission. 0 = unlimited.
+  size_t max_inflight = 0;
+  /// Deadline applied to queries that don't carry their own. 0 = none.
+  double default_deadline_ms = 0.0;
+  /// Result-cache capacity. 0 disables result caching entirely.
+  size_t cache_bytes = 64u << 20;
+  /// Executor queries fan out on. nullptr = the process-global pool.
+  /// Must outlive the service.
+  WorkStealingPool* executor = nullptr;
+  /// EngineOptions::shards semantics for each query's plan.
+  int shards = kAutoShards;
+  /// Per-shard resident budget forwarded to every query (0 = none).
+  size_t memory_budget_bytes = 0;
+};
+
+/// One query over registered relations (natural join by attribute
+/// name, like JoinQuery::Build).
+struct QueryRequest {
+  std::vector<std::string> relations;  ///< registered names, one per atom
+  EngineKind engine = EngineKind::kTetrisPreloaded;
+  /// SAO/GAO hint with EngineOptions::order semantics; empty = none.
+  std::vector<int> order;
+  /// Dyadic depth; 0 = the query's MinDepth().
+  int depth = 0;
+  /// Per-query deadline: < 0 = the service default, 0 = none, > 0 = ms
+  /// from admission.
+  double deadline_ms = -1.0;
+  /// Opt out of the result cache (reads AND writes) for this query.
+  bool use_cache = true;
+};
+
+/// What the service hands back. `result` is never null — rejections and
+/// failures ride in its ok/error, the same shape as BatchResult's
+/// per-query failures.
+struct QueryResponse {
+  std::shared_ptr<const EngineResult> result;
+  bool cache_hit = false;
+  bool rejected = false;   ///< refused at admission (not executed)
+  double service_ms = 0.0; ///< end-to-end latency inside the service
+  uint64_t epoch = 0;      ///< registry epoch of the snapshot served
+};
+
+/// Thread-safe resident service; Execute may be called from any number
+/// of client threads concurrently.
+class JoinService {
+ public:
+  explicit JoinService(ServiceOptions options = {});
+
+  const ServiceOptions& options() const { return options_; }
+  RelationRegistry& registry() { return registry_; }
+  ResultCache& cache() { return cache_; }
+
+  /// Mutations, routed through the service so the result cache stays
+  /// coherent: invalidate the name's entries, purge retired versions.
+  bool Register(Relation rel, std::string* error);
+  bool Replace(Relation rel, std::string* error);
+  bool Append(const std::string& name, const std::vector<Tuple>& tuples,
+              std::string* error);
+  bool Drop(const std::string& name, std::string* error);
+
+  /// Runs (or serves from cache) one query. Never throws; failures are
+  /// per-query errors in response.result.
+  QueryResponse Execute(const QueryRequest& request);
+
+  size_t inflight() const { return inflight_.load(); }
+  uint64_t admitted() const { return admitted_.load(); }
+  uint64_t rejected() const { return rejected_.load(); }
+
+ private:
+  const ServiceOptions options_;
+  RelationRegistry registry_;
+  ResultCache cache_;
+  std::atomic<size_t> inflight_{0};
+  std::atomic<uint64_t> admitted_{0};
+  std::atomic<uint64_t> rejected_{0};
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_SERVER_JOIN_SERVICE_H_

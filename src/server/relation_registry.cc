@@ -1,0 +1,137 @@
+#include "server/relation_registry.h"
+
+#include <utility>
+
+namespace tetris {
+
+bool RelationRegistry::Register(Relation rel, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = rel.name();
+  if (live_.count(name) != 0) {
+    if (error != nullptr) {
+      *error = "relation '" + name + "' is already registered (use replace)";
+    }
+    return false;
+  }
+  rel.Canonicalize();
+  live_.emplace(name,
+                RelationVersion{
+                    std::make_shared<const Relation>(std::move(rel)),
+                    ++epoch_});
+  return true;
+}
+
+bool RelationRegistry::Replace(Relation rel, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const std::string name = rel.name();
+  auto it = live_.find(name);
+  if (it == live_.end()) {
+    if (error != nullptr) {
+      *error = "relation '" + name + "' is not registered (use register)";
+    }
+    return false;
+  }
+  rel.Canonicalize();
+  RetireLocked(std::move(it->second.rel));
+  it->second.rel = std::make_shared<const Relation>(std::move(rel));
+  it->second.epoch = ++epoch_;
+  return true;
+}
+
+bool RelationRegistry::Append(const std::string& name,
+                              const std::vector<Tuple>& tuples,
+                              std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(name);
+  if (it == live_.end()) {
+    if (error != nullptr) {
+      *error = "relation '" + name + "' is not registered (use register)";
+    }
+    return false;
+  }
+  const Relation& old = *it->second.rel;
+  for (const Tuple& t : tuples) {
+    if (t.size() != static_cast<size_t>(old.arity())) {
+      if (error != nullptr) {
+        *error = "append to '" + name + "': tuple arity " +
+                 std::to_string(t.size()) + " != relation arity " +
+                 std::to_string(old.arity());
+      }
+      return false;
+    }
+  }
+  std::vector<Tuple> merged = old.tuples();
+  merged.insert(merged.end(), tuples.begin(), tuples.end());
+  Relation next = Relation::Make(old.name(), old.attrs(), std::move(merged));
+  RetireLocked(std::move(it->second.rel));
+  it->second.rel = std::make_shared<const Relation>(std::move(next));
+  it->second.epoch = ++epoch_;
+  return true;
+}
+
+bool RelationRegistry::Drop(const std::string& name, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(name);
+  if (it == live_.end()) {
+    if (error != nullptr) {
+      *error = "relation '" + name + "' is not registered";
+    }
+    return false;
+  }
+  RetireLocked(std::move(it->second.rel));
+  live_.erase(it);
+  ++epoch_;
+  return true;
+}
+
+RegistrySnapshot RelationRegistry::Snap() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  RegistrySnapshot snap;
+  snap.relations = live_;
+  snap.epoch = epoch_;
+  return snap;
+}
+
+uint64_t RelationRegistry::epoch() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return epoch_;
+}
+
+size_t RelationRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+size_t RelationRegistry::retired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return retired_.size();
+}
+
+size_t RelationRegistry::PurgeRetired() {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = 0;
+  for (size_t i = 0; i < retired_.size();) {
+    // use_count == 1 means only the parked pointer remains: no snapshot
+    // pins this version, so no in-flight query can re-insert index
+    // entries for it, and new snapshots only see live_ — the eviction
+    // below is final and the version can die.
+    if (retired_[i].use_count() == 1) {
+      index_cache_.EvictRelation(retired_[i].get());
+      retired_[i] = std::move(retired_.back());
+      retired_.pop_back();
+      ++freed;
+    } else {
+      ++i;
+    }
+  }
+  return freed;
+}
+
+void RelationRegistry::RetireLocked(std::shared_ptr<const Relation> version) {
+  // Evict now for promptness (frees index bytes while readers drain);
+  // PurgeRetired re-evicts later in case a pinned snapshot re-inserted.
+  index_cache_.EvictRelation(version.get());
+  retired_.push_back(std::move(version));
+}
+
+}  // namespace tetris

@@ -1,0 +1,121 @@
+// Named relations behind epoch/snapshot versioning — the resident
+// state of the join service.
+//
+// The batch runner (engine/batch_runner.h) amortizes index builds and
+// shard planning within one call; a *resident* service must amortize
+// them across calls while relations keep changing underneath. The
+// registry makes that sound with immutable versions: every relation
+// version is a shared_ptr<const Relation>, and every mutation
+// (Register / Replace / Append / Drop) installs a NEW version under a
+// fresh epoch instead of touching the old one. Readers call Snap() and
+// get a consistent {name -> (version, epoch)} map whose shared_ptrs pin
+// each version alive — an in-flight query never sees torn data, no
+// matter how many replaces land while it runs (the zero-copy
+// RelationView/IndexView stack only ever references the pinned
+// version).
+//
+// Epochs are one global monotonic counter, not per-name counters, so a
+// (name, epoch) pair names one immutable version forever — exactly what
+// the result cache (server/result_cache.h) needs for keys that go
+// stale by construction the moment a relation mutates.
+//
+// The registry also owns the (relation, layout) IndexCache
+// (engine/index_cache.h) that RunBatch calls share across queries.
+// Mutations evict the retired version's entries immediately; because an
+// in-flight query holding the old snapshot may legally RE-insert
+// entries for the retired version while it runs, retired versions are
+// parked and PurgeRetired() re-evicts and frees each one once no
+// snapshot pins it (use_count == 1) — so a recycled heap address can
+// never resurrect another relation's index.
+#ifndef TETRIS_SERVER_RELATION_REGISTRY_H_
+#define TETRIS_SERVER_RELATION_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "engine/index_cache.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// One immutable relation version pinned by a snapshot.
+struct RelationVersion {
+  std::shared_ptr<const Relation> rel;
+  uint64_t epoch = 0;  ///< global epoch at which this version was installed
+};
+
+/// A consistent point-in-time view of the registry. Holding it pins
+/// every contained version alive (and therefore keeps the index cache's
+/// entries for those versions valid).
+struct RegistrySnapshot {
+  std::map<std::string, RelationVersion> relations;
+  uint64_t epoch = 0;  ///< registry epoch when the snapshot was taken
+
+  const RelationVersion* Find(const std::string& name) const {
+    auto it = relations.find(name);
+    return it == relations.end() ? nullptr : &it->second;
+  }
+};
+
+/// Thread-safe named-relation store with epoch versioning. All
+/// mutations are copy-install: existing versions are never modified.
+class RelationRegistry {
+ public:
+  RelationRegistry() = default;
+  RelationRegistry(const RelationRegistry&) = delete;
+  RelationRegistry& operator=(const RelationRegistry&) = delete;
+
+  /// Installs a new relation under rel.name(). Fails (false, *error
+  /// set) if the name is already registered — use Replace to swap.
+  bool Register(Relation rel, std::string* error);
+
+  /// Swaps the registered relation of rel.name() for a new version.
+  /// Fails if the name is unknown.
+  bool Replace(Relation rel, std::string* error);
+
+  /// Installs a new version of `name` extended by `tuples`
+  /// (copy-on-write; the old version stays untouched for in-flight
+  /// readers). Fails on an unknown name or an arity mismatch.
+  bool Append(const std::string& name, const std::vector<Tuple>& tuples,
+              std::string* error);
+
+  /// Retires the relation. Fails if the name is unknown.
+  bool Drop(const std::string& name, std::string* error);
+
+  /// A consistent view of every registered relation. O(#relations).
+  RegistrySnapshot Snap() const;
+
+  uint64_t epoch() const;
+  size_t size() const;
+  /// Retired versions still parked because a snapshot pins them.
+  size_t retired() const;
+
+  /// Re-evicts and frees every retired version no snapshot pins
+  /// anymore. Callers run it opportunistically after queries finish
+  /// (server/join_service.cc). Returns the number of versions freed.
+  size_t PurgeRetired();
+
+  /// The shared (relation, layout) index cache for RunBatch calls over
+  /// this registry's snapshots. The registry upholds the IndexCache
+  /// lifetime contract via the mutation-evict + PurgeRetired protocol.
+  IndexCache& index_cache() { return index_cache_; }
+
+ private:
+  // Parks `version` for deferred cleanup and evicts its index entries.
+  // Caller holds mu_.
+  void RetireLocked(std::shared_ptr<const Relation> version);
+
+  mutable std::mutex mu_;
+  std::map<std::string, RelationVersion> live_;
+  std::vector<std::shared_ptr<const Relation>> retired_;
+  uint64_t epoch_ = 0;
+  IndexCache index_cache_;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_SERVER_RELATION_REGISTRY_H_

@@ -1,0 +1,117 @@
+#include "server/result_cache.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace tetris {
+
+std::shared_ptr<const EngineResult> ResultCache::Get(const std::string& key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it == index_.end()) {
+    ++misses_;
+    return nullptr;
+  }
+  ++hits_;
+  lru_.splice(lru_.begin(), lru_, it->second);  // refresh LRU position
+  return it->second->result;
+}
+
+void ResultCache::Put(const std::string& key,
+                      std::vector<std::string> relation_names,
+                      std::shared_ptr<const EngineResult> result) {
+  if (capacity_bytes_ == 0 || result == nullptr) return;
+  const size_t bytes = EstimateBytes(*result);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(key);
+  if (it != index_.end()) RemoveLocked(it->second);
+  if (bytes > capacity_bytes_) return;  // would evict everything for one entry
+  EvictForLocked(bytes);
+  lru_.push_front(Entry{key, std::move(relation_names), std::move(result),
+                        bytes});
+  index_.emplace(key, lru_.begin());
+  bytes_ += bytes;
+  ++insertions_;
+}
+
+size_t ResultCache::InvalidateRelation(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t freed = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    auto next = std::next(it);
+    const auto& names = it->relation_names;
+    if (std::find(names.begin(), names.end(), name) != names.end()) {
+      RemoveLocked(it);
+      ++freed;
+      ++invalidations_;
+    }
+    it = next;
+  }
+  return freed;
+}
+
+void ResultCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  index_.clear();
+  bytes_ = 0;
+}
+
+size_t ResultCache::EstimateBytes(const EngineResult& result) {
+  size_t payload = 0;
+  for (const Tuple& t : result.tuples) {
+    payload += sizeof(Tuple) + t.size() * sizeof(uint64_t);
+  }
+  // Entry bookkeeping + the stats/notes attached to the result.
+  return payload + sizeof(EngineResult) + 256;
+}
+
+size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lru_.size();
+}
+
+size_t ResultCache::bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return bytes_;
+}
+
+size_t ResultCache::hits() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return hits_;
+}
+
+size_t ResultCache::misses() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return misses_;
+}
+
+size_t ResultCache::insertions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return insertions_;
+}
+
+size_t ResultCache::evictions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return evictions_;
+}
+
+size_t ResultCache::invalidations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return invalidations_;
+}
+
+void ResultCache::EvictForLocked(size_t need) {
+  while (!lru_.empty() && bytes_ + need > capacity_bytes_) {
+    RemoveLocked(std::prev(lru_.end()));
+    ++evictions_;
+  }
+}
+
+void ResultCache::RemoveLocked(std::list<Entry>::iterator it) {
+  bytes_ -= it->bytes;
+  index_.erase(it->key);
+  lru_.erase(it);
+}
+
+}  // namespace tetris

@@ -1,0 +1,99 @@
+// LRU result cache keyed by (relation epochs, output-space signature).
+//
+// KhamisNRR15's geometric decomposition makes result reuse unusually
+// precise: two queries with the same output-space signature
+// (engine/batch_runner.h OutputSpaceSignature — grid depth, attribute
+// count, per-atom relation + binding) over the same relation *versions*
+// compute the same tuple set, so the service can answer the second one
+// without touching the engine at all. Keys embed each atom's
+// "name@epoch" stamp (server/relation_registry.h), which gives
+// correctness by construction: a mutation bumps the epoch, every new
+// lookup computes a key no stale entry can match, and served entries
+// are therefore never stale. InvalidateRelation is purely about
+// *memory* — it frees unreachable entries promptly instead of waiting
+// for LRU pressure.
+//
+// Entries are shared_ptr<const EngineResult>, handed out without
+// copying the tuple payload; eviction while a client still holds one is
+// safe. Capacity 0 disables the cache (every Get misses, Put drops).
+#ifndef TETRIS_SERVER_RESULT_CACHE_H_
+#define TETRIS_SERVER_RESULT_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "engine/join_engine.h"
+
+namespace tetris {
+
+/// Thread-safe byte-capped LRU cache of whole EngineResults.
+class ResultCache {
+ public:
+  explicit ResultCache(size_t capacity_bytes)
+      : capacity_bytes_(capacity_bytes) {}
+  ResultCache(const ResultCache&) = delete;
+  ResultCache& operator=(const ResultCache&) = delete;
+
+  /// The cached result for `key`, or nullptr on a miss. A hit refreshes
+  /// the entry's LRU position.
+  std::shared_ptr<const EngineResult> Get(const std::string& key);
+
+  /// Inserts (or refreshes) `result` under `key`. `relation_names` are
+  /// the names of every relation the result's query touches, recorded
+  /// for InvalidateRelation. Oversized results (> capacity) are simply
+  /// not cached; otherwise least-recently-used entries are evicted
+  /// until the result fits.
+  void Put(const std::string& key, std::vector<std::string> relation_names,
+           std::shared_ptr<const EngineResult> result);
+
+  /// Frees every entry whose query touches `name` — stale-by-key after
+  /// an epoch bump and unreachable, so only their bytes matter. Returns
+  /// the number of entries freed.
+  size_t InvalidateRelation(const std::string& name);
+
+  void Clear();
+
+  /// The resident-byte estimate charged per entry: the tuple payload
+  /// plus per-entry bookkeeping overhead.
+  static size_t EstimateBytes(const EngineResult& result);
+
+  size_t capacity_bytes() const { return capacity_bytes_; }
+  size_t entries() const;
+  size_t bytes() const;
+  size_t hits() const;
+  size_t misses() const;
+  size_t insertions() const;
+  size_t evictions() const;      ///< entries dropped by LRU pressure
+  size_t invalidations() const;  ///< entries dropped by InvalidateRelation
+
+ private:
+  struct Entry {
+    std::string key;
+    std::vector<std::string> relation_names;
+    std::shared_ptr<const EngineResult> result;
+    size_t bytes = 0;
+  };
+
+  // Drops the LRU tail until `need` more bytes fit. Caller holds mu_.
+  void EvictForLocked(size_t need);
+  void RemoveLocked(std::list<Entry>::iterator it);
+
+  const size_t capacity_bytes_;
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+  size_t bytes_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+  size_t insertions_ = 0;
+  size_t evictions_ = 0;
+  size_t invalidations_ = 0;
+};
+
+}  // namespace tetris
+
+#endif  // TETRIS_SERVER_RESULT_CACHE_H_

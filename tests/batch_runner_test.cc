@@ -7,11 +7,13 @@
 #include "engine/batch_runner.h"
 
 #include <algorithm>
+#include <chrono>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "engine/cost_model.h"
+#include "engine/index_cache.h"
 #include "engine/parallel_executor.h"
 #include "workload/generators.h"
 
@@ -198,6 +200,164 @@ TEST(BatchRunnerTest, RejectsForeignRelationsAndBadDepth) {
       RunBatch({}, inst.queries, EngineKind::kTetrisPreloaded, {});
   EXPECT_TRUE(inferred.ok) << inferred.error;
   EXPECT_EQ(inferred.stats.relations, 3u);
+}
+
+TEST(BatchRunnerTest, AttributedTimesNeverExceedTheBatchWall) {
+  // Pre-fix regression: per-query wall_ms summed the wall clock of every
+  // shard task, so tasks overlapping on a multi-worker pool attributed
+  // more time than the batch actually spent (one query fanned out to 8
+  // shards on 4 workers read as ~4x the batch wall). Attribution must
+  // split the execution wall by task-time share instead: every query's
+  // attributed time <= the batch wall, and so does their sum.
+  BatchInstance inst = RepeatedTriangleBatch(/*count=*/2,
+                                             /*tuples_per_rel=*/200,
+                                             /*d=*/8, /*seed=*/41);
+  WorkStealingPool pool(4);
+  BatchOptions opts;
+  opts.shards = 8;
+  opts.executor = &pool;
+  BatchResult batch =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(batch.ok) << batch.error;
+  // Generous slack for timer noise; the pre-fix inflation was ~Nx the
+  // wall, far beyond it.
+  const double bound = 1.05 * batch.stats.wall_ms + 0.5;
+  double sum = 0.0;
+  for (const EngineResult& r : batch.results) {
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_LE(r.stats.wall_ms, bound);
+    sum += r.stats.wall_ms;
+  }
+  EXPECT_LE(batch.stats.sum_query_ms, bound);
+  EXPECT_NEAR(batch.stats.sum_query_ms, sum, 1e-6);
+  // cpu_ms is the RAW task occupancy — the quantity the old code leaked
+  // into per-query walls — and still exists for parallelism readings.
+  EXPECT_GT(batch.stats.cpu_ms, 0.0);
+  EXPECT_GE(batch.stats.tasks, 2u);
+}
+
+TEST(BatchRunnerTest, SharedIndexCachePersistsAcrossCalls) {
+  BatchInstance inst = RepeatedTriangleBatch(/*count=*/2,
+                                             /*tuples_per_rel=*/60,
+                                             /*d=*/5, /*seed=*/43);
+  IndexCache cache;
+  BatchOptions opts;
+  opts.index_cache = &cache;
+  BatchResult first =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(first.ok) << first.error;
+  EXPECT_EQ(first.stats.indexes_built, 3u);
+  EXPECT_EQ(cache.entries(), 3u);
+
+  // The second call draws every base index from the warm cache: zero
+  // builds, hits instead, identical tuples.
+  BatchResult second =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(second.ok) << second.error;
+  EXPECT_EQ(second.stats.indexes_built, 0u);
+  EXPECT_GT(second.stats.index_cache_hits, 0u);
+  EXPECT_GT(second.stats.index_bytes, 0u);
+  EXPECT_NE(second.note.find("index cache hit"), std::string::npos)
+      << second.note;
+  ASSERT_EQ(second.results.size(), first.results.size());
+  for (size_t i = 0; i < first.results.size(); ++i) {
+    EXPECT_EQ(first.results[i].tuples, second.results[i].tuples);
+  }
+  EXPECT_EQ(cache.builds(), 3u);
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(BatchRunnerTest, PerQueryOrderHintsMatchSequentialRunJoin) {
+  BatchInstance inst = RepeatedTriangleBatch(/*count=*/2,
+                                             /*tuples_per_rel=*/50,
+                                             /*d=*/5, /*seed=*/47);
+  BatchOptions opts;
+  opts.orders = {{2, 0, 1}, {}};  // one hinted query, one default
+  BatchResult batch =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded, opts);
+  ASSERT_TRUE(batch.ok) << batch.error;
+  EngineOptions hinted;
+  hinted.order = {2, 0, 1};
+  const EngineResult seq0 =
+      RunJoin(inst.queries[0], EngineKind::kTetrisPreloaded, hinted);
+  const EngineResult seq1 =
+      RunJoin(inst.queries[1], EngineKind::kTetrisPreloaded);
+  ASSERT_TRUE(batch.results[0].ok) << batch.results[0].error;
+  ASSERT_TRUE(batch.results[1].ok) << batch.results[1].error;
+  EXPECT_EQ(batch.results[0].tuples, seq0.tuples);
+  EXPECT_EQ(batch.results[1].tuples, seq1.tuples);
+}
+
+TEST(BatchRunnerTest, OrderHintValidationMirrorsRunJoin) {
+  BatchInstance inst = RepeatedTriangleBatch(/*count=*/2,
+                                             /*tuples_per_rel=*/30,
+                                             /*d=*/5, /*seed=*/53);
+  // Wrong arity at the batch level: one entry per query or none.
+  BatchOptions mismatched;
+  mismatched.orders = {{0, 1, 2}};
+  BatchResult bad =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded,
+               mismatched);
+  EXPECT_FALSE(bad.ok);
+  EXPECT_NE(bad.error.find("orders"), std::string::npos) << bad.error;
+
+  // A non-permutation hint fails ITS query, not the batch.
+  BatchOptions bad_hint;
+  bad_hint.orders = {{0, 0, 1}, {}};
+  BatchResult partial =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded,
+               bad_hint);
+  ASSERT_TRUE(partial.ok) << partial.error;
+  EXPECT_FALSE(partial.results[0].ok);
+  EXPECT_NE(partial.results[0].error.find("permutation"), std::string::npos)
+      << partial.results[0].error;
+  EXPECT_TRUE(partial.results[1].ok) << partial.results[1].error;
+
+  // Balance-lifted variants choose their own SAO: any hint is an error,
+  // exactly like RunJoin's contract.
+  BatchOptions lb_hint;
+  lb_hint.orders = {{0, 1, 2}, {}};
+  BatchResult lb =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloadedLB,
+               lb_hint);
+  ASSERT_TRUE(lb.ok) << lb.error;
+  EXPECT_FALSE(lb.results[0].ok);
+  EXPECT_NE(lb.results[0].error.find("SAO"), std::string::npos)
+      << lb.results[0].error;
+  EXPECT_TRUE(lb.results[1].ok) << lb.results[1].error;
+}
+
+TEST(BatchRunnerTest, ExpiredDeadlineFailsQueriesNotTheBatch) {
+  BatchInstance inst = RepeatedTriangleBatch(/*count=*/3,
+                                             /*tuples_per_rel=*/40,
+                                             /*d=*/5, /*seed=*/59);
+  BatchOptions expired;
+  expired.deadline =
+      std::chrono::steady_clock::now() - std::chrono::seconds(1);
+  BatchResult batch =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded,
+               expired);
+  ASSERT_TRUE(batch.ok) << batch.error;  // structural ok; per-query fail
+  for (const EngineResult& r : batch.results) {
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("deadline exceeded"), std::string::npos)
+        << r.error;
+  }
+  EXPECT_NE(batch.note.find("deadline"), std::string::npos) << batch.note;
+
+  // A generous deadline changes nothing.
+  BatchOptions generous;
+  generous.deadline =
+      std::chrono::steady_clock::now() + std::chrono::minutes(5);
+  BatchResult fine =
+      RunBatch(inst.pool, inst.queries, EngineKind::kTetrisPreloaded,
+               generous);
+  ASSERT_TRUE(fine.ok) << fine.error;
+  for (size_t i = 0; i < fine.results.size(); ++i) {
+    ASSERT_TRUE(fine.results[i].ok) << fine.results[i].error;
+    EXPECT_EQ(fine.results[i].tuples,
+              RunJoin(inst.queries[i], EngineKind::kTetrisPreloaded).tuples);
+  }
 }
 
 TEST(BatchRunnerTest, EmptyBatchIsTriviallyOk) {

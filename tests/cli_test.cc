@@ -306,6 +306,63 @@ TEST(CliTest, ParseHarnessArgsShardingBadValuesFail) {
   }
 }
 
+TEST(CliTest, ParseU64FullStringWithOverflowRejection) {
+  uint64_t v = 0;
+  EXPECT_TRUE(ParseU64("0", &v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(ParseU64("18446744073709551615", &v));  // UINT64_MAX exactly
+  EXPECT_EQ(v, UINT64_MAX);
+  // One past the top and the 21-digit regression value must fail —
+  // strtoull alone would clamp/wrap instead of reporting.
+  EXPECT_FALSE(ParseU64("18446744073709551616", &v));
+  EXPECT_FALSE(ParseU64("999999999999999999999", &v));
+  // Junk, sign characters, and trailing garbage.
+  for (const char* bad : {"", "abc", "12x", "-3", "+4", " 12", "0x10"}) {
+    EXPECT_FALSE(ParseU64(bad, &v)) << bad;
+  }
+}
+
+TEST(CliTest, ParseByteCountSuffixesAndOverflowRejection) {
+  struct Case {
+    const char* text;
+    uint64_t bytes;
+  };
+  for (const Case& c :
+       {Case{"0", 0u}, Case{"65536", 65536u}, Case{"512K", 512u << 10},
+        Case{"64MB", 64u << 20}, Case{"2g", 2ull << 30},
+        Case{"16kb", 16u << 10}, Case{"1B", 1u},
+        // The largest byte counts each suffix can express.
+        Case{"18446744073709551615", UINT64_MAX},
+        Case{"17179869183G", 17179869183ull << 30}}) {
+    uint64_t v = 0;
+    EXPECT_TRUE(ParseByteCount(c.text, &v)) << c.text;
+    EXPECT_EQ(v, c.bytes) << c.text;
+  }
+  // The named regressions: a digit string past UINT64_MAX, and a value
+  // that only overflows after the suffix scales it. Both must be
+  // rejected, never silently wrapped into a small capacity.
+  uint64_t v = 0;
+  EXPECT_FALSE(ParseByteCount("999999999999999999999", &v));
+  EXPECT_FALSE(ParseByteCount("18446744073709551615G", &v));
+  EXPECT_FALSE(ParseByteCount("17179869184G", &v));  // one unit past max
+  EXPECT_FALSE(ParseByteCount("18014398509481984K", &v));
+  for (const char* bad :
+       {"", "K", "-5", "64X", "9T", "12 K", "1MM", "0x1M"}) {
+    EXPECT_FALSE(ParseByteCount(bad, &v)) << bad;
+  }
+}
+
+TEST(CliTest, FlagValueMatchesExactPrefixForm) {
+  std::string value;
+  EXPECT_TRUE(FlagValue("--cache-bytes=64M", "--cache-bytes", &value));
+  EXPECT_EQ(value, "64M");
+  EXPECT_TRUE(FlagValue("--x=", "--x", &value));
+  EXPECT_EQ(value, "");
+  EXPECT_FALSE(FlagValue("--cache-bytes", "--cache-bytes", &value));
+  EXPECT_FALSE(FlagValue("--cache-bytes-extra=1", "--cache-bytes", &value));
+  EXPECT_FALSE(FlagValue("--other=1", "--cache-bytes", &value));
+}
+
 TEST(CliTest, RunEnginesParallelMatchesSequentialSweep) {
   QueryInstance q = RandomTriangle(/*tuples_per_rel=*/40, /*d=*/4,
                                    /*seed=*/6);

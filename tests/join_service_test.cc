@@ -1,0 +1,320 @@
+// The resident join service (server/join_service.h): admission
+// control, snapshot pinning under concurrent mutations, result-cache
+// correctness (cached == uncached on every engine; epoch bumps make
+// stale entries unreachable), per-query deadlines, and the per-query
+// error shape (failures ride in result->ok/error, like BatchResult).
+#include "server/join_service.h"
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+// Registers the canonical triangle pool {R(A,B), S(B,C), T(A,C)}.
+void RegisterRandomTriangle(JoinService* service, size_t tuples, int d,
+                            uint64_t seed) {
+  const struct {
+    const char* name;
+    const char* a;
+    const char* b;
+  } specs[] = {{"R", "A", "B"}, {"S", "B", "C"}, {"T", "A", "C"}};
+  uint64_t s = seed;
+  for (const auto& spec : specs) {
+    std::string error;
+    ASSERT_TRUE(service->Register(
+        RandomRelation(spec.name, {spec.a, spec.b}, tuples, d, ++s), &error))
+        << error;
+  }
+}
+
+QueryRequest Triangle(EngineKind kind) {
+  QueryRequest q;
+  q.relations = {"R", "S", "T"};
+  q.engine = kind;
+  return q;
+}
+
+TEST(JoinServiceTest, CachedMatchesUncachedAcrossAllEngines) {
+  JoinService service;
+  RegisterRandomTriangle(&service, /*tuples=*/40, /*d=*/5, /*seed=*/3);
+  for (EngineKind kind : AllEngineKinds()) {
+    SCOPED_TRACE(EngineKindName(kind));
+    const QueryRequest query = Triangle(kind);
+    const QueryResponse cold = service.Execute(query);
+    const QueryResponse hit = service.Execute(query);
+    QueryRequest fresh = query;
+    fresh.use_cache = false;
+    const QueryResponse uncached = service.Execute(fresh);
+    ASSERT_NE(cold.result, nullptr);
+    EXPECT_EQ(cold.result->ok, uncached.result->ok)
+        << uncached.result->error;
+    if (!cold.result->ok) continue;  // the engine rejects this shape
+    EXPECT_FALSE(cold.cache_hit);
+    EXPECT_TRUE(hit.cache_hit);
+    EXPECT_FALSE(uncached.cache_hit);
+    EXPECT_EQ(hit.result->tuples, uncached.result->tuples);
+    EXPECT_EQ(cold.result->tuples, uncached.result->tuples);
+  }
+}
+
+TEST(JoinServiceTest, EpochBumpMakesStaleEntriesUnreachable) {
+  JoinService service;
+  std::string error;
+  // A one-triangle instance whose output we control exactly:
+  // R(1,2) ⋈ S(2,3) ⋈ T(3,1) closes, so the join has one tuple.
+  ASSERT_TRUE(service.Register(
+      Relation::Make("R", {"A", "B"}, {{1, 2}}), &error)) << error;
+  ASSERT_TRUE(service.Register(
+      Relation::Make("S", {"B", "C"}, {{2, 3}}), &error)) << error;
+  ASSERT_TRUE(service.Register(
+      Relation::Make("T", {"C", "A"}, {{3, 1}}), &error)) << error;
+
+  const QueryRequest query = Triangle(EngineKind::kTetrisPreloaded);
+  const QueryResponse one = service.Execute(query);
+  ASSERT_TRUE(one.result->ok) << one.result->error;
+  EXPECT_EQ(one.result->tuples.size(), 1u);
+  EXPECT_TRUE(service.Execute(query).cache_hit);
+
+  // Replacing S breaks the triangle: the epoch bump means the next
+  // lookup computes a key no stale entry can match — the cached
+  // one-tuple result must never be served again.
+  ASSERT_TRUE(service.Replace(
+      Relation::Make("S", {"B", "C"}, {{2, 4}}), &error)) << error;
+  const QueryResponse zero = service.Execute(query);
+  EXPECT_FALSE(zero.cache_hit);
+  ASSERT_TRUE(zero.result->ok) << zero.result->error;
+  EXPECT_EQ(zero.result->tuples.size(), 0u);
+  EXPECT_GT(zero.epoch, one.epoch);
+  EXPECT_TRUE(service.Execute(query).cache_hit);  // new version re-cached
+
+  // Appending the closing tuple restores the join through yet another
+  // epoch; the empty cached result is equally unreachable.
+  ASSERT_TRUE(service.Append("S", {{2, 3}}, &error)) << error;
+  const QueryResponse two = service.Execute(query);
+  EXPECT_FALSE(two.cache_hit);
+  ASSERT_TRUE(two.result->ok) << two.result->error;
+  EXPECT_EQ(two.result->tuples.size(), 1u);
+  EXPECT_GT(service.cache().invalidations(), 0u);
+}
+
+TEST(JoinServiceTest, OrderHintStaysOutOfTheCacheKeyButReachesTheEngine) {
+  JoinService service;
+  RegisterRandomTriangle(&service, /*tuples=*/30, /*d=*/5, /*seed=*/7);
+  const QueryRequest plain = Triangle(EngineKind::kTetrisPreloaded);
+  ASSERT_TRUE(service.Execute(plain).result->ok);
+
+  // An order hint steers traversal, never the tuple set — so it is
+  // deliberately NOT part of the key and hits the plain entry.
+  QueryRequest hinted = plain;
+  hinted.order = {2, 0, 1};
+  const QueryResponse hit = service.Execute(hinted);
+  EXPECT_TRUE(hit.cache_hit);
+
+  // Off the cache path the hint reaches the engine, including its
+  // validation: a non-permutation is a per-query error.
+  QueryRequest bad = hinted;
+  bad.use_cache = false;
+  bad.order = {0, 0, 1};
+  const QueryResponse rejected = service.Execute(bad);
+  EXPECT_FALSE(rejected.result->ok);
+  EXPECT_NE(rejected.result->error.find("order"), std::string::npos)
+      << rejected.result->error;
+  // And a valid hint produces the same tuples as no hint.
+  QueryRequest good = hinted;
+  good.use_cache = false;
+  QueryRequest base = plain;
+  base.use_cache = false;
+  EXPECT_EQ(service.Execute(good).result->tuples,
+            service.Execute(base).result->tuples);
+}
+
+TEST(JoinServiceTest, PerQueryErrorsDoNotPoisonTheService) {
+  JoinService service;
+  RegisterRandomTriangle(&service, /*tuples=*/20, /*d=*/5, /*seed=*/11);
+  QueryRequest unknown;
+  unknown.relations = {"R", "Nope"};
+  const QueryResponse bad = service.Execute(unknown);
+  ASSERT_NE(bad.result, nullptr);
+  EXPECT_FALSE(bad.result->ok);
+  EXPECT_FALSE(bad.rejected);
+  EXPECT_NE(bad.result->error.find("unknown relation 'Nope'"),
+            std::string::npos)
+      << bad.result->error;
+
+  QueryRequest empty;
+  EXPECT_FALSE(service.Execute(empty).result->ok);
+
+  // Failures never land in the cache and never block later queries.
+  EXPECT_TRUE(service.Execute(Triangle(EngineKind::kLeapfrog)).result->ok);
+  EXPECT_EQ(service.inflight(), 0u);
+}
+
+TEST(JoinServiceTest, DeadlineExceededIsAPerQueryError) {
+  ServiceOptions options;
+  options.default_deadline_ms = 1e-6;  // effectively already expired
+  JoinService service(options);
+  RegisterRandomTriangle(&service, /*tuples=*/50, /*d=*/5, /*seed=*/13);
+
+  // The service default applies when the request carries none.
+  const QueryResponse expired =
+      service.Execute(Triangle(EngineKind::kTetrisPreloaded));
+  ASSERT_NE(expired.result, nullptr);
+  EXPECT_FALSE(expired.result->ok);
+  EXPECT_NE(expired.result->error.find("deadline exceeded"),
+            std::string::npos)
+      << expired.result->error;
+  EXPECT_FALSE(expired.rejected);  // admitted, then abandoned
+
+  // The failure was not cached: the same query fails again instead of
+  // being served a cached error.
+  const QueryResponse again =
+      service.Execute(Triangle(EngineKind::kTetrisPreloaded));
+  EXPECT_FALSE(again.result->ok);
+  EXPECT_FALSE(again.cache_hit);
+
+  // deadline_ms = 0 opts out of the default; a generous explicit
+  // deadline also passes. Both still produce correct tuples.
+  QueryRequest no_deadline = Triangle(EngineKind::kTetrisPreloaded);
+  no_deadline.deadline_ms = 0;
+  const QueryResponse ok = service.Execute(no_deadline);
+  ASSERT_TRUE(ok.result->ok) << ok.result->error;
+  QueryRequest generous = Triangle(EngineKind::kTetrisPreloaded);
+  generous.deadline_ms = 60000;
+  const QueryResponse also_ok = service.Execute(generous);
+  // (cache hit or fresh run — either way the deadline did not fire)
+  ASSERT_TRUE(also_ok.result->ok) << also_ok.result->error;
+  EXPECT_EQ(also_ok.result->tuples, ok.result->tuples);
+
+  // With the ok result cached, even a default-deadline query succeeds:
+  // the hit path never touches the engine, so there is nothing to
+  // abandon. Serving under deadline pressure is exactly what the cache
+  // is for.
+  const QueryResponse served =
+      service.Execute(Triangle(EngineKind::kTetrisPreloaded));
+  EXPECT_TRUE(served.cache_hit);
+  EXPECT_TRUE(served.result->ok);
+}
+
+TEST(JoinServiceTest, AdmissionRejectsOverTheInflightLimit) {
+  ServiceOptions options;
+  options.max_inflight = 1;
+  JoinService service(options);
+  // Big enough that the nested-loop run holds its admission slot for a
+  // while (~10^7 pair probes); the probe thread fires rejections into
+  // that window.
+  RegisterRandomTriangle(&service, /*tuples=*/3000, /*d=*/12, /*seed=*/17);
+
+  QueryRequest slow = Triangle(EngineKind::kPairwiseNestedLoop);
+  slow.use_cache = false;
+  std::atomic<bool> done{false};
+  std::thread worker([&]() {
+    const QueryResponse r = service.Execute(slow);
+    EXPECT_TRUE(r.result->ok) << r.result->error;
+    EXPECT_FALSE(r.rejected);
+    done.store(true);
+  });
+
+  bool saw_rejection = false;
+  while (!done.load() && !saw_rejection) {
+    if (service.inflight() == 0) continue;  // worker not admitted yet
+    QueryRequest probe = Triangle(EngineKind::kTetrisPreloaded);
+    const QueryResponse r = service.Execute(probe);
+    if (r.rejected) {
+      saw_rejection = true;
+      EXPECT_FALSE(r.result->ok);
+      EXPECT_NE(r.result->error.find("admission rejected"),
+                std::string::npos)
+          << r.result->error;
+    }
+  }
+  worker.join();
+  EXPECT_TRUE(saw_rejection);
+  EXPECT_GT(service.rejected(), 0u);
+
+  // The slot drains with the query: the same probe is admitted now.
+  EXPECT_EQ(service.inflight(), 0u);
+  EXPECT_FALSE(service.Execute(Triangle(EngineKind::kTetrisPreloaded))
+                   .rejected);
+  EXPECT_GT(service.admitted(), 0u);
+}
+
+TEST(JoinServiceTest, ZeroCacheBytesDisablesCaching) {
+  ServiceOptions options;
+  options.cache_bytes = 0;
+  JoinService service(options);
+  RegisterRandomTriangle(&service, /*tuples=*/30, /*d=*/5, /*seed=*/19);
+  const QueryRequest query = Triangle(EngineKind::kTetrisPreloaded);
+  const QueryResponse first = service.Execute(query);
+  const QueryResponse second = service.Execute(query);
+  ASSERT_TRUE(first.result->ok) << first.result->error;
+  EXPECT_FALSE(second.cache_hit);
+  EXPECT_EQ(first.result->tuples, second.result->tuples);
+  EXPECT_EQ(service.cache().entries(), 0u);
+}
+
+TEST(JoinServiceTest, SnapshotsStayConsistentUnderConcurrentMutations) {
+  // A writer alternates replace/append on S while readers execute
+  // cached and uncached triangle queries: every admitted query must
+  // complete ok over SOME pinned snapshot (never torn state, never a
+  // stale cache entry — the tuple count always matches one of the
+  // versions), and per-reader epochs never go backwards.
+  JoinService service;
+  RegisterRandomTriangle(&service, /*tuples=*/60, /*d=*/5, /*seed=*/23);
+  std::atomic<bool> readers_done{false};
+  std::thread writer([&]() {
+    // Mutate until every reader finished, so the mutation stream spans
+    // the readers' whole lifetime no matter how the scheduler slices
+    // the threads.
+    for (int k = 0; !readers_done.load(); ++k) {
+      std::string error;
+      if (k % 2 == 0) {
+        EXPECT_TRUE(service.Replace(
+            RandomRelation("S", {"B", "C"}, 60, 5,
+                           static_cast<uint64_t>(100 + k)), &error))
+            << error;
+      } else {
+        EXPECT_TRUE(service.Append(
+            "S", {{static_cast<uint64_t>(k % 32), 1}}, &error))
+            << error;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  std::atomic<size_t> queries{0};
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r]() {
+      uint64_t last_epoch = 0;
+      for (int i = 0; i < 40; ++i) {
+        QueryRequest query = Triangle(r == 0
+                                          ? EngineKind::kTetrisPreloaded
+                                          : EngineKind::kGenericJoin);
+        query.use_cache = (i % 2) == 0;
+        const QueryResponse resp = service.Execute(query);
+        ASSERT_NE(resp.result, nullptr);
+        EXPECT_TRUE(resp.result->ok) << resp.result->error;
+        EXPECT_GE(resp.epoch, last_epoch);
+        last_epoch = resp.epoch;
+        queries.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  readers_done.store(true);
+  writer.join();
+  EXPECT_EQ(queries.load(), 80u);
+  EXPECT_EQ(service.inflight(), 0u);
+  // With the service idle, the retired backlog drains completely.
+  service.registry().PurgeRetired();
+  EXPECT_EQ(service.registry().retired(), 0u);
+}
+
+}  // namespace
+}  // namespace tetris

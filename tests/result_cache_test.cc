@@ -1,0 +1,134 @@
+// The byte-capped LRU result cache (server/result_cache.h): hit/miss
+// accounting, LRU order under refreshes, relation-name invalidation,
+// and the zero-capacity / oversized-entry edge cases. Key *semantics*
+// (epoch stamps keeping stale entries unreachable) are covered in
+// join_service_test.cc — this suite tests the container itself.
+#include "server/result_cache.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace tetris {
+namespace {
+
+// A synthetic ok-result with `tuples` binary rows — enough payload for
+// EstimateBytes to be meaningfully nonzero.
+std::shared_ptr<const EngineResult> FakeResult(size_t tuples) {
+  auto r = std::make_shared<EngineResult>();
+  r->ok = true;
+  for (size_t i = 0; i < tuples; ++i) r->tuples.push_back(Tuple{i, i + 1});
+  return r;
+}
+
+TEST(ResultCacheTest, HitsMissesAndSharedOwnership) {
+  ResultCache cache(1u << 20);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  auto result = FakeResult(8);
+  cache.Put("k", {"R", "S"}, result);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.insertions(), 1u);
+  EXPECT_EQ(cache.bytes(), ResultCache::EstimateBytes(*result));
+
+  std::shared_ptr<const EngineResult> hit = cache.Get("k");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), result.get());  // shared, not copied
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  // Entries survive for holders after removal from the cache.
+  cache.Clear();
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.bytes(), 0u);
+  EXPECT_EQ(hit->tuples.size(), 8u);
+}
+
+TEST(ResultCacheTest, LruEvictionRespectsGetRefresh) {
+  // Capacity for exactly two identically-sized entries.
+  auto a = FakeResult(16);
+  auto b = FakeResult(16);
+  auto c = FakeResult(16);
+  const size_t one = ResultCache::EstimateBytes(*a);
+  ResultCache cache(2 * one);
+  cache.Put("a", {"R"}, a);
+  cache.Put("b", {"R"}, b);
+  EXPECT_EQ(cache.entries(), 2u);
+
+  // Touching "a" makes "b" the LRU victim when "c" needs room.
+  ASSERT_NE(cache.Get("a"), nullptr);
+  cache.Put("c", {"R"}, c);
+  EXPECT_EQ(cache.entries(), 2u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_LE(cache.bytes(), cache.capacity_bytes());
+}
+
+TEST(ResultCacheTest, InvalidateRelationFreesEveryTouchingEntry) {
+  ResultCache cache(1u << 20);
+  cache.Put("tri", {"R", "S", "T"}, FakeResult(4));
+  cache.Put("path", {"S", "T"}, FakeResult(4));
+  cache.Put("other", {"X"}, FakeResult(4));
+  EXPECT_EQ(cache.entries(), 3u);
+
+  EXPECT_EQ(cache.InvalidateRelation("S"), 2u);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_EQ(cache.invalidations(), 2u);
+  EXPECT_EQ(cache.Get("tri"), nullptr);
+  EXPECT_EQ(cache.Get("path"), nullptr);
+  EXPECT_NE(cache.Get("other"), nullptr);
+  // Invalidations are not LRU evictions.
+  EXPECT_EQ(cache.evictions(), 0u);
+  EXPECT_EQ(cache.InvalidateRelation("S"), 0u);
+}
+
+TEST(ResultCacheTest, ZeroCapacityDisablesCaching) {
+  ResultCache cache(0);
+  cache.Put("k", {"R"}, FakeResult(2));
+  EXPECT_EQ(cache.entries(), 0u);
+  EXPECT_EQ(cache.insertions(), 0u);
+  EXPECT_EQ(cache.Get("k"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST(ResultCacheTest, OversizedResultsAreNotCached) {
+  auto small = FakeResult(2);
+  auto big = FakeResult(4096);
+  ResultCache cache(ResultCache::EstimateBytes(*small) + 1);
+  cache.Put("big", {"R"}, big);
+  EXPECT_EQ(cache.entries(), 0u);
+  // A too-big Put must not evict what already fits.
+  cache.Put("small", {"R"}, small);
+  cache.Put("big", {"R"}, big);
+  EXPECT_EQ(cache.entries(), 1u);
+  EXPECT_NE(cache.Get("small"), nullptr);
+}
+
+TEST(ResultCacheTest, PutRefreshesAnExistingKey) {
+  ResultCache cache(1u << 20);
+  auto v1 = FakeResult(2);
+  auto v2 = FakeResult(32);
+  cache.Put("k", {"R"}, v1);
+  cache.Put("k", {"R"}, v2);
+  EXPECT_EQ(cache.entries(), 1u);
+  std::shared_ptr<const EngineResult> got = cache.Get("k");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got.get(), v2.get());
+  EXPECT_EQ(cache.bytes(), ResultCache::EstimateBytes(*v2));
+}
+
+TEST(ResultCacheTest, EstimateBytesGrowsWithPayload) {
+  auto empty = FakeResult(0);
+  auto big = FakeResult(1000);
+  const size_t base = ResultCache::EstimateBytes(*empty);
+  EXPECT_GT(base, 0u);  // bookkeeping overhead, never free
+  EXPECT_GE(ResultCache::EstimateBytes(*big), base + 1000 * 2 * 8);
+}
+
+}  // namespace
+}  // namespace tetris

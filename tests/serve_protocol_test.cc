@@ -1,0 +1,252 @@
+// The JSONL serving surface: the minimal JSON reader, the
+// request/response session loop (server/protocol.h), and the serve CLI
+// flag handling (server/serve_cli.h) including the byte-suffix cache
+// capacity and its overflow rejection.
+#include "server/protocol.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/serve_cli.h"
+
+namespace tetris {
+namespace {
+
+// --- the JSON reader -------------------------------------------------
+
+JsonValue Parse(const std::string& text) {
+  JsonValue v;
+  std::string error;
+  EXPECT_TRUE(ParseJson(text, &v, &error)) << text << ": " << error;
+  return v;
+}
+
+TEST(ServeProtocolTest, JsonParsesScalarsArraysAndObjects) {
+  EXPECT_EQ(Parse("null").type, JsonValue::Type::kNull);
+  EXPECT_TRUE(Parse("true").boolean);
+  EXPECT_FALSE(Parse("false").boolean);
+  EXPECT_DOUBLE_EQ(Parse("-2.5e2").number, -250.0);
+  EXPECT_EQ(Parse("\"a\\n\\\"b\\\"\"").string, "a\n\"b\"");
+
+  JsonValue arr = Parse(" [1, [2], {}] ");
+  ASSERT_EQ(arr.type, JsonValue::Type::kArray);
+  ASSERT_EQ(arr.array.size(), 3u);
+  EXPECT_DOUBLE_EQ(arr.array[0].number, 1.0);
+  EXPECT_EQ(arr.array[1].array.size(), 1u);
+  EXPECT_EQ(arr.array[2].type, JsonValue::Type::kObject);
+
+  JsonValue obj = Parse("{\"op\":\"query\",\"n\":3,\"flags\":[true,null]}");
+  ASSERT_EQ(obj.type, JsonValue::Type::kObject);
+  ASSERT_NE(obj.Find("op"), nullptr);
+  EXPECT_EQ(obj.Find("op")->string, "query");
+  EXPECT_DOUBLE_EQ(obj.Find("n")->number, 3.0);
+  EXPECT_EQ(obj.Find("flags")->array.size(), 2u);
+  EXPECT_EQ(obj.Find("missing"), nullptr);
+  // Find on a non-object is a null, not a crash.
+  EXPECT_EQ(arr.Find("op"), nullptr);
+}
+
+TEST(ServeProtocolTest, JsonRejectsMalformedInput) {
+  for (const char* bad :
+       {"", "{", "[1,", "{\"a\":}", "{\"a\" 1}", "tru", "\"unterminated",
+        "{\"a\":1} extra", "1 2", "{'a':1}", "[1 2]", "\"bad \\x escape\"",
+        "nan"}) {
+    JsonValue v;
+    std::string error;
+    EXPECT_FALSE(ParseJson(bad, &v, &error)) << bad;
+    EXPECT_FALSE(error.empty()) << bad;
+  }
+}
+
+// --- the session loop ------------------------------------------------
+
+// Runs `text` as one session against a fresh service, returning the
+// stats and leaving the emitted rows in *out.
+ServeSessionStats RunSession(const std::string& text, std::string* out,
+                             ServiceOptions options = {}) {
+  JoinService service(options);
+  std::istringstream in(text);
+  testing::internal::CaptureStdout();
+  ServeSessionStats stats =
+      RunServeSession(in, &service, cli::OutputFormat::kJsonl);
+  *out = testing::internal::GetCapturedStdout();
+  return stats;
+}
+
+TEST(ServeProtocolTest, SessionRegistersQueriesAndHitsTheCache) {
+  const std::string session =
+      "# a comment and a blank line are free\n"
+      "\n"
+      "{\"op\":\"register\",\"name\":\"R\",\"attrs\":[\"a\",\"b\"],"
+      "\"tuples\":[[1,2],[2,3]]}\n"
+      "{\"op\":\"register\",\"name\":\"S\",\"attrs\":[\"b\",\"c\"],"
+      "\"tuples\":[[2,5],[3,7]]}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\",\"S\"],\"scenario\":\"path\"}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\",\"S\"],\"scenario\":\"path\"}\n"
+      "{\"op\":\"stats\"}\n"
+      "{\"op\":\"shutdown\"}\n";
+  std::string out;
+  const ServeSessionStats stats = RunSession(session, &out);
+  EXPECT_EQ(stats.requests, 6u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_TRUE(stats.shutdown);
+
+  // Acks carry the epoch; the repeated query is served from the cache;
+  // stats is one structured row.
+  EXPECT_NE(out.find("\"row_type\":\"ack\",\"op\":\"register\","
+                     "\"name\":\"R\",\"epoch\":1"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"row_type\":\"run\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"scenario\":\"path\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"cache_hit\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"row_type\":\"stats\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"cache_hits\":1"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"row_type\":\"ack\",\"op\":\"shutdown\""),
+            std::string::npos)
+      << out;
+}
+
+TEST(ServeProtocolTest, SessionErrorsAreCountedAndNonFatal) {
+  const std::string session =
+      "this is not json\n"
+      "{\"op\":\"frobnicate\"}\n"
+      "{\"no_op\":1}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\"]}\n"
+      "{\"op\":\"register\",\"name\":\"R\",\"attrs\":[\"a\",\"b\"],"
+      "\"tuples\":[[1,2]]}\n"
+      "{\"op\":\"register\",\"name\":\"R\",\"attrs\":[\"a\",\"b\"]}\n"
+      "{\"op\":\"append\",\"name\":\"R\",\"tuples\":[[1,2,3]]}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\"]}\n";
+  std::string out;
+  const ServeSessionStats stats = RunSession(session, &out);
+  EXPECT_EQ(stats.requests, 8u);
+  // bad json, unknown op, missing op, unknown relation, duplicate
+  // register, arity-mismatched append — the final query still works.
+  EXPECT_EQ(stats.errors, 6u);
+  EXPECT_FALSE(stats.shutdown);  // ended by EOF, not shutdown
+  EXPECT_NE(out.find("\"row_type\":\"error\",\"op\":\"frobnicate\","
+                     "\"error\":\"unknown op\""),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("unknown relation 'R'"), std::string::npos) << out;
+  EXPECT_NE(out.find("already registered"), std::string::npos) << out;
+  EXPECT_NE(out.find("arity"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"row_type\":\"run\""), std::string::npos) << out;
+}
+
+TEST(ServeProtocolTest, SessionMutationsInvalidateAcrossEpochs) {
+  const std::string session =
+      "{\"op\":\"register\",\"name\":\"R\",\"attrs\":[\"a\",\"b\"],"
+      "\"tuples\":[[1,2]]}\n"
+      "{\"op\":\"register\",\"name\":\"S\",\"attrs\":[\"b\",\"c\"],"
+      "\"tuples\":[[2,3]]}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\",\"S\"],\"scenario\":\"q1\"}\n"
+      "{\"op\":\"replace\",\"name\":\"S\",\"attrs\":[\"b\",\"c\"],"
+      "\"tuples\":[[9,9]]}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\",\"S\"],\"scenario\":\"q2\"}\n"
+      "{\"op\":\"drop\",\"name\":\"S\"}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\",\"S\"],\"scenario\":\"q3\"}\n";
+  std::string out;
+  const ServeSessionStats stats = RunSession(session, &out);
+  EXPECT_EQ(stats.requests, 7u);
+  // Only q3 fails (S was dropped); q2 re-ran against the new version.
+  EXPECT_EQ(stats.errors, 1u);
+  EXPECT_NE(out.find("\"op\":\"replace\",\"name\":\"S\",\"epoch\":3"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("\"op\":\"drop\",\"name\":\"S\",\"epoch\":4"),
+            std::string::npos)
+      << out;
+  // q2 saw the replaced (empty-join) version, not the cached q1 result.
+  EXPECT_NE(out.find("\"scenario\":\"q2\""), std::string::npos) << out;
+  EXPECT_NE(out.find("\"tuples\":0"), std::string::npos) << out;
+}
+
+// --- the serve CLI ---------------------------------------------------
+
+// Builds a mutable argv from literals (RunServe rewrites it).
+class Argv {
+ public:
+  explicit Argv(std::vector<std::string> args) : storage_(std::move(args)) {
+    ptrs_.push_back(&prog_[0]);
+    for (auto& s : storage_) ptrs_.push_back(&s[0]);
+    ptrs_.push_back(nullptr);
+    argc_ = static_cast<int>(ptrs_.size()) - 1;
+  }
+  int argc() { return argc_; }
+  char** argv() { return ptrs_.data(); }
+
+ private:
+  char prog_[6] = "serve";
+  std::vector<std::string> storage_;
+  std::vector<char*> ptrs_;
+  int argc_ = 0;
+};
+
+// Writes a session file under the test temp dir and returns its path.
+std::string WriteSessionFile(const char* name, const std::string& text) {
+  const std::string path = testing::TempDir() + name;
+  std::ofstream f(path);
+  f << text;
+  EXPECT_TRUE(f.good());
+  return path;
+}
+
+TEST(ServeProtocolTest, RunServeReplaysASessionFile) {
+  const std::string path = WriteSessionFile(
+      "serve_ok.jsonl",
+      "{\"op\":\"register\",\"name\":\"R\",\"attrs\":[\"a\",\"b\"],"
+      "\"tuples\":[[1,2]]}\n"
+      "{\"op\":\"query\",\"relations\":[\"R\"]}\n"
+      "{\"op\":\"shutdown\"}\n");
+  Argv args({"--serve", "--max-inflight=2", "--deadline-ms=60000",
+             "--cache-bytes=1M", path});
+  testing::internal::CaptureStdout();
+  const int exit_code = cli::RunServe(args.argc(), args.argv());
+  const std::string out = testing::internal::GetCapturedStdout();
+  EXPECT_EQ(exit_code, 0) << out;
+  EXPECT_NE(out.find("\"row_type\":\"run\""), std::string::npos) << out;
+  std::remove(path.c_str());
+}
+
+TEST(ServeProtocolTest, RunServeExitCodesFollowTheSession) {
+  const std::string path = WriteSessionFile(
+      "serve_err.jsonl", "{\"op\":\"query\",\"relations\":[\"R\"]}\n");
+  Argv args({path});
+  testing::internal::CaptureStdout();
+  const int exit_code = cli::RunServe(args.argc(), args.argv());
+  testing::internal::GetCapturedStdout();
+  EXPECT_EQ(exit_code, 1);  // the unknown-relation error row
+  std::remove(path.c_str());
+}
+
+TEST(ServeProtocolTest, RunServeRejectsBadFlags) {
+  // Overflowing byte counts — the named ParseByteCount regressions —
+  // and junk values must fail flag parsing (exit 2), not wrap silently.
+  for (const char* bad :
+       {"--cache-bytes=18446744073709551615G",
+        "--cache-bytes=999999999999999999999", "--cache-bytes=64X",
+        "--max-inflight=lots", "--max-inflight=-1", "--deadline-ms=soon",
+        "--deadline-ms=-5"}) {
+    Argv args({bad});
+    testing::internal::CaptureStdout();
+    const int exit_code = cli::RunServe(args.argc(), args.argv());
+    testing::internal::GetCapturedStdout();
+    EXPECT_EQ(exit_code, 2) << bad;
+  }
+  // A missing session file is a startup failure, not a session error.
+  Argv missing({"/nonexistent/session.jsonl"});
+  testing::internal::CaptureStdout();
+  const int exit_code = cli::RunServe(missing.argc(), missing.argv());
+  testing::internal::GetCapturedStdout();
+  EXPECT_EQ(exit_code, 2);
+}
+
+}  // namespace
+}  // namespace tetris
