@@ -2,9 +2,10 @@
 """Perf-smoke harness: quick benchmark runs, a machine-readable result
 file, and a ratio-based regression gate.
 
-Runs bench_micro, bench_sharding, bench_batching, and bench_serving in
-quick modes, collects per-bench wall time, peak resident bytes, batch
-throughput, and service cache-hit rates into a BENCH JSON file, and
+Runs bench_micro, bench_sharding, bench_batching, bench_serving, and
+bench_incremental in quick modes, collects per-bench wall time, peak
+resident bytes, batch throughput, service cache-hit rates, and
+incremental patched-vs-scratch ratios into a BENCH JSON file, and
 (when given a baseline) fails on any metric that regressed by more than
 --max-regression (default 25%). A metric the baseline tracks but the PR
 run did not produce also fails the gate.
@@ -217,6 +218,39 @@ def collect(build_dir, cal):
             metrics["bench_serving.closed_loop_qps"] = {
                 "value": row.get("value", 0.0) * cal,
                 "unit": "q/cal", "direction": "higher"}
+
+    # bench_incremental: patched re-evaluation vs from-scratch, gated by
+    # the differential oracle. exit_ok carries the oracle verdict and
+    # the strictly-fewer-shards acceptance; the shard re-run fraction is
+    # a deterministic plan property worth gating directly. The raw
+    # patched speedup is deliberately NOT a metric — on a loaded 1-core
+    # runner the scratch/patched ratio swings too much; exit_ok already
+    # enforces the structural acceptance.
+    out, wall, rc = run([
+        os.path.join(bench, "bench_incremental"),
+        "--engine=tetris-preloaded", "--size=200", "--format=jsonl",
+    ], allow_fail=True)
+    metrics["bench_incremental.exit_ok"] = {
+        "value": 1.0 if rc == 0 else 0.0, "unit": "bool",
+        "direction": "higher"}
+    metrics["bench_incremental.proc_wall"] = {
+        "value": wall / cal, "unit": "cal", "direction": "lower"}
+    for row in jsonl_rows(out):
+        if row.get("row_type") != "summary":
+            continue
+        metric = row.get("metric")
+        if metric == "tetris-preloaded_small_delta_rerun_frac":
+            metrics["bench_incremental.small_delta_rerun_frac"] = {
+                "value": row.get("value", 0.0), "unit": "frac",
+                "direction": "lower"}
+        elif metric == "cache_survivals":
+            metrics["bench_incremental.cache_survivals"] = {
+                "value": row.get("value", 0.0), "unit": "count",
+                "direction": "higher"}
+        elif metric == "engines_incremental_verified":
+            metrics["bench_incremental.engines_verified"] = {
+                "value": row.get("value", 0.0), "unit": "count",
+                "direction": "higher"}
     return metrics
 
 

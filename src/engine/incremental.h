@@ -1,0 +1,99 @@
+// Delta-driven incremental join maintenance over the dyadic grid.
+//
+// KhamisNRR15's geometric decomposition localizes the effect of a
+// relation delta exactly: a changed tuple t of relation R can only
+// create or destroy output points p whose projection onto R's attribute
+// binding equals t — i.e. points inside the dyadic box with Unit(t[c])
+// at every dimension the atom binds and λ elsewhere. Everything outside
+// the union of those "touched" boxes is provably unchanged:
+//
+//   * an ADDED tuple can only create output points it participates in,
+//     all of which lie in its touched box;
+//   * a REMOVED tuple can only destroy output points whose R-projection
+//     was that tuple — again all inside its touched box.
+//
+// PatchJoin exploits this through the existing dyadic-prefix shard
+// decomposition (engine/shard_planner.h): plan the output space into
+// disjoint subcubes, re-run ONLY the shards whose box intersects a
+// touched box (through the same shard primitives a full sharded run
+// uses — zero-copy IndexViews for the Tetris family, lazy materialized
+// copies for the baselines, scheduled on the work-stealing executor),
+// and splice the fresh shard outputs into the previous result: old
+// tuples inside a re-run box are dropped (the re-run recomputes that
+// box exactly), old tuples outside every re-run box are kept. The
+// splice is correct for inserts AND deletes, including delete-
+// everything: every destroyed output point lies in a touched box, so
+// its shard is re-run and returns without it.
+//
+// The correctness oracle is cheap and the tests lean on it hard
+// (tests/incremental_oracle.h): recompute from scratch and compare
+// tuples, the same pattern as the sharded == unsharded suites.
+#ifndef TETRIS_ENGINE_INCREMENTAL_H_
+#define TETRIS_ENGINE_INCREMENTAL_H_
+
+#include <string>
+#include <vector>
+
+#include "engine/join_engine.h"
+#include "geometry/dyadic_box.h"
+#include "query/join_query.h"
+#include "relation/relation.h"
+
+namespace tetris {
+
+/// How one changed tuple touches the output space through one atom.
+enum class TupleTouch {
+  kNone,        ///< repeated query variables disagree — touches nothing
+  kBox,         ///< the unit-projection box written to *out
+  kEverything,  ///< a value outside the depth-`depth` grid — the delta
+                ///< changes the servable world; treat conservatively
+};
+
+/// The touched output box of tuple `t` through an atom binding relation
+/// columns to query attributes `var_ids` (Atom::var_ids semantics), in
+/// a `num_attrs`-dimensional depth-`depth` output space. kBox writes
+/// the box (unit intervals at bound dimensions, λ elsewhere) to *out.
+TupleTouch TouchedBoxOfTuple(const std::vector<int>& var_ids, int num_attrs,
+                             int depth, const Tuple& t, DyadicBox* out);
+
+/// The deduplicated touched output boxes of a delta to relation
+/// `rel_name`: one box per (atom over rel_name, changed tuple), with
+/// kNone contributions skipped. Any kEverything contribution collapses
+/// the result to the single universal box. `changed` is the effective
+/// delta — added and removed tuples alike (both localize identically).
+std::vector<DyadicBox> TouchedOutputBoxes(const JoinQuery& query, int depth,
+                                          const std::string& rel_name,
+                                          const std::vector<Tuple>& changed);
+
+/// Outcome of one patch run.
+struct PatchResult {
+  /// The patched join result; `ok == false` carries the engine error
+  /// (same contract as RunJoin). Tuples are sorted and deduplicated.
+  EngineResult result;
+  size_t shards_total = 0;  ///< shards in the plan
+  size_t shards_rerun = 0;  ///< shards intersecting a touched box
+  size_t tuples_kept = 0;     ///< old tuples outside every re-run box
+  size_t tuples_patched = 0;  ///< fresh tuples from the re-run shards
+  /// True when the patch degenerated to a full RunJoin (a universal
+  /// touched box, a shard failure, or a query the planner cannot split).
+  bool full_recompute = false;
+  std::string note;  ///< human-readable patch diagnostics
+};
+
+/// Patches `old_tuples` — the join of `query`'s relations BEFORE the
+/// delta — into the join of `query`'s (current) relations, re-running
+/// only the shards whose subcube intersects a touched box. `query` must
+/// be built over the post-delta relation versions; `touched` comes from
+/// TouchedOutputBoxes over every delta since `old_tuples` was computed.
+/// An empty `touched` returns `old_tuples` unchanged without planning.
+/// Options follow RunJoin semantics (order hint, depth, shard count,
+/// memory budget, executor); engines that cannot evaluate the query
+/// fail the same way RunJoin does. Never throws.
+PatchResult PatchJoin(const JoinQuery& query, EngineKind kind,
+                      const EngineOptions& options,
+                      const std::vector<Tuple>& old_tuples,
+                      const std::vector<DyadicBox>& touched);
+
+}  // namespace tetris
+
+#endif  // TETRIS_ENGINE_INCREMENTAL_H_

@@ -31,6 +31,18 @@ inline bool IntersectBoxes(const DyadicBox& a, const DyadicBox& b,
   return true;
 }
 
+/// True iff `box` intersects at least one box of `boxes` — the touched-
+/// subcube test of the incremental layer (engine/incremental.h): a
+/// shard (or a cached result's output space) is affected by a delta iff
+/// it meets one of the delta's touched boxes.
+inline bool IntersectsAny(const DyadicBox& box,
+                          const std::vector<DyadicBox>& boxes) {
+  for (const DyadicBox& b : boxes) {
+    if (box.Intersects(b)) return true;
+  }
+  return false;
+}
+
 /// The maximal dyadic interval that contains `probe` and is disjoint from
 /// `restrict_iv`: the sibling of restrict_iv's path at the first bit where
 /// probe diverges from it. Returns false iff the two intervals are

@@ -5,7 +5,10 @@
 #include <utility>
 
 #include "engine/batch_runner.h"
+#include "engine/cost_model.h"
+#include "engine/incremental.h"
 #include "engine/parallel_executor.h"
+#include "engine/shard_planner.h"
 #include "query/join_query.h"
 
 namespace tetris {
@@ -21,6 +24,23 @@ std::shared_ptr<const EngineResult> FailedResult(EngineKind kind,
 }
 
 }  // namespace
+
+// RAII admission bookkeeping: always undoes the inflight_ count, and —
+// once a slot was actually taken — releases it and wakes one waiter.
+struct AdmissionSlot {
+  JoinService* service;
+  bool slotted = false;
+  ~AdmissionSlot() {
+    if (slotted) {
+      {
+        std::lock_guard<std::mutex> lock(service->admit_mu_);
+        --service->running_;
+      }
+      service->admit_cv_.notify_one();
+    }
+    service->inflight_.fetch_sub(1);
+  }
+};
 
 JoinService::JoinService(ServiceOptions options)
     : options_(options), cache_(options.cache_bytes) {}
@@ -41,12 +61,31 @@ bool JoinService::Replace(Relation rel, std::string* error) {
   return true;
 }
 
-bool JoinService::Append(const std::string& name,
-                         const std::vector<Tuple>& tuples,
-                         std::string* error) {
-  if (!registry_.Append(name, tuples, error)) return false;
-  cache_.InvalidateRelation(name);
+bool JoinService::AppendRows(const std::string& name,
+                             const std::vector<Tuple>& tuples,
+                             std::string* error, RelationDelta* delta) {
+  RelationDelta d;
+  if (!registry_.AppendRows(name, tuples, error, &d)) return false;
+  // Delta-precise: entries disjoint from the effective delta survive
+  // (restamped to the new epoch), intersecting ones become patch bases.
+  std::vector<Tuple> changed = d.added;
+  changed.insert(changed.end(), d.removed.begin(), d.removed.end());
+  cache_.InvalidateDelta(name, changed, d.to_epoch);
   registry_.PurgeRetired();
+  if (delta != nullptr) *delta = std::move(d);
+  return true;
+}
+
+bool JoinService::DeleteRows(const std::string& name,
+                             const std::vector<Tuple>& tuples,
+                             std::string* error, RelationDelta* delta) {
+  RelationDelta d;
+  if (!registry_.DeleteRows(name, tuples, error, &d)) return false;
+  std::vector<Tuple> changed = d.added;
+  changed.insert(changed.end(), d.removed.begin(), d.removed.end());
+  cache_.InvalidateDelta(name, changed, d.to_epoch);
+  registry_.PurgeRetired();
+  if (delta != nullptr) *delta = std::move(d);
   return true;
 }
 
@@ -55,6 +94,19 @@ bool JoinService::Drop(const std::string& name, std::string* error) {
   cache_.InvalidateRelation(name);
   registry_.PurgeRetired();
   return true;
+}
+
+size_t JoinService::PredictPeakBytes(const QueryRequest& request) const {
+  const RegistrySnapshot snap = registry_.Snap();
+  size_t payload = 0;
+  for (const std::string& name : request.relations) {
+    const RelationVersion* v = snap.Find(name);
+    if (v == nullptr) continue;  // resolution fails later, with its own error
+    payload += EstimateAtomBytes(v->rel->tuples().size(), v->rel->arity());
+  }
+  ShardCostModel model;
+  model.family = EngineFamilyOf(request.engine);
+  return model.EstimatePeak(payload);
 }
 
 QueryResponse JoinService::Execute(const QueryRequest& request) {
@@ -67,26 +119,77 @@ QueryResponse JoinService::Execute(const QueryRequest& request) {
     return resp;
   };
 
-  // 1. Admission. fetch_add first so concurrent racers see each other;
-  // over the limit means hand back a rejection NOW rather than queue
-  // without bound — the caller can retry, shed, or re-plan.
-  const size_t prior = inflight_.fetch_add(1);
-  if (options_.max_inflight > 0 && prior >= options_.max_inflight) {
-    inflight_.fetch_sub(1);
-    rejected_.fetch_add(1);
-    resp.rejected = true;
-    resp.result = FailedResult(
-        request.engine,
-        "admission rejected: " + std::to_string(prior) +
-            " queries in flight (max " +
-            std::to_string(options_.max_inflight) + ")");
-    return finish();
+  const double deadline_ms = request.deadline_ms < 0
+                                 ? options_.default_deadline_ms
+                                 : request.deadline_ms;
+  std::chrono::steady_clock::time_point deadline{};
+  if (deadline_ms > 0) {
+    deadline =
+        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double, std::milli>(deadline_ms));
+  }
+
+  // 1. Admission. Over the concurrency limit a query queues (bounded by
+  // max_queued, deadline honored while waiting) unless it sheds first:
+  // the queue is full, or its predicted peak cost marks it as the kind
+  // of query that would hold an execution slot longest.
+  inflight_.fetch_add(1);
+  AdmissionSlot slot{this};
+  if (options_.max_inflight > 0) {
+    // Predict before taking admit_mu_ — the estimate snapshots the
+    // registry, and holding the admission lock across that would stall
+    // every releasing query.
+    const size_t predicted =
+        (options_.max_queued > 0 && options_.shed_cost_bytes > 0)
+            ? PredictPeakBytes(request)
+            : 0;
+    std::unique_lock<std::mutex> lock(admit_mu_);
+    if (running_ >= options_.max_inflight) {
+      auto reject = [&](std::string why) -> QueryResponse& {
+        rejected_.fetch_add(1);
+        resp.rejected = true;
+        resp.result = FailedResult(request.engine, std::move(why));
+        return finish();
+      };
+      if (options_.max_queued == 0) {
+        return reject("admission rejected: " + std::to_string(running_) +
+                      " queries in flight (max " +
+                      std::to_string(options_.max_inflight) + ")");
+      }
+      if (waiting_ >= options_.max_queued) {
+        return reject("admission rejected: queue full (" +
+                      std::to_string(waiting_) + " waiting, max " +
+                      std::to_string(options_.max_queued) + ")");
+      }
+      if (options_.shed_cost_bytes > 0 &&
+          predicted > options_.shed_cost_bytes) {
+        shed_.fetch_add(1);
+        return reject("admission shed: predicted peak " +
+                      std::to_string(predicted) + " bytes > threshold " +
+                      std::to_string(options_.shed_cost_bytes));
+      }
+      resp.queued = true;
+      queued_.fetch_add(1);
+      ++waiting_;
+      const auto have_slot = [this] {
+        return running_ < options_.max_inflight;
+      };
+      bool got = true;
+      if (deadline_ms > 0) {
+        got = admit_cv_.wait_until(lock, deadline, have_slot);
+      } else {
+        admit_cv_.wait(lock, have_slot);
+      }
+      --waiting_;
+      if (!got) {
+        return reject("admission rejected: deadline expired after " +
+                      std::to_string(deadline_ms) + " ms queued");
+      }
+    }
+    ++running_;
+    slot.slotted = true;
   }
   admitted_.fetch_add(1);
-  struct InflightGuard {
-    std::atomic<size_t>* counter;
-    ~InflightGuard() { counter->fetch_sub(1); }
-  } guard{&inflight_};
 
   if (request.relations.empty()) {
     resp.result = FailedResult(request.engine, "query: no relations named");
@@ -97,8 +200,10 @@ QueryResponse JoinService::Execute(const QueryRequest& request) {
   const RegistrySnapshot snap = registry_.Snap();
   resp.epoch = snap.epoch;
   std::vector<const Relation*> rels;
-  std::unordered_map<const Relation*, std::string> stamp_of;
+  std::unordered_map<const Relation*, std::string> name_of;
   rels.reserve(request.relations.size());
+  CacheEntryMeta meta;
+  meta.engine = EngineKindName(request.engine);
   for (const std::string& name : request.relations) {
     const RelationVersion* v = snap.Find(name);
     if (v == nullptr) {
@@ -107,25 +212,87 @@ QueryResponse JoinService::Execute(const QueryRequest& request) {
       return finish();
     }
     rels.push_back(v->rel.get());
-    stamp_of.emplace(v->rel.get(), name + "@" + std::to_string(v->epoch));
+    name_of.emplace(v->rel.get(), name);
+    meta.epochs[name] = v->epoch;
   }
   const JoinQuery query = JoinQuery::Build(rels);
   const int eff_depth =
       request.depth > 0 ? request.depth : query.MinDepth();
+  meta.depth = eff_depth;
+  meta.num_attrs = query.num_attrs();
+  for (const Atom& atom : query.atoms()) {
+    meta.atoms.push_back({name_of.at(atom.rel), atom.var_ids});
+  }
 
   // 3. Result cache: engine + versioned output-space signature.
   const bool cache_on = request.use_cache && options_.cache_bytes > 0;
-  std::string key;
   if (cache_on) {
-    key = std::string(EngineKindName(request.engine)) + "|" +
-          OutputSpaceSignature(query, eff_depth,
-                               [&stamp_of](const Relation& rel) {
-                                 return stamp_of.at(&rel);
-                               });
-    if (std::shared_ptr<const EngineResult> hit = cache_.Get(key)) {
+    if (std::shared_ptr<const EngineResult> hit =
+            cache_.Get(ResultCache::Key(meta))) {
       resp.result = std::move(hit);
       resp.cache_hit = true;
       return finish();
+    }
+  }
+
+  // 3b. Patch: a demoted base with this query's unstamped signature plus
+  // a complete registry delta chain lets us re-run only the shards the
+  // deltas touch and splice, instead of recomputing from scratch.
+  if (cache_on && options_.incremental) {
+    std::optional<PatchBase> base =
+        cache_.FindPatchBase(ResultCache::BaseKey(meta));
+    if (base.has_value()) {
+      bool chain_ok = true;
+      std::vector<DyadicBox> touched;
+      for (const auto& [bname, bepoch] : base->meta.epochs) {
+        const RelationVersion* v = snap.Find(bname);
+        if (v == nullptr) {
+          chain_ok = false;
+          break;
+        }
+        if (v->epoch == bepoch) continue;  // version unchanged since base
+        std::vector<RelationDelta> chain;
+        // To the SNAPSHOT's epoch, not the registry's current one: a
+        // mutation landing after Snap() must not leak into this patch.
+        if (!registry_.DeltasSince(bname, bepoch, v->epoch, &chain)) {
+          chain_ok = false;  // trimmed log or chain-breaking mutation
+          break;
+        }
+        std::vector<Tuple> changed;
+        for (const RelationDelta& d : chain) {
+          changed.insert(changed.end(), d.added.begin(), d.added.end());
+          changed.insert(changed.end(), d.removed.begin(), d.removed.end());
+        }
+        std::vector<DyadicBox> boxes =
+            TouchedOutputBoxes(query, eff_depth, bname, changed);
+        touched.insert(touched.end(), boxes.begin(), boxes.end());
+      }
+      if (chain_ok) {
+        EngineOptions eopts;
+        eopts.order = request.order;
+        eopts.depth = eff_depth;
+        eopts.shards = options_.shards;
+        eopts.threads = 0;  // full executor parallelism, like RunBatch
+        eopts.memory_budget_bytes = options_.memory_budget_bytes;
+        eopts.executor = options_.executor;
+        PatchResult pr = PatchJoin(query, request.engine, eopts,
+                                   base->result->tuples, touched);
+        if (pr.result.ok) {
+          resp.patched = !pr.full_recompute;
+          resp.shards_rerun = pr.shards_rerun;
+          resp.shards_total = pr.shards_total;
+          if (resp.patched) patched_.fetch_add(1);
+          std::shared_ptr<const EngineResult> result =
+              std::make_shared<const EngineResult>(std::move(pr.result));
+          cache_.Put(std::move(meta), result);
+          resp.result = std::move(result);
+          registry_.PurgeRetired();
+          return finish();
+        }
+        // An engine that cannot patch this query cannot run it fresh
+        // either (validation is mirrored) — but fall through anyway so
+        // the error comes from the canonical RunBatch path.
+      }
     }
   }
 
@@ -140,13 +307,8 @@ QueryResponse JoinService::Execute(const QueryRequest& request) {
   if (!request.order.empty()) {
     bopts.orders.assign(1, request.order);
   }
-  const double deadline_ms = request.deadline_ms < 0
-                                 ? options_.default_deadline_ms
-                                 : request.deadline_ms;
   if (deadline_ms > 0) {
-    bopts.deadline =
-        t0 + std::chrono::duration_cast<std::chrono::steady_clock::duration>(
-                 std::chrono::duration<double, std::milli>(deadline_ms));
+    bopts.deadline = deadline;
   }
   BatchResult batch = RunBatch(rels, {query}, request.engine, bopts);
   std::shared_ptr<const EngineResult> result =
@@ -154,7 +316,7 @@ QueryResponse JoinService::Execute(const QueryRequest& request) {
                      std::move(batch.results[0]))
                : FailedResult(request.engine, std::move(batch.error));
   if (cache_on && result->ok) {
-    cache_.Put(key, request.relations, result);
+    cache_.Put(std::move(meta), result);
   }
   resp.result = std::move(result);
 

@@ -3,10 +3,15 @@
 // JoinService is the front end every later serving feature plugs into.
 // One query's life:
 //
-//   1. ADMISSION — an atomic in-flight counter enforces
-//      ServiceOptions::max_inflight; a query over the limit is rejected
-//      immediately with a per-query error (same shape as BatchResult's
-//      per-query failures) instead of queuing without bound.
+//   1. ADMISSION — up to ServiceOptions::max_inflight queries execute
+//      concurrently. A query over the limit QUEUES (bounded by
+//      max_queued) until a slot frees or its deadline passes, unless
+//      shedding applies first: the queue is full, or the query's
+//      predicted peak cost (the shard cost model's payload proxy over
+//      the snapshot's relation sizes, engine/cost_model.h) exceeds
+//      shed_cost_bytes — expensive queries are the ones that would hold
+//      the slot longest, so they shed first. max_queued == 0 restores
+//      the original reject-immediately behavior.
 //   2. SNAPSHOT — RelationRegistry::Snap() pins every named relation
 //      version the query touches; concurrent Replace/Append cannot tear
 //      the data out from under it.
@@ -15,21 +20,30 @@
 //      without touching the engine (the order hint deliberately stays
 //      OUT of the key: it steers traversal, never the tuple set). A
 //      mutation bumps the epoch, so stale entries become unreachable by
-//      construction.
-//   4. POOL — a miss runs as a one-query RunBatch on the configured
-//      executor (WorkStealingPool::Global() by default), drawing shared
-//      base indexes from the registry's (relation, layout) IndexCache
-//      and carrying the per-query deadline into the task loop.
+//      construction — except entries provably disjoint from the delta,
+//      which the cache restamps in place (ResultCache::InvalidateDelta).
+//   3b. PATCH — on a miss, a demoted patch base with the same unstamped
+//      signature plus a complete registry delta chain lets the service
+//      re-run only the shards the deltas touch (engine/incremental.h)
+//      and splice them into the stale result instead of recomputing.
+//   4. POOL — a (patchless) miss runs as a one-query RunBatch on the
+//      configured executor (WorkStealingPool::Global() by default),
+//      drawing shared base indexes from the registry's
+//      (relation, layout) IndexCache and carrying the per-query
+//      deadline into the task loop.
 //
-// Mutations route through the service (Register/Replace/Append/Drop) so
-// the result cache is invalidated and retired relation versions purged
-// in step with the registry.
+// Mutations route through the service (Register / Replace / AppendRows /
+// DeleteRows / Drop) so the result cache is invalidated — delta-
+// precisely for row-level mutations — and retired relation versions
+// purged in step with the registry.
 #ifndef TETRIS_SERVER_JOIN_SERVICE_H_
 #define TETRIS_SERVER_JOIN_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -43,13 +57,24 @@ class WorkStealingPool;  // engine/parallel_executor.h
 
 /// Service-wide knobs, fixed at construction.
 struct ServiceOptions {
-  /// Queries allowed to execute concurrently; one more is rejected at
-  /// admission. 0 = unlimited.
+  /// Queries allowed to execute concurrently. 0 = unlimited.
   size_t max_inflight = 0;
+  /// Queries allowed to WAIT for a slot when max_inflight is reached;
+  /// one more is rejected. 0 = reject immediately at the limit (the
+  /// original admission behavior).
+  size_t max_queued = 0;
+  /// When queuing, a query whose predicted peak resident bytes (shard
+  /// cost model payload proxy) exceed this is shed instead of queued —
+  /// it would hold an execution slot longest. 0 = never shed by cost.
+  size_t shed_cost_bytes = 0;
   /// Deadline applied to queries that don't carry their own. 0 = none.
+  /// Also bounds the time a query may wait in the admission queue.
   double default_deadline_ms = 0.0;
   /// Result-cache capacity. 0 disables result caching entirely.
   size_t cache_bytes = 64u << 20;
+  /// Patch stale cached results through engine/incremental.h instead of
+  /// recomputing, when a patch base and a complete delta chain exist.
+  bool incremental = true;
   /// Executor queries fan out on. nullptr = the process-global pool.
   /// Must outlive the service.
   WorkStealingPool* executor = nullptr;
@@ -82,6 +107,10 @@ struct QueryResponse {
   std::shared_ptr<const EngineResult> result;
   bool cache_hit = false;
   bool rejected = false;   ///< refused at admission (not executed)
+  bool queued = false;     ///< waited for an execution slot
+  bool patched = false;    ///< served by patching a stale cached result
+  size_t shards_rerun = 0; ///< patched path: shards actually re-run
+  size_t shards_total = 0; ///< patched path: shards in the plan
   double service_ms = 0.0; ///< end-to-end latency inside the service
   uint64_t epoch = 0;      ///< registry epoch of the snapshot served
 };
@@ -97,28 +126,59 @@ class JoinService {
   ResultCache& cache() { return cache_; }
 
   /// Mutations, routed through the service so the result cache stays
-  /// coherent: invalidate the name's entries, purge retired versions.
+  /// coherent: row-level mutations invalidate delta-precisely (entries
+  /// disjoint from the delta survive, intersecting ones become patch
+  /// bases); chain-breaking mutations invalidate every entry of the
+  /// name. Retired relation versions are purged either way.
   bool Register(Relation rel, std::string* error);
   bool Replace(Relation rel, std::string* error);
+  /// On success, *delta (when non-null) receives the effective delta
+  /// the registry installed — what actually changed, duplicates and
+  /// absentees filtered out.
+  bool AppendRows(const std::string& name, const std::vector<Tuple>& tuples,
+                  std::string* error, RelationDelta* delta = nullptr);
+  bool DeleteRows(const std::string& name, const std::vector<Tuple>& tuples,
+                  std::string* error, RelationDelta* delta = nullptr);
+  /// Back-compat alias for AppendRows.
   bool Append(const std::string& name, const std::vector<Tuple>& tuples,
-              std::string* error);
+              std::string* error) {
+    return AppendRows(name, tuples, error);
+  }
   bool Drop(const std::string& name, std::string* error);
 
-  /// Runs (or serves from cache) one query. Never throws; failures are
-  /// per-query errors in response.result.
+  /// Runs (or serves from cache, or patches) one query. Never throws;
+  /// failures are per-query errors in response.result.
   QueryResponse Execute(const QueryRequest& request);
 
   size_t inflight() const { return inflight_.load(); }
   uint64_t admitted() const { return admitted_.load(); }
   uint64_t rejected() const { return rejected_.load(); }
+  uint64_t queued() const { return queued_.load(); }    ///< waited, total
+  uint64_t shed() const { return shed_.load(); }        ///< shed by cost
+  uint64_t patched() const { return patched_.load(); }  ///< patch-served
 
  private:
+  // The admission cost estimate: the uncalibrated shard-cost-model
+  // payload proxy over the snapshot sizes of the named relations.
+  size_t PredictPeakBytes(const QueryRequest& request) const;
+
   const ServiceOptions options_;
   RelationRegistry registry_;
   ResultCache cache_;
   std::atomic<size_t> inflight_{0};
   std::atomic<uint64_t> admitted_{0};
   std::atomic<uint64_t> rejected_{0};
+  std::atomic<uint64_t> queued_{0};
+  std::atomic<uint64_t> shed_{0};
+  std::atomic<uint64_t> patched_{0};
+
+  // Admission queue state (only engaged when max_inflight > 0).
+  std::mutex admit_mu_;
+  std::condition_variable admit_cv_;
+  size_t running_ = 0;  ///< guarded by admit_mu_
+  size_t waiting_ = 0;  ///< guarded by admit_mu_
+
+  friend struct AdmissionSlot;
 };
 
 }  // namespace tetris

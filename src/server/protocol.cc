@@ -378,7 +378,7 @@ ServeSessionStats RunServeSession(std::istream& in, JoinService* service,
           static_cast<unsigned long long>(service->registry().epoch()),
           tuples);
       std::fflush(stdout);
-    } else if (op == "append") {
+    } else if (op == "append" || op == "delete") {
       std::string name;
       std::vector<Tuple> tuples;
       if (!DecodeString(req, "name", /*required=*/true, &name, &error) ||
@@ -386,16 +386,22 @@ ServeSessionStats RunServeSession(std::istream& in, JoinService* service,
         EmitError(op, error, &stats);
         continue;
       }
-      if (!service->Append(name, tuples, &error)) {
+      RelationDelta delta;
+      const bool ok = op == "append"
+                          ? service->AppendRows(name, tuples, &error, &delta)
+                          : service->DeleteRows(name, tuples, &error, &delta);
+      if (!ok) {
         EmitError(op, error, &stats);
         continue;
       }
+      // added/removed are the EFFECTIVE delta — duplicates appended and
+      // absentees deleted contribute nothing and survive nothing.
       std::printf(
-          "{\"row_type\":\"ack\",\"op\":\"append\",\"name\":\"%s\","
-          "\"epoch\":%llu,\"tuples\":%zu}\n",
-          JsonEscape(name).c_str(),
-          static_cast<unsigned long long>(service->registry().epoch()),
-          tuples.size());
+          "{\"row_type\":\"ack\",\"op\":\"%s\",\"name\":\"%s\","
+          "\"epoch\":%llu,\"tuples\":%zu,\"added\":%zu,\"removed\":%zu}\n",
+          op.c_str(), JsonEscape(name).c_str(),
+          static_cast<unsigned long long>(delta.to_epoch), tuples.size(),
+          delta.added.size(), delta.removed.size());
       std::fflush(stdout);
     } else if (op == "drop") {
       std::string name;
@@ -431,6 +437,8 @@ ServeSessionStats RunServeSession(std::istream& in, JoinService* service,
       reporter.Row(scenario,
                    {{"cache_hit", qresp.cache_hit ? 1.0 : 0.0},
                     {"rejected", qresp.rejected ? 1.0 : 0.0},
+                    {"patched", qresp.patched ? 1.0 : 0.0},
+                    {"shards_rerun", static_cast<double>(qresp.shards_rerun)},
                     {"service_ms", qresp.service_ms},
                     {"epoch", static_cast<double>(qresp.epoch)}},
                    run);
@@ -445,15 +453,21 @@ ServeSessionStats RunServeSession(std::istream& in, JoinService* service,
           "\"retired\":%zu,\"cache_entries\":%zu,\"cache_bytes\":%zu,"
           "\"cache_hits\":%zu,\"cache_misses\":%zu,"
           "\"cache_evictions\":%zu,\"cache_invalidations\":%zu,"
+          "\"cache_survivals\":%zu,\"cache_patch_bases\":%zu,"
           "\"index_entries\":%zu,\"index_builds\":%zu,\"index_hits\":%zu,"
           "\"index_bytes\":%zu,\"admitted\":%llu,\"rejected\":%llu,"
+          "\"queued\":%llu,\"shed\":%llu,\"patched\":%llu,"
           "\"inflight\":%zu}\n",
           static_cast<unsigned long long>(reg.epoch()), reg.size(),
           reg.retired(), cache.entries(), cache.bytes(), cache.hits(),
           cache.misses(), cache.evictions(), cache.invalidations(),
-          ix.entries(), ix.builds(), ix.hits(), ix.MemoryBytes(),
+          cache.survivals(), cache.patch_bases(), ix.entries(), ix.builds(),
+          ix.hits(), ix.MemoryBytes(),
           static_cast<unsigned long long>(service->admitted()),
           static_cast<unsigned long long>(service->rejected()),
+          static_cast<unsigned long long>(service->queued()),
+          static_cast<unsigned long long>(service->shed()),
+          static_cast<unsigned long long>(service->patched()),
           service->inflight());
       std::fflush(stdout);
     } else if (op == "shutdown") {

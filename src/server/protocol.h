@@ -6,6 +6,7 @@
 //   {"op":"register","name":"R","attrs":["a","b"],"tuples":[[1,2],...]}
 //   {"op":"replace", ...same fields...}
 //   {"op":"append","name":"R","tuples":[[3,4],...]}
+//   {"op":"delete","name":"R","tuples":[[3,4],...]}
 //   {"op":"drop","name":"R"}
 //   {"op":"query","relations":["R","S","T"],"engine":"tetris_preloaded",
 //    "order":[0,1,2],"depth":4,"deadline_ms":50,"cache":true,
@@ -16,7 +17,11 @@
 // Query responses reuse the cli::RunReporter row schema (`row_type=run`
 // rows, plus shard sub-rows for sharded runs) so the same tooling that
 // parses bench output parses serve output; the service-level fields
-// ride in the row's params (cache_hit, service_ms, epoch, rejected).
+// ride in the row's params (cache_hit, rejected, patched, shards_rerun,
+// service_ms, epoch). append/delete acks report the EFFECTIVE delta
+// (`added`/`removed` — what actually changed after duplicate and
+// absentee filtering), which is also what decides whether cached
+// results survive, get patched, or get recomputed.
 // Every other response is a single JSONL object: `row_type=ack` /
 // `row_type=stats` on success, `row_type=error` (with the op echoed) on
 // failure. Malformed lines produce an error row and the session

@@ -1,8 +1,36 @@
 #include "server/relation_registry.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace tetris {
+
+namespace {
+
+// Sorts and dedups a delta side (RelationDelta's canonical form).
+void CanonicalizeTuples(std::vector<Tuple>* tuples) {
+  std::sort(tuples->begin(), tuples->end());
+  tuples->erase(std::unique(tuples->begin(), tuples->end()), tuples->end());
+}
+
+// Shared arity validation of row-level mutations.
+bool CheckArity(const char* verb, const std::string& name,
+                const Relation& old, const std::vector<Tuple>& tuples,
+                std::string* error) {
+  for (const Tuple& t : tuples) {
+    if (t.size() != static_cast<size_t>(old.arity())) {
+      if (error != nullptr) {
+        *error = std::string(verb) + " to '" + name + "': tuple arity " +
+                 std::to_string(t.size()) + " != relation arity " +
+                 std::to_string(old.arity());
+      }
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 bool RelationRegistry::Register(Relation rel, std::string* error) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -18,6 +46,7 @@ bool RelationRegistry::Register(Relation rel, std::string* error) {
                 RelationVersion{
                     std::make_shared<const Relation>(std::move(rel)),
                     ++epoch_});
+  delta_log_.erase(name);  // a fresh relation starts a fresh chain
   return true;
 }
 
@@ -35,12 +64,13 @@ bool RelationRegistry::Replace(Relation rel, std::string* error) {
   RetireLocked(std::move(it->second.rel));
   it->second.rel = std::make_shared<const Relation>(std::move(rel));
   it->second.epoch = ++epoch_;
+  delta_log_.erase(name);  // arbitrary swap: the delta is not tracked
   return true;
 }
 
-bool RelationRegistry::Append(const std::string& name,
-                              const std::vector<Tuple>& tuples,
-                              std::string* error) {
+bool RelationRegistry::AppendRows(const std::string& name,
+                                  const std::vector<Tuple>& tuples,
+                                  std::string* error, RelationDelta* delta) {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = live_.find(name);
   if (it == live_.end()) {
@@ -50,23 +80,106 @@ bool RelationRegistry::Append(const std::string& name,
     return false;
   }
   const Relation& old = *it->second.rel;
-  for (const Tuple& t : tuples) {
-    if (t.size() != static_cast<size_t>(old.arity())) {
-      if (error != nullptr) {
-        *error = "append to '" + name + "': tuple arity " +
-                 std::to_string(t.size()) + " != relation arity " +
-                 std::to_string(old.arity());
-      }
-      return false;
-    }
+  if (!CheckArity("append", name, old, tuples, error)) return false;
+  RelationDelta d;
+  d.added = tuples;
+  CanonicalizeTuples(&d.added);
+  // Effective delta: the old version is canonical, so Contains is exact.
+  d.added.erase(std::remove_if(d.added.begin(), d.added.end(),
+                               [&old](const Tuple& t) {
+                                 return old.Contains(t);
+                               }),
+                d.added.end());
+  const bool noop = d.added.empty();
+  Relation next("", {});
+  if (!noop) {
+    std::vector<Tuple> merged = old.tuples();
+    merged.insert(merged.end(), d.added.begin(), d.added.end());
+    next = Relation::Make(old.name(), old.attrs(), std::move(merged));
   }
-  std::vector<Tuple> merged = old.tuples();
-  merged.insert(merged.end(), tuples.begin(), tuples.end());
-  Relation next = Relation::Make(old.name(), old.attrs(), std::move(merged));
-  RetireLocked(std::move(it->second.rel));
-  it->second.rel = std::make_shared<const Relation>(std::move(next));
-  it->second.epoch = ++epoch_;
+  InstallDeltaLocked(it, std::move(next), noop, std::move(d), delta);
   return true;
+}
+
+bool RelationRegistry::DeleteRows(const std::string& name,
+                                  const std::vector<Tuple>& tuples,
+                                  std::string* error, RelationDelta* delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = live_.find(name);
+  if (it == live_.end()) {
+    if (error != nullptr) {
+      *error = "relation '" + name + "' is not registered (use register)";
+    }
+    return false;
+  }
+  const Relation& old = *it->second.rel;
+  if (!CheckArity("delete", name, old, tuples, error)) return false;
+  RelationDelta d;
+  d.removed = tuples;
+  CanonicalizeTuples(&d.removed);
+  d.removed.erase(std::remove_if(d.removed.begin(), d.removed.end(),
+                                 [&old](const Tuple& t) {
+                                   return !old.Contains(t);
+                                 }),
+                  d.removed.end());
+  const bool noop = d.removed.empty();
+  Relation next("", {});
+  if (!noop) {
+    std::vector<Tuple> kept;
+    kept.reserve(old.size() - d.removed.size());
+    for (const Tuple& t : old.tuples()) {
+      if (!std::binary_search(d.removed.begin(), d.removed.end(), t)) {
+        kept.push_back(t);
+      }
+    }
+    next = Relation::Make(old.name(), old.attrs(), std::move(kept));
+  }
+  InstallDeltaLocked(it, std::move(next), noop, std::move(d), delta);
+  return true;
+}
+
+void RelationRegistry::InstallDeltaLocked(
+    std::map<std::string, RelationVersion>::iterator it, Relation next,
+    bool reuse_old_version, RelationDelta delta, RelationDelta* delta_out) {
+  delta.name = it->first;
+  delta.from_epoch = it->second.epoch;
+  if (!reuse_old_version) {
+    RetireLocked(std::move(it->second.rel));
+    it->second.rel = std::make_shared<const Relation>(std::move(next));
+  }
+  // An effectively empty delta reuses the old version's storage: the
+  // tuple set is unchanged, so its index-cache entries stay valid and
+  // only the epoch stamp moves.
+  it->second.epoch = ++epoch_;
+  delta.to_epoch = it->second.epoch;
+  std::deque<RelationDelta>& log = delta_log_[it->first];
+  log.push_back(delta);
+  while (log.size() > kDeltaLogCap) log.pop_front();
+  if (delta_out != nullptr) *delta_out = std::move(delta);
+}
+
+bool RelationRegistry::DeltasSince(const std::string& name,
+                                   uint64_t from_epoch, uint64_t to_epoch,
+                                   std::vector<RelationDelta>* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (live_.count(name) == 0 || from_epoch > to_epoch) return false;
+  if (from_epoch == to_epoch) return true;
+  auto lit = delta_log_.find(name);
+  if (lit == delta_log_.end()) return false;
+  uint64_t at = from_epoch;
+  bool walking = false;
+  for (const RelationDelta& d : lit->second) {
+    if (!walking) {
+      if (d.from_epoch != at) continue;  // older links precede the start
+      walking = true;
+    } else if (d.from_epoch != at) {
+      return false;  // gap inside the chain (cannot happen unless trimmed)
+    }
+    if (out != nullptr) out->push_back(d);
+    at = d.to_epoch;
+    if (at == to_epoch) return true;
+  }
+  return false;  // the chain never reached to_epoch
 }
 
 bool RelationRegistry::Drop(const std::string& name, std::string* error) {
@@ -80,6 +193,7 @@ bool RelationRegistry::Drop(const std::string& name, std::string* error) {
   }
   RetireLocked(std::move(it->second.rel));
   live_.erase(it);
+  delta_log_.erase(name);
   ++epoch_;
   return true;
 }

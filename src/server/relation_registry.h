@@ -27,10 +27,22 @@
 // parked and PurgeRetired() re-evicts and frees each one once no
 // snapshot pins it (use_count == 1) — so a recycled heap address can
 // never resurrect another relation's index.
+//
+// Row-level mutations (AppendRows / DeleteRows) additionally record the
+// *effective* tuple delta — the set difference against the old version,
+// so appending a duplicate or deleting an absent tuple contributes
+// nothing — in a bounded per-relation delta log. DeltasSince replays
+// the contiguous chain between two version epochs, which is what lets
+// the incremental layer (engine/incremental.h) patch a stale cached
+// result instead of recomputing it: the chain names exactly the tuples
+// whose dyadic output subcubes could have changed. Register / Replace /
+// Drop clear the relation's chain (the delta against an arbitrary
+// replacement is not tracked), so consumers fall back to a full run.
 #ifndef TETRIS_SERVER_RELATION_REGISTRY_H_
 #define TETRIS_SERVER_RELATION_REGISTRY_H_
 
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -41,6 +53,18 @@
 #include "relation/relation.h"
 
 namespace tetris {
+
+/// The effective tuple delta of one row-level mutation: what actually
+/// changed between the version at `from_epoch` and the version at
+/// `to_epoch` (relations are canonical sets, so duplicates and absent
+/// deletions vanish here). Both vectors are sorted and deduplicated.
+struct RelationDelta {
+  std::string name;
+  uint64_t from_epoch = 0;  ///< epoch of the version mutated
+  uint64_t to_epoch = 0;    ///< epoch of the version installed
+  std::vector<Tuple> added;
+  std::vector<Tuple> removed;
+};
 
 /// One immutable relation version pinned by a snapshot.
 struct RelationVersion {
@@ -79,12 +103,44 @@ class RelationRegistry {
 
   /// Installs a new version of `name` extended by `tuples`
   /// (copy-on-write; the old version stays untouched for in-flight
-  /// readers). Fails on an unknown name or an arity mismatch.
+  /// readers), records the effective delta in the relation's log, and
+  /// reports it through *delta when non-null. An effectively empty
+  /// append (every tuple already present) still installs a fresh epoch
+  /// but reuses the old version's storage — its indexes stay valid.
+  /// Fails on an unknown name or an arity mismatch.
+  bool AppendRows(const std::string& name, const std::vector<Tuple>& tuples,
+                  std::string* error, RelationDelta* delta = nullptr);
+
+  /// Back-compat alias for AppendRows (drops the delta).
   bool Append(const std::string& name, const std::vector<Tuple>& tuples,
-              std::string* error);
+              std::string* error) {
+    return AppendRows(name, tuples, error, nullptr);
+  }
+
+  /// Installs a new version of `name` with `tuples` removed, with the
+  /// same delta-log contract as AppendRows (deleting absent tuples is
+  /// an effectively empty delta). Fails on an unknown name or an arity
+  /// mismatch.
+  bool DeleteRows(const std::string& name, const std::vector<Tuple>& tuples,
+                  std::string* error, RelationDelta* delta = nullptr);
 
   /// Retires the relation. Fails if the name is unknown.
   bool Drop(const std::string& name, std::string* error);
+
+  /// Replays the contiguous delta chain of `name` from the version at
+  /// `from_epoch` to the version at `to_epoch`, appending each link to
+  /// *out in order. Returns true iff the chain exists: `name` is live,
+  /// every link between the two epochs is still in the bounded log, and
+  /// nothing chain-breaking (Register / Replace / Drop, or a trimmed
+  /// log) happened in between. from_epoch == to_epoch is the trivially
+  /// complete empty chain. On false, *out may hold a partial prefix —
+  /// discard it.
+  bool DeltasSince(const std::string& name, uint64_t from_epoch,
+                   uint64_t to_epoch, std::vector<RelationDelta>* out) const;
+
+  /// Delta-log links kept per relation; older links are trimmed (and
+  /// chains through them break, falling back to full recomputation).
+  static constexpr size_t kDeltaLogCap = 64;
 
   /// A consistent view of every registered relation. O(#relations).
   RegistrySnapshot Snap() const;
@@ -109,9 +165,16 @@ class RelationRegistry {
   // Caller holds mu_.
   void RetireLocked(std::shared_ptr<const Relation> version);
 
+  // Installs `next` as the new version of `it`, logs `delta`, and
+  // reports it. Caller holds mu_ and has filled delta.added/removed.
+  void InstallDeltaLocked(std::map<std::string, RelationVersion>::iterator it,
+                          Relation next, bool reuse_old_version,
+                          RelationDelta delta, RelationDelta* delta_out);
+
   mutable std::mutex mu_;
   std::map<std::string, RelationVersion> live_;
   std::vector<std::shared_ptr<const Relation>> retired_;
+  std::map<std::string, std::deque<RelationDelta>> delta_log_;
   uint64_t epoch_ = 0;
   IndexCache index_cache_;
 };

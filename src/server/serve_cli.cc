@@ -21,6 +21,10 @@ void PrintServeUsage() {
       "switch)\n"
       "  --max-inflight=<n>       admission limit (0 = unlimited; default "
       "0)\n"
+      "  --max-queued=<n>         queries allowed to wait for a slot "
+      "(0 = reject at the limit; default 0)\n"
+      "  --shed-cost-bytes=<n[K|M|G]> shed a queuing query when its "
+      "predicted peak exceeds this (0 = never)\n"
       "  --deadline-ms=<x>        default per-query deadline in ms (0 = "
       "none)\n"
       "  --cache-bytes=<n[K|M|G]> result-cache capacity (0 disables; "
@@ -57,6 +61,23 @@ int RunServe(int argc, char** argv) {
         bad = true;
       }
       sopts.max_inflight = static_cast<size_t>(n);
+    } else if (FlagValue(argv[i], "--max-queued", &value)) {
+      uint64_t n = 0;
+      if (!ParseU64(value, &n)) {
+        std::fprintf(stderr, "--max-queued: want a non-negative count, "
+                             "got '%s'\n", value.c_str());
+        bad = true;
+      }
+      sopts.max_queued = static_cast<size_t>(n);
+    } else if (FlagValue(argv[i], "--shed-cost-bytes", &value)) {
+      uint64_t bytes = 0;
+      if (!ParseByteCount(value, &bytes)) {
+        std::fprintf(stderr, "--shed-cost-bytes: want a byte count like "
+                             "65536, 512K, 64M or 2G, got '%s'\n",
+                     value.c_str());
+        bad = true;
+      }
+      sopts.shed_cost_bytes = static_cast<size_t>(bytes);
     } else if (FlagValue(argv[i], "--deadline-ms", &value)) {
       char* end = nullptr;
       const double ms = std::strtod(value.c_str(), &end);

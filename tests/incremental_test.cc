@@ -1,0 +1,552 @@
+// Incremental view maintenance (engine/incremental.h + the registry
+// delta log + the service patch path), checked against the differential
+// oracle of tests/incremental_oracle.h: every patched result must equal
+// the from-scratch recomputation, across all engines, randomized
+// insert/delete workloads, sharded + budgeted options, and the
+// service's cached / restamped / patched serving paths.
+#include "engine/incremental.h"
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "incremental_oracle.h"
+#include "server/join_service.h"
+#include "server/relation_registry.h"
+#include "workload/generators.h"
+
+namespace tetris {
+namespace {
+
+// Deterministic split-free PRNG for the randomized workloads.
+uint64_t Next(uint64_t* state) {
+  *state = *state * 6364136223846793005ULL + 1442695040888963407ULL;
+  return *state >> 33;
+}
+
+// --- TouchedBoxOfTuple / TouchedOutputBoxes ----------------------------
+
+TEST(TouchedBoxTest, BindsUnitIntervalsAtBoundDimensions) {
+  DyadicBox box;
+  ASSERT_EQ(TouchedBoxOfTuple({0, 2}, /*num_attrs=*/3, /*depth=*/3,
+                              Tuple{2, 5}, &box),
+            TupleTouch::kBox);
+  EXPECT_EQ(box[0], DyadicInterval::Unit(2, 3));
+  EXPECT_TRUE(box[1].IsLambda());  // unbound attribute stays universal
+  EXPECT_EQ(box[2], DyadicInterval::Unit(5, 3));
+}
+
+TEST(TouchedBoxTest, RepeatedVariableDisagreementTouchesNothing) {
+  DyadicBox box;
+  EXPECT_EQ(TouchedBoxOfTuple({0, 0}, /*num_attrs=*/1, /*depth=*/3,
+                              Tuple{3, 4}, &box),
+            TupleTouch::kNone);
+  ASSERT_EQ(TouchedBoxOfTuple({0, 0}, /*num_attrs=*/1, /*depth=*/3,
+                              Tuple{3, 3}, &box),
+            TupleTouch::kBox);
+  EXPECT_EQ(box[0], DyadicInterval::Unit(3, 3));
+}
+
+TEST(TouchedBoxTest, OffGridValueTouchesEverything) {
+  DyadicBox box;
+  EXPECT_EQ(TouchedBoxOfTuple({0, 1}, /*num_attrs=*/2, /*depth=*/2,
+                              Tuple{7, 1}, &box),
+            TupleTouch::kEverything);
+}
+
+TEST(TouchedBoxTest, OutputBoxesDeduplicateAndCollapseToUniversal) {
+  QueryInstance tri = RandomTriangle(/*tuples_per_rel=*/10, /*d=*/4,
+                                     /*seed=*/5);
+  // The same changed tuple through the same atom yields one box.
+  const std::vector<DyadicBox> one =
+      TouchedOutputBoxes(tri.query, 4, "R", {{1, 2}, {1, 2}});
+  EXPECT_EQ(one.size(), 1u);
+  EXPECT_FALSE(one[0].Support().empty());
+  // An unknown relation name touches nothing.
+  EXPECT_TRUE(TouchedOutputBoxes(tri.query, 4, "Nope", {{1, 2}}).empty());
+  // Any off-grid value collapses the set to the universal box.
+  const std::vector<DyadicBox> all =
+      TouchedOutputBoxes(tri.query, 4, "R", {{1, 2}, {99, 0}});
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_TRUE(all[0].Support().empty());
+}
+
+// --- registry delta log ------------------------------------------------
+
+TEST(RegistryDeltaTest, AppendAndDeleteRecordEffectiveDeltas) {
+  RelationRegistry reg;
+  std::string error;
+  ASSERT_TRUE(reg.Register(Relation::Make("R", {"a", "b"}, {{1, 2}, {3, 4}}),
+                           &error))
+      << error;
+  const uint64_t e0 = reg.epoch();
+
+  RelationDelta add;
+  ASSERT_TRUE(reg.AppendRows("R", {{3, 4}, {5, 6}, {5, 6}}, &error, &add))
+      << error;
+  EXPECT_EQ(add.added, (std::vector<Tuple>{{5, 6}}));  // duplicate filtered
+  EXPECT_TRUE(add.removed.empty());
+  EXPECT_EQ(add.from_epoch, e0);
+  EXPECT_EQ(add.to_epoch, reg.epoch());
+
+  RelationDelta del;
+  ASSERT_TRUE(reg.DeleteRows("R", {{1, 2}, {9, 9}}, &error, &del)) << error;
+  EXPECT_EQ(del.removed, (std::vector<Tuple>{{1, 2}}));  // absentee filtered
+  EXPECT_TRUE(del.added.empty());
+
+  std::vector<RelationDelta> chain;
+  ASSERT_TRUE(reg.DeltasSince("R", e0, reg.epoch(), &chain));
+  ASSERT_EQ(chain.size(), 2u);
+  EXPECT_EQ(chain[0].added, add.added);
+  EXPECT_EQ(chain[1].removed, del.removed);
+  // The trivially empty chain.
+  chain.clear();
+  EXPECT_TRUE(reg.DeltasSince("R", reg.epoch(), reg.epoch(), &chain));
+  EXPECT_TRUE(chain.empty());
+}
+
+TEST(RegistryDeltaTest, NoopMutationsBumpTheEpochButReuseStorage) {
+  RelationRegistry reg;
+  std::string error;
+  ASSERT_TRUE(reg.Register(Relation::Make("R", {"a", "b"}, {{1, 2}}),
+                           &error));
+  const std::shared_ptr<const Relation> before = reg.Snap().Find("R")->rel;
+  const uint64_t e0 = reg.epoch();
+
+  RelationDelta delta;
+  ASSERT_TRUE(reg.AppendRows("R", {{1, 2}}, &error, &delta));  // duplicate
+  EXPECT_TRUE(delta.added.empty());
+  ASSERT_TRUE(reg.DeleteRows("R", {{7, 7}}, &error, &delta));  // absent
+  EXPECT_TRUE(delta.removed.empty());
+
+  // Fresh epochs (cache keys must move), but the SAME version storage —
+  // nothing was retired, so its indexes stay valid.
+  EXPECT_GT(reg.epoch(), e0);
+  EXPECT_EQ(reg.Snap().Find("R")->rel.get(), before.get());
+  EXPECT_EQ(reg.retired(), 0u);
+}
+
+TEST(RegistryDeltaTest, ChainBreaksAcrossReplaceAndLogTrim) {
+  RelationRegistry reg;
+  std::string error;
+  ASSERT_TRUE(reg.Register(Relation::Make("R", {"a"}, {{1}}), &error));
+  const uint64_t e0 = reg.epoch();
+  ASSERT_TRUE(reg.AppendRows("R", {{2}}, &error));
+  ASSERT_TRUE(reg.Replace(Relation::Make("R", {"a"}, {{9}}), &error));
+  ASSERT_TRUE(reg.AppendRows("R", {{3}}, &error));
+  std::vector<RelationDelta> chain;
+  EXPECT_FALSE(reg.DeltasSince("R", e0, reg.epoch(), &chain));
+
+  // Trim: more links than the cap breaks chains from the far past but
+  // not recent ones.
+  const uint64_t mid = reg.epoch();
+  for (size_t i = 0; i < RelationRegistry::kDeltaLogCap + 4; ++i) {
+    ASSERT_TRUE(reg.AppendRows("R", {{100 + i}}, &error)) << error;
+  }
+  chain.clear();
+  EXPECT_FALSE(reg.DeltasSince("R", mid, reg.epoch(), &chain));
+  const uint64_t recent = reg.epoch();
+  ASSERT_TRUE(reg.AppendRows("R", {{5000}}, &error));
+  chain.clear();
+  EXPECT_TRUE(reg.DeltasSince("R", recent, reg.epoch(), &chain));
+  EXPECT_EQ(chain.size(), 1u);
+
+  // Unknown names and backwards ranges have no chain.
+  EXPECT_FALSE(reg.DeltasSince("Nope", 0, reg.epoch(), &chain));
+  EXPECT_FALSE(reg.DeltasSince("R", reg.epoch(), recent, &chain));
+}
+
+TEST(RegistryDeltaTest, RowMutationsValidateArity) {
+  RelationRegistry reg;
+  std::string error;
+  ASSERT_TRUE(reg.Register(Relation::Make("R", {"a", "b"}, {{1, 2}}),
+                           &error));
+  EXPECT_FALSE(reg.AppendRows("R", {{1, 2, 3}}, &error));
+  EXPECT_NE(error.find("arity"), std::string::npos) << error;
+  EXPECT_FALSE(reg.DeleteRows("R", {{1}}, &error));
+  EXPECT_NE(error.find("arity"), std::string::npos) << error;
+  EXPECT_FALSE(reg.AppendRows("Nope", {{1, 2}}, &error));
+}
+
+// --- engine-level differential oracle ----------------------------------
+
+// One mutable join instance: tuple sets the test edits, rebuilt into
+// fresh Relation objects (the registry's copy-on-write, in miniature)
+// after every delta.
+struct MutableInstance {
+  std::vector<std::string> names;
+  std::vector<std::vector<std::string>> attrs;
+  std::vector<std::vector<Tuple>> tuples;
+  std::vector<std::unique_ptr<Relation>> storage;
+  JoinQuery query = JoinQuery::Build({});
+
+  void Rebind() {
+    storage.clear();
+    std::vector<const Relation*> ptrs;
+    for (size_t i = 0; i < names.size(); ++i) {
+      storage.push_back(std::make_unique<Relation>(
+          Relation::Make(names[i], attrs[i], tuples[i])));
+      ptrs.push_back(storage.back().get());
+    }
+    query = JoinQuery::Build(ptrs);
+  }
+};
+
+MutableInstance TriangleInstance(size_t n, int d, uint64_t seed) {
+  MutableInstance inst;
+  inst.names = {"R", "S", "T"};
+  inst.attrs = {{"A", "B"}, {"B", "C"}, {"A", "C"}};
+  uint64_t s = seed;
+  for (size_t i = 0; i < 3; ++i) {
+    inst.tuples.push_back(
+        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).tuples());
+  }
+  inst.Rebind();
+  return inst;
+}
+
+MutableInstance PathInstance(size_t n, int d, uint64_t seed) {
+  MutableInstance inst;
+  inst.names = {"R", "S"};
+  inst.attrs = {{"A", "B"}, {"B", "C"}};
+  uint64_t s = seed;
+  for (size_t i = 0; i < 2; ++i) {
+    inst.tuples.push_back(
+        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).tuples());
+  }
+  inst.Rebind();
+  return inst;
+}
+
+// Applies `rounds` random insert/delete deltas to `inst`, asserting
+// after each that PatchJoin over the touched boxes equals the
+// from-scratch run for `kind` under `options`.
+void RunRandomizedDifferential(MutableInstance* inst, EngineKind kind,
+                               const EngineOptions& options, int d,
+                               int rounds, uint64_t seed) {
+  EngineResult old = RunJoin(inst->query, kind, options);
+  if (!old.ok) {
+    // Failure parity: the patch path must reject exactly what a fresh
+    // run rejects (e.g. Yannakakis on a cyclic query).
+    PatchResult patched =
+        PatchJoin(inst->query, kind, options, {}, {});
+    EXPECT_FALSE(patched.result.ok);
+    EXPECT_EQ(patched.result.error, old.error);
+    return;
+  }
+  uint64_t s = seed;
+  for (int round = 0; round < rounds; ++round) {
+    const size_t which = Next(&s) % inst->names.size();
+    std::vector<Tuple>& rel = inst->tuples[which];
+    std::vector<Tuple> changed;
+    // A few inserts (sometimes duplicates of existing rows)...
+    for (int k = 0; k < 3; ++k) {
+      Tuple t;
+      if (!rel.empty() && Next(&s) % 4 == 0) {
+        t = rel[Next(&s) % rel.size()];  // duplicate: effectively empty
+      } else {
+        t = {Next(&s) % (1ull << d), Next(&s) % (1ull << d)};
+      }
+      changed.push_back(t);
+      rel.push_back(t);
+    }
+    // ...and a few deletes of existing rows.
+    for (int k = 0; k < 2 && !rel.empty(); ++k) {
+      const size_t victim = Next(&s) % rel.size();
+      changed.push_back(rel[victim]);
+      rel.erase(rel.begin() + victim);
+    }
+    inst->Rebind();
+    const std::vector<DyadicBox> touched =
+        TouchedOutputBoxes(inst->query, d, inst->names[which], changed);
+    PatchResult patched;
+    const OracleVerdict verdict = PatchedEqualsScratch(
+        inst->query, kind, options, old.tuples, touched, &patched);
+    ASSERT_TRUE(verdict.ok) << "round " << round << ": " << verdict.message;
+    ASSERT_TRUE(patched.result.ok) << patched.result.error;
+    EXPECT_LE(patched.shards_rerun, patched.shards_total);
+    old = std::move(patched.result);
+  }
+}
+
+TEST(IncrementalDifferentialTest, TriangleAcrossAllEngines) {
+  constexpr int d = 5;
+  for (EngineKind kind : AllEngineKinds()) {
+    SCOPED_TRACE(EngineKindName(kind));
+    MutableInstance inst = TriangleInstance(/*n=*/40, d, /*seed=*/29);
+    EngineOptions options;
+    options.depth = d;
+    RunRandomizedDifferential(&inst, kind, options, d, /*rounds=*/4,
+                              /*seed=*/31);
+  }
+}
+
+TEST(IncrementalDifferentialTest, PathAcrossAllEnginesShardedAndBudgeted) {
+  // The α-acyclic shape every engine (Yannakakis included) supports,
+  // under the sharded + memory-budgeted option mix the serving stack
+  // runs with.
+  constexpr int d = 5;
+  for (EngineKind kind : AllEngineKinds()) {
+    SCOPED_TRACE(EngineKindName(kind));
+    MutableInstance inst = PathInstance(/*n=*/50, d, /*seed=*/37);
+    EngineOptions options;
+    options.depth = d;
+    options.shards = 8;
+    options.threads = 0;
+    options.memory_budget_bytes = 1u << 20;
+    RunRandomizedDifferential(&inst, kind, options, d, /*rounds=*/4,
+                              /*seed=*/41);
+  }
+}
+
+TEST(IncrementalDifferentialTest, EmptyDeltaReturnsOldResultWithoutPlanning) {
+  MutableInstance inst = TriangleInstance(/*n=*/30, /*d=*/4, /*seed=*/43);
+  EngineOptions options;
+  options.depth = 4;
+  const EngineResult old =
+      RunJoin(inst.query, EngineKind::kTetrisPreloaded, options);
+  ASSERT_TRUE(old.ok);
+  const PatchResult patched = PatchJoin(inst.query,
+                                        EngineKind::kTetrisPreloaded,
+                                        options, old.tuples, {});
+  ASSERT_TRUE(patched.result.ok);
+  EXPECT_EQ(patched.result.tuples, old.tuples);
+  EXPECT_EQ(patched.shards_rerun, 0u);
+  EXPECT_EQ(patched.shards_total, 0u);
+  EXPECT_FALSE(patched.full_recompute);
+}
+
+TEST(IncrementalDifferentialTest, DeleteEverythingEmptiesTheJoin) {
+  MutableInstance inst = TriangleInstance(/*n=*/30, /*d=*/4, /*seed=*/47);
+  EngineOptions options;
+  options.depth = 4;
+  const EngineResult old =
+      RunJoin(inst.query, EngineKind::kGenericJoin, options);
+  ASSERT_TRUE(old.ok);
+
+  const std::vector<Tuple> removed = inst.tuples[1];  // all of S
+  inst.tuples[1].clear();
+  inst.Rebind();
+  const std::vector<DyadicBox> touched =
+      TouchedOutputBoxes(inst.query, 4, "S", removed);
+  PatchResult patched;
+  const OracleVerdict verdict =
+      PatchedEqualsScratch(inst.query, EngineKind::kGenericJoin, options,
+                           old.tuples, touched, &patched);
+  ASSERT_TRUE(verdict.ok) << verdict.message;
+  EXPECT_TRUE(patched.result.tuples.empty());
+}
+
+TEST(IncrementalDifferentialTest, UniversalTouchedBoxFallsBackToFullRun) {
+  MutableInstance inst = TriangleInstance(/*n=*/20, /*d=*/4, /*seed=*/53);
+  EngineOptions options;
+  options.depth = 4;
+  const EngineResult old =
+      RunJoin(inst.query, EngineKind::kTetrisPreloaded, options);
+  ASSERT_TRUE(old.ok);
+  PatchResult patched;
+  const OracleVerdict verdict = PatchedEqualsScratch(
+      inst.query, EngineKind::kTetrisPreloaded, options, old.tuples,
+      {DyadicBox::Universal(inst.query.num_attrs())}, &patched);
+  ASSERT_TRUE(verdict.ok) << verdict.message;
+  EXPECT_TRUE(patched.full_recompute);
+}
+
+// --- service-level differential ----------------------------------------
+
+void RegisterTriangle(JoinService* service, size_t n, int d, uint64_t seed) {
+  const struct {
+    const char* name;
+    const char* a;
+    const char* b;
+  } specs[] = {{"R", "A", "B"}, {"S", "B", "C"}, {"T", "A", "C"}};
+  uint64_t s = seed;
+  for (const auto& spec : specs) {
+    std::string error;
+    ASSERT_TRUE(service->Register(
+        RandomRelation(spec.name, {spec.a, spec.b}, n, d, ++s), &error))
+        << error;
+  }
+}
+
+QueryRequest TriangleQuery(EngineKind kind, int depth) {
+  QueryRequest q;
+  q.relations = {"R", "S", "T"};
+  q.engine = kind;
+  // An explicit depth keeps the output-space signature stable across
+  // deltas (MinDepth would drift with the value range), which is what
+  // lets the patch base match.
+  q.depth = depth;
+  return q;
+}
+
+TEST(IncrementalServiceTest, AppendAndDeletePatchInsteadOfRecomputing) {
+  ServiceOptions options;
+  options.shards = 8;
+  JoinService service(options);
+  RegisterTriangle(&service, /*n=*/50, /*d=*/5, /*seed=*/59);
+  const QueryRequest query = TriangleQuery(EngineKind::kTetrisPreloaded, 6);
+
+  // Warm the cache, then demote the entry with a one-tuple append.
+  ASSERT_TRUE(service.Execute(query).result->ok);
+  std::string error;
+  ASSERT_TRUE(service.AppendRows("S", {{1, 3}, {2, 7}}, &error)) << error;
+  EXPECT_EQ(service.cache().patch_bases(), 1u);
+
+  QueryResponse resp;
+  OracleVerdict verdict = ExecuteMatchesScratch(&service, query, &resp);
+  ASSERT_TRUE(verdict.ok) << verdict.message;
+  EXPECT_TRUE(resp.patched);
+  EXPECT_FALSE(resp.cache_hit);
+  EXPECT_LE(resp.shards_rerun, resp.shards_total);
+  EXPECT_EQ(service.patched(), 1u);
+
+  // The patched result was re-cached; deleting rows demotes it again
+  // and the next execution patches through the delete.
+  ASSERT_TRUE(service.DeleteRows("S", {{1, 3}}, &error)) << error;
+  verdict = ExecuteMatchesScratch(&service, query, &resp);
+  ASSERT_TRUE(verdict.ok) << verdict.message;
+  EXPECT_TRUE(resp.patched);
+  EXPECT_EQ(service.patched(), 2u);
+}
+
+TEST(IncrementalServiceTest, EffectivelyEmptyDeltasKeepCacheEntriesServable) {
+  JoinService service;
+  RegisterTriangle(&service, /*n=*/40, /*d=*/5, /*seed=*/61);
+  const QueryRequest query = TriangleQuery(EngineKind::kTetrisPreloaded, 6);
+  const QueryResponse cold = service.Execute(query);
+  ASSERT_TRUE(cold.result->ok) << cold.result->error;
+
+  // Append a duplicate of an existing row and delete an absent one:
+  // both bump the epoch, neither changes the relation — the cached
+  // entry must survive (restamped) and keep serving hits.
+  const Tuple existing = service.registry().Snap().Find("S")->rel->tuples()[0];
+  std::string error;
+  ASSERT_TRUE(service.AppendRows("S", {existing}, &error)) << error;
+  ASSERT_TRUE(service.DeleteRows("S", {{63, 63}}, &error)) << error;
+
+  const QueryResponse warm = service.Execute(query);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_GT(warm.epoch, cold.epoch);
+  EXPECT_EQ(warm.result->tuples, cold.result->tuples);
+  EXPECT_GE(service.cache().survivals(), 2u);
+  EXPECT_EQ(service.cache().patch_bases(), 0u);
+  EXPECT_EQ(service.patched(), 0u);  // a hit, not a patch
+}
+
+TEST(IncrementalServiceTest, DeleteEverythingServesTheEmptyJoin) {
+  JoinService service;
+  RegisterTriangle(&service, /*n=*/30, /*d=*/4, /*seed=*/67);
+  const QueryRequest query = TriangleQuery(EngineKind::kGenericJoin, 5);
+  ASSERT_TRUE(service.Execute(query).result->ok);
+
+  const std::vector<Tuple> all = service.registry().Snap().Find("S")->rel
+                                     ->tuples();
+  std::string error;
+  ASSERT_TRUE(service.DeleteRows("S", all, &error)) << error;
+  QueryResponse resp;
+  const OracleVerdict verdict = ExecuteMatchesScratch(&service, query, &resp);
+  ASSERT_TRUE(verdict.ok) << verdict.message;
+  EXPECT_TRUE(resp.result->tuples.empty());
+}
+
+TEST(IncrementalServiceTest, RandomizedWorkloadAcrossAllEngines) {
+  constexpr int d = 5;
+  uint64_t s = 71;
+  for (EngineKind kind : AllEngineKinds()) {
+    SCOPED_TRACE(EngineKindName(kind));
+    ServiceOptions options;
+    options.shards = 4;
+    JoinService service(options);
+    // The 2-hop path: α-acyclic, so every engine serves it.
+    std::string error;
+    ASSERT_TRUE(service.Register(
+        RandomRelation("R", {"A", "B"}, 40, d, ++s), &error)) << error;
+    ASSERT_TRUE(service.Register(
+        RandomRelation("S", {"B", "C"}, 40, d, ++s), &error)) << error;
+    QueryRequest query;
+    query.relations = {"R", "S"};
+    query.engine = kind;
+    query.depth = d + 1;
+
+    for (int round = 0; round < 3; ++round) {
+      const std::string name = Next(&s) % 2 == 0 ? "R" : "S";
+      if (Next(&s) % 3 != 0) {
+        std::vector<Tuple> add;
+        for (int k = 0; k < 3; ++k) {
+          add.push_back({Next(&s) % (1ull << d), Next(&s) % (1ull << d)});
+        }
+        ASSERT_TRUE(service.AppendRows(name, add, &error)) << error;
+      } else {
+        const std::vector<Tuple>& rel =
+            service.registry().Snap().Find(name)->rel->tuples();
+        std::vector<Tuple> del;
+        if (!rel.empty()) del.push_back(rel[Next(&s) % rel.size()]);
+        ASSERT_TRUE(service.DeleteRows(name, del, &error)) << error;
+      }
+      const OracleVerdict verdict = ExecuteMatchesScratch(&service, query);
+      ASSERT_TRUE(verdict.ok)
+          << "round " << round << ": " << verdict.message;
+    }
+  }
+}
+
+TEST(IncrementalServiceTest, ConcurrentRowMutationsNeverTearQueries) {
+  // A writer streams row-level appends/deletes on S (exercising the
+  // delta log, InvalidateDelta restamps/demotions, and the patch path)
+  // while readers execute cached queries: every response is ok and
+  // epochs never go backwards. TSan runs this suite in CI.
+  ServiceOptions options;
+  options.shards = 4;
+  JoinService service(options);
+  RegisterTriangle(&service, /*n=*/50, /*d=*/5, /*seed=*/73);
+  std::atomic<bool> readers_done{false};
+  std::thread writer([&]() {
+    uint64_t s = 79;
+    for (int k = 0; !readers_done.load(); ++k) {
+      std::string error;
+      if (k % 3 == 2) {
+        const std::vector<Tuple>& rel =
+            service.registry().Snap().Find("S")->rel->tuples();
+        std::vector<Tuple> del;
+        if (!rel.empty()) del.push_back(rel[Next(&s) % rel.size()]);
+        EXPECT_TRUE(service.DeleteRows("S", del, &error)) << error;
+      } else {
+        EXPECT_TRUE(service.AppendRows(
+            "S", {{Next(&s) % 32, Next(&s) % 32}}, &error))
+            << error;
+      }
+    }
+  });
+
+  std::vector<std::thread> readers;
+  for (int r = 0; r < 2; ++r) {
+    readers.emplace_back([&, r]() {
+      uint64_t last_epoch = 0;
+      const QueryRequest query = TriangleQuery(
+          r == 0 ? EngineKind::kTetrisPreloaded : EngineKind::kGenericJoin,
+          6);
+      for (int i = 0; i < 30; ++i) {
+        const QueryResponse resp = service.Execute(query);
+        ASSERT_NE(resp.result, nullptr);
+        EXPECT_TRUE(resp.result->ok) << resp.result->error;
+        EXPECT_GE(resp.epoch, last_epoch);
+        last_epoch = resp.epoch;
+      }
+    });
+  }
+  for (std::thread& t : readers) t.join();
+  readers_done.store(true);
+  writer.join();
+  EXPECT_EQ(service.inflight(), 0u);
+  service.registry().PurgeRetired();
+  EXPECT_EQ(service.registry().retired(), 0u);
+}
+
+}  // namespace
+}  // namespace tetris

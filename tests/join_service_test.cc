@@ -245,6 +245,107 @@ TEST(JoinServiceTest, AdmissionRejectsOverTheInflightLimit) {
   EXPECT_GT(service.admitted(), 0u);
 }
 
+TEST(JoinServiceTest, QueuedQueriesWaitForASlotInsteadOfRejecting) {
+  ServiceOptions options;
+  options.max_inflight = 1;
+  options.max_queued = 2;
+  JoinService service(options);
+  RegisterRandomTriangle(&service, /*tuples=*/2000, /*d=*/12, /*seed=*/29);
+
+  QueryRequest slow = Triangle(EngineKind::kPairwiseNestedLoop);
+  slow.use_cache = false;
+  std::thread worker([&]() {
+    const QueryResponse r = service.Execute(slow);
+    EXPECT_TRUE(r.result->ok) << r.result->error;
+  });
+  while (service.inflight() == 0) std::this_thread::yield();
+
+  // This probe lands while the slot is held: it queues (never a
+  // rejection) and completes once the slow query drains.
+  const QueryResponse probe =
+      service.Execute(Triangle(EngineKind::kTetrisPreloaded));
+  worker.join();
+  EXPECT_FALSE(probe.rejected);
+  ASSERT_TRUE(probe.result->ok) << probe.result->error;
+  // `queued` is true iff the probe actually waited — it raced the slow
+  // query's completion, so assert via the counter-consistency instead:
+  // a queued wait was recorded exactly when the response says so.
+  EXPECT_EQ(service.queued() > 0, probe.queued);
+  EXPECT_EQ(service.rejected(), 0u);
+}
+
+TEST(JoinServiceTest, QueuedDeadlineExpiresAsARejection) {
+  ServiceOptions options;
+  options.max_inflight = 1;
+  options.max_queued = 2;
+  JoinService service(options);
+  RegisterRandomTriangle(&service, /*tuples=*/2500, /*d=*/12, /*seed=*/31);
+
+  QueryRequest slow = Triangle(EngineKind::kPairwiseNestedLoop);
+  slow.use_cache = false;
+  std::thread worker([&]() {
+    const QueryResponse r = service.Execute(slow);
+    EXPECT_TRUE(r.result->ok) << r.result->error;
+  });
+  while (service.inflight() == 0) std::this_thread::yield();
+
+  // While the slot is held, a tightly-deadlined probe queues and then
+  // expires in the queue rather than blocking forever. (If the slow
+  // query finishes first the probe just runs — accept either, but a
+  // rejection must carry the deadline message.)
+  QueryRequest probe = Triangle(EngineKind::kTetrisPreloaded);
+  probe.deadline_ms = 5;
+  const QueryResponse r = service.Execute(probe);
+  worker.join();
+  if (r.rejected) {
+    EXPECT_TRUE(r.queued);
+    EXPECT_NE(r.result->error.find("deadline expired"), std::string::npos)
+        << r.result->error;
+  }
+  EXPECT_EQ(service.inflight(), 0u);
+  // The drained slot admits the next query normally.
+  EXPECT_FALSE(service.Execute(Triangle(EngineKind::kTetrisPreloaded))
+                   .rejected);
+}
+
+TEST(JoinServiceTest, ExpensiveQueriesShedByPredictedCostWhenQueuing) {
+  ServiceOptions options;
+  options.max_inflight = 1;
+  options.max_queued = 4;
+  options.shed_cost_bytes = 1;  // every real query predicts above this
+  JoinService service(options);
+  RegisterRandomTriangle(&service, /*tuples=*/3000, /*d=*/12, /*seed=*/37);
+
+  QueryRequest slow = Triangle(EngineKind::kPairwiseNestedLoop);
+  slow.use_cache = false;
+  std::atomic<bool> done{false};
+  std::thread worker([&]() {
+    const QueryResponse r = service.Execute(slow);
+    EXPECT_TRUE(r.result->ok) << r.result->error;
+    done.store(true);
+  });
+
+  bool saw_shed = false;
+  while (!done.load() && !saw_shed) {
+    if (service.inflight() == 0) continue;  // worker not admitted yet
+    const QueryResponse r =
+        service.Execute(Triangle(EngineKind::kTetrisPreloaded));
+    if (r.rejected) {
+      saw_shed = true;
+      EXPECT_NE(r.result->error.find("admission shed"), std::string::npos)
+          << r.result->error;
+      EXPECT_FALSE(r.queued);  // shed happens before the wait, not after
+    }
+  }
+  worker.join();
+  EXPECT_TRUE(saw_shed);
+  EXPECT_GT(service.shed(), 0u);
+  // With the slot free, the same "expensive" query is admitted — cost
+  // only sheds queries that would otherwise have to queue.
+  EXPECT_FALSE(service.Execute(Triangle(EngineKind::kTetrisPreloaded))
+                   .rejected);
+}
+
 TEST(JoinServiceTest, ZeroCacheBytesDisablesCaching) {
   ServiceOptions options;
   options.cache_bytes = 0;
