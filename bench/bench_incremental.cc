@@ -72,7 +72,7 @@ MutableTriangle MakeTriangle(size_t n, int d, uint64_t seed) {
   uint64_t s = seed;
   for (size_t i = 0; i < 3; ++i) {
     inst.tuples.push_back(
-        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).tuples());
+        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).ToTuples());
   }
   inst.Rebind();
   return inst;
@@ -262,7 +262,7 @@ int main(int argc, char** argv) {
     // Effectively-empty deltas: the entry must survive (restamped) and
     // keep serving hits.
     const Tuple existing =
-        service.registry().Snap().Find("S")->rel->tuples()[0];
+        service.registry().Snap().Find("S")->rel->row(0).ToTuple();
     std::string error;
     if (!service.AppendRows("S", {existing}, &error) ||
         !service.DeleteRows("S", {{(1ull << d) - 1, (1ull << d) - 1}},
@@ -336,9 +336,8 @@ int main(int argc, char** argv) {
       query.depth = d;
       service.Execute(query);  // warm (ok or canonical rejection)
       const Tuple fresh = {Next(&s) % (1ull << d), Next(&s) % (1ull << d)};
-      const std::vector<Tuple>& rel =
-          service.registry().Snap().Find("S")->rel->tuples();
-      const Tuple victim = rel[Next(&s) % rel.size()];
+      const auto rel = service.registry().Snap().Find("S")->rel;
+      const Tuple victim = rel->row(Next(&s) % rel->size()).ToTuple();
       if (!service.AppendRows("S", {fresh}, &error) ||
           !service.DeleteRows("S", {victim}, &error)) {
         rep.Error("!! row mutation failed: %s", error.c_str());

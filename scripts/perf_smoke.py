@@ -112,7 +112,8 @@ def collect(build_dir, cal):
         os.path.join(bench, "bench_micro"),
         "--engines=tetris-preloaded",
         "--benchmark_filter="
-        "BM_OrderedResolve|BM_KbInsert|BM_DyadicCover|"
+        "BM_OrderedResolve|BM_KbInsert|BM_KbFindContaining/1024|"
+        "BM_DyadicCover|BM_SortedIndexBuild/4096|"
         "BM_SortedIndexProbe/1024|BM_RunJoin",
         "--benchmark_format=json",
         # A plain double keeps old google-benchmark happy (newer

@@ -36,7 +36,7 @@ class Gj {
       });
       for (int c : cols) st.level_attr.push_back(a.var_ids[c]);
       st.sorted.reserve(a.rel->size());
-      for (const Tuple& t : a.rel->tuples()) {
+      for (TupleRef t : a.rel->rows()) {
         Tuple p(cols.size());
         for (size_t l = 0; l < cols.size(); ++l) p[l] = t[cols[l]];
         st.sorted.push_back(std::move(p));

@@ -16,7 +16,7 @@ class TrieIter {
            int64_t* seek_counter)
       : level_cols_(std::move(level_cols)), seeks_(seek_counter) {
     sorted_.reserve(rel.size());
-    for (const Tuple& t : rel.tuples()) {
+    for (TupleRef t : rel.rows()) {
       Tuple p(level_cols_.size());
       for (size_t l = 0; l < level_cols_.size(); ++l) {
         p[l] = t[level_cols_[l]];

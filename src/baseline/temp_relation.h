@@ -14,9 +14,9 @@ struct TempRelation {
   std::vector<int> vars;      ///< query attribute ids, in column order
   std::vector<Tuple> tuples;  ///< not necessarily sorted or deduplicated
 
-  /// Lifts an atom into a TempRelation.
+  /// Lifts an atom into a TempRelation (materializes the flat rows).
   static TempRelation FromAtom(const Atom& a) {
-    return {a.var_ids, a.rel->tuples()};
+    return {a.var_ids, a.rel->ToTuples()};
   }
 };
 

@@ -50,6 +50,22 @@ bool RelationOracle::EnumerateAll(std::vector<DyadicBox>* out) const {
   return true;
 }
 
+bool RelationOracle::EnumerateIntersecting(const DyadicBox& box,
+                                           std::vector<DyadicBox>* out) const {
+  std::vector<DyadicBox> gaps;
+  for (size_t i = 0; i < query_->atoms().size(); ++i) {
+    const Atom& a = query_->atoms()[i];
+    DyadicBox proj = DyadicBox::Universal(static_cast<int>(a.var_ids.size()));
+    for (size_t c = 0; c < a.var_ids.size(); ++c) {
+      proj[static_cast<int>(c)] = box[a.var_ids[c]];
+    }
+    gaps.clear();
+    indexes_[i]->GapsIntersecting(proj, &gaps);
+    for (const DyadicBox& g : gaps) out->push_back(Embed(a, g));
+  }
+  return true;
+}
+
 size_t RelationOracle::CountAllGaps() const {
   std::vector<DyadicBox> all;
   EnumerateAll(&all);

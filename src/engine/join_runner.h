@@ -34,6 +34,14 @@ class RelationOracle : public BoxOracle {
 
   bool EnumerateAll(std::vector<DyadicBox>* out) const override;
 
+  /// Pruned per-atom enumeration: projects `box` onto each atom's columns
+  /// and asks the index for only the gaps meeting that projection. The
+  /// embedded gaps are universal on the other attributes, so they
+  /// intersect `box` iff their atom-local part meets the projection —
+  /// exactly the filtered EnumerateAll set.
+  bool EnumerateIntersecting(const DyadicBox& box,
+                             std::vector<DyadicBox>* out) const override;
+
   /// Total number of gap boxes across all indexes (|B(Q)|).
   size_t CountAllGaps() const;
 

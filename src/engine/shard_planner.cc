@@ -81,16 +81,17 @@ ShardPlan::AtomBuckets BucketAtomTuples(const Atom& atom,
     out.id_mask |= 1 << pin.id_shift;
     pins.push_back(std::move(pin));
   }
-  const std::vector<Tuple>& tuples = atom.rel->tuples();
-  for (size_t t = 0; t < tuples.size(); ++t) {
+  const Relation& rel = *atom.rel;
+  for (size_t t = 0; t < rel.size(); ++t) {
+    const TupleRef row = rel.row(t);
     int key = 0;
     bool contradiction = false;
     for (const Pin& pin : pins) {
       const int bit =
-          static_cast<int>((tuples[t][pin.cols[0]] >> pin.value_shift) & 1);
+          static_cast<int>((row[pin.cols[0]] >> pin.value_shift) & 1);
       for (size_t c = 1; c < pin.cols.size(); ++c) {
         if (static_cast<int>(
-                (tuples[t][pin.cols[c]] >> pin.value_shift) & 1) != bit) {
+                (row[pin.cols[c]] >> pin.value_shift) & 1) != bit) {
           contradiction = true;  // repeated attribute, disagreeing bits
           break;
         }
@@ -162,8 +163,8 @@ std::string HumanBytes(size_t b) {
 }  // namespace
 
 size_t EstimateAtomBytes(size_t tuples, int arity) {
-  return tuples *
-         (sizeof(Tuple) + static_cast<size_t>(arity) * sizeof(uint64_t));
+  // Flat columnar rows: arity values per tuple, no per-row header.
+  return tuples * static_cast<size_t>(arity) * sizeof(uint64_t);
 }
 
 const std::vector<size_t>* ShardPlan::AtomRows(int shard_id,

@@ -9,12 +9,12 @@ DyadicTreeIndex::DyadicTreeIndex(const Relation& rel, int depth)
     : k_(rel.arity()), d_(depth) {
   assert(k_ * d_ <= 62 && "Morton code must fit in one 64-bit word");
   codes_.reserve(rel.size());
-  for (const Tuple& t : rel.tuples()) codes_.push_back(Morton(t));
+  for (TupleRef t : rel.rows()) codes_.push_back(Morton(t.data()));
   std::sort(codes_.begin(), codes_.end());
   codes_.erase(std::unique(codes_.begin(), codes_.end()), codes_.end());
 }
 
-uint64_t DyadicTreeIndex::Morton(const Tuple& t) const {
+uint64_t DyadicTreeIndex::Morton(const uint64_t* t) const {
   // Interleave: for each bit position from the most significant, take one
   // bit from every column in order. The level-L cell of a point is then
   // the (k*L)-bit Morton prefix.
@@ -36,7 +36,7 @@ bool DyadicTreeIndex::CellOccupied(uint64_t prefix, int prefix_bits) const {
 }
 
 bool DyadicTreeIndex::Contains(const Tuple& t) const {
-  return std::binary_search(codes_.begin(), codes_.end(), Morton(t));
+  return std::binary_search(codes_.begin(), codes_.end(), Morton(t.data()));
 }
 
 DyadicBox DyadicTreeIndex::CellBox(uint64_t prefix, int level) const {
@@ -56,7 +56,7 @@ DyadicBox DyadicTreeIndex::CellBox(uint64_t prefix, int level) const {
 
 void DyadicTreeIndex::GapsContaining(const Tuple& t,
                                      std::vector<DyadicBox>* out) const {
-  const uint64_t m = Morton(t);
+  const uint64_t m = Morton(t.data());
   for (int level = 0; level <= d_; ++level) {
     uint64_t prefix = m >> (k_ * (d_ - level));
     if (!CellOccupied(prefix, k_ * level)) {

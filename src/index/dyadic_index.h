@@ -33,7 +33,7 @@ class DyadicTreeIndex : public Index {
   std::string Describe() const override { return "dyadic-tree"; }
 
  private:
-  uint64_t Morton(const Tuple& t) const;
+  uint64_t Morton(const uint64_t* t) const;
   // True iff some tuple's Morton code has `prefix` (of bit length
   // `prefix_bits`) as a prefix.
   bool CellOccupied(uint64_t prefix, int prefix_bits) const;

@@ -54,6 +54,20 @@ class Index {
   /// Appends all gap boxes of the index (its B(R) set).
   virtual void AllGaps(std::vector<DyadicBox>* out) const = 0;
 
+  /// Appends exactly the gap boxes of AllGaps() that intersect `box`
+  /// (share at least one point). The sharded executor preloads each
+  /// shard's Tetris from this, so indexes that can prune their gap
+  /// enumeration to the shard subcube override it; the default filters
+  /// the full enumeration.
+  virtual void GapsIntersecting(const DyadicBox& box,
+                                std::vector<DyadicBox>* out) const {
+    std::vector<DyadicBox> all;
+    AllGaps(&all);
+    for (const DyadicBox& g : all) {
+      if (box.Intersects(g)) out->push_back(g);
+    }
+  }
+
   /// Approximate resident footprint of the index structure in bytes
   /// (payload + node overhead; excludes the underlying Relation).
   virtual size_t MemoryBytes() const = 0;

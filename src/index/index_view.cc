@@ -36,7 +36,9 @@ void IndexView::GapsContaining(const Tuple& t,
 void IndexView::AllGaps(std::vector<DyadicBox>* out) const {
   AppendBoxComplement(box_, out);
   const size_t start = out->size();
-  base_->AllGaps(out);
+  // Pruned: only the base gaps meeting the box can survive the clip, so
+  // let the base skip the rest of its enumeration up front.
+  base_->GapsIntersecting(box_, out);
   ClipBoxesInPlace(box_, start, out);
 }
 

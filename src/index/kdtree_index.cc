@@ -7,7 +7,7 @@ namespace tetris {
 
 KdTreeIndex::KdTreeIndex(const Relation& rel, int depth, size_t leaf_capacity)
     : k_(rel.arity()), d_(depth), leaf_capacity_(std::max<size_t>(1, leaf_capacity)) {
-  points_ = rel.tuples();
+  points_ = rel.ToTuples();
   root_ = Build(DyadicBox::Universal(k_), 0, points_.size(), 0);
 }
 

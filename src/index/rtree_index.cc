@@ -25,7 +25,7 @@ RTreeIndex::RTreeIndex(const Relation& rel, int depth, size_t leaf_capacity)
     : k_(rel.arity()),
       d_(depth),
       leaf_capacity_(std::max<size_t>(1, leaf_capacity)) {
-  points_ = rel.tuples();
+  points_ = rel.ToTuples();
   if (!points_.empty()) Bulkload(0, points_.size(), 0);
 }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <numeric>
 
 #include "geometry/decompose.h"
 
@@ -21,29 +22,83 @@ SortedIndex::SortedIndex(const Relation& rel, std::vector<int> order,
                          int depth)
     : k_(rel.arity()), d_(depth), order_(std::move(order)) {
   assert(static_cast<int>(order_.size()) == k_);
-  sorted_.reserve(rel.size());
-  for (const Tuple& t : rel.tuples()) {
-    Tuple p(k_);
-    for (int level = 0; level < k_; ++level) p[level] = t[order_[level]];
-    sorted_.push_back(std::move(p));
+  const size_t n = rel.size();
+  const size_t k = static_cast<size_t>(k_);
+  // Gather rows permuted into index order, then sort a row permutation
+  // and gather once more — same flat-buffer discipline as
+  // Relation::Canonicalize.
+  std::vector<uint64_t> permuted(n * k);
+  for (size_t i = 0; i < n; ++i) {
+    TupleRef t = rel.row(i);
+    for (int level = 0; level < k_; ++level) {
+      permuted[i * k + level] = t[order_[level]];
+    }
   }
-  std::sort(sorted_.begin(), sorted_.end());
-  sorted_.erase(std::unique(sorted_.begin(), sorted_.end()), sorted_.end());
+  const uint64_t* d = permuted.data();
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  std::sort(perm.begin(), perm.end(), [d, k](uint32_t a, uint32_t b) {
+    return std::lexicographical_compare(d + a * k, d + a * k + k, d + b * k,
+                                        d + b * k + k);
+  });
+  sorted_.reserve(n * k);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t* src = d + static_cast<size_t>(perm[i]) * k;
+    if (rows_ > 0 &&
+        std::equal(src, src + k, sorted_.data() + (rows_ - 1) * k)) {
+      continue;
+    }
+    sorted_.insert(sorted_.end(), src, src + k);
+    ++rows_;
+  }
 }
 
 SortedIndex::SortedIndex(const Relation& rel, int depth)
     : SortedIndex(rel, IdentityOrder(rel.arity()), depth) {}
 
 bool SortedIndex::Contains(const Tuple& t) const {
-  Tuple p(k_);
-  for (int level = 0; level < k_; ++level) p[level] = t[order_[level]];
-  return std::binary_search(sorted_.begin(), sorted_.end(), p);
+  const size_t k = static_cast<size_t>(k_);
+  size_t lo = 0, hi = rows_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const uint64_t* r = sorted_.data() + mid * k;
+    int cmp = 0;
+    for (int level = 0; level < k_; ++level) {
+      const uint64_t v = t[order_[level]];
+      if (r[level] != v) {
+        cmp = r[level] < v ? -1 : 1;
+        break;
+      }
+    }
+    if (cmp == 0) return true;
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+size_t SortedIndex::LowerBound(size_t lo, size_t hi, int level,
+                               uint64_t v) const {
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (at(mid, level) < v) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 void SortedIndex::EmitBand(const Tuple& permuted_prefix, int level,
                            uint64_t lo_val, uint64_t hi_val,
+                           const DyadicInterval* clip,
                            std::vector<DyadicBox>* out) const {
   for (const DyadicInterval& iv : DyadicCover(lo_val, hi_val, d_)) {
+    if (clip != nullptr && !iv.ComparableWith(*clip)) continue;
     DyadicBox b = DyadicBox::Universal(k_);
     for (int i = 0; i < level; ++i) {
       b[order_[i]] = DyadicInterval::Unit(permuted_prefix[i], d_);
@@ -59,29 +114,19 @@ void SortedIndex::GapsContaining(const Tuple& t,
   for (int level = 0; level < k_; ++level) p[level] = t[order_[level]];
 
   const uint64_t dom_max = (uint64_t{1} << d_) - 1;
-  size_t lo = 0, hi = sorted_.size();
+  size_t lo = 0, hi = rows_;
   for (int level = 0; level < k_; ++level) {
     const uint64_t v = p[level];
-    auto cmp_lt = [level](const Tuple& a, uint64_t val) {
-      return a[level] < val;
-    };
-    auto cmp_gt = [level](uint64_t val, const Tuple& a) {
-      return val < a[level];
-    };
-    size_t sub_lo = std::lower_bound(sorted_.begin() + lo,
-                                     sorted_.begin() + hi, v, cmp_lt) -
-                    sorted_.begin();
-    size_t sub_hi = std::upper_bound(sorted_.begin() + lo,
-                                     sorted_.begin() + hi, v, cmp_gt) -
-                    sorted_.begin();
+    const size_t sub_lo = LowerBound(lo, hi, level, v);
+    const size_t sub_hi =
+        v == dom_max ? hi : LowerBound(sub_lo, hi, level, v + 1);
     if (sub_lo == sub_hi) {
       // Probe value absent at this level: the band between the neighbour
       // keys is tuple-free (this is the unique maximal GAO-consistent gap
       // containing the probe).
-      uint64_t band_lo =
-          sub_lo > lo ? sorted_[sub_lo - 1][level] + 1 : 0;
-      uint64_t band_hi = sub_hi < hi ? sorted_[sub_hi][level] - 1 : dom_max;
-      EmitBand(p, level, band_lo, band_hi, out);
+      uint64_t band_lo = sub_lo > lo ? at(sub_lo - 1, level) + 1 : 0;
+      uint64_t band_hi = sub_hi < hi ? at(sub_hi, level) - 1 : dom_max;
+      EmitBand(p, level, band_lo, band_hi, nullptr, out);
       return;
     }
     lo = sub_lo;
@@ -97,23 +142,69 @@ void SortedIndex::AllGapsRec(size_t lo, size_t hi, int level, Tuple* prefix,
   uint64_t next_free = 0;  // lowest value not yet covered by key or gap
   size_t i = lo;
   while (i < hi) {
-    uint64_t v = sorted_[i][level];
-    if (v > next_free) EmitBand(*prefix, level, next_free, v - 1, out);
+    uint64_t v = at(i, level);
+    if (v > next_free) EmitBand(*prefix, level, next_free, v - 1, nullptr, out);
     size_t j = i;
-    while (j < hi && sorted_[j][level] == v) ++j;
+    while (j < hi && at(j, level) == v) ++j;
     (*prefix)[level] = v;
     AllGapsRec(i, j, level + 1, prefix, out);
     next_free = v + 1;
     i = j;
   }
   if (next_free <= dom_max) {
-    EmitBand(*prefix, level, next_free, dom_max, out);
+    EmitBand(*prefix, level, next_free, dom_max, nullptr, out);
   }
 }
 
 void SortedIndex::AllGaps(std::vector<DyadicBox>* out) const {
   Tuple prefix(k_);
-  AllGapsRec(0, sorted_.size(), 0, &prefix, out);
+  AllGapsRec(0, rows_, 0, &prefix, out);
+}
+
+void SortedIndex::GapsIntersectingRec(size_t lo, size_t hi, int level,
+                                      const DyadicBox& box, Tuple* prefix,
+                                      std::vector<DyadicBox>* out) const {
+  if (level == k_) return;
+  const uint64_t dom_max = (uint64_t{1} << d_) - 1;
+  // Value range of the box's component at this level. Bands and key
+  // groups entirely outside it produce gaps whose component is disjoint
+  // from the box, so the scan starts at the last key below the range
+  // (which bounds the band overlapping its left edge) and stops past its
+  // right edge.
+  const DyadicInterval& comp = box[order_[level]];
+  const int shift = comp.len >= d_ ? 0 : d_ - comp.len;
+  const uint64_t blo = comp.bits << shift;
+  const uint64_t bhi = blo + ((uint64_t{1} << shift) - 1);
+
+  size_t i = LowerBound(lo, hi, level, blo);
+  uint64_t next_free = i > lo ? at(i - 1, level) + 1 : 0;
+  while (i < hi && at(i, level) <= bhi) {
+    uint64_t v = at(i, level);
+    if (v > next_free) {
+      EmitBand(*prefix, level, next_free, v - 1, &comp, out);
+    }
+    size_t j = i;
+    while (j < hi && at(j, level) == v) ++j;
+    (*prefix)[level] = v;
+    GapsIntersectingRec(i, j, level + 1, box, prefix, out);
+    next_free = v + 1;
+    i = j;
+  }
+  // Trailing band: runs from the last in-range key to the next key after
+  // the range (or the domain end) — it still intersects the box whenever
+  // it starts within the range.
+  if (next_free <= bhi) {
+    const uint64_t band_hi = i < hi ? at(i, level) - 1 : dom_max;
+    if (band_hi >= next_free) {
+      EmitBand(*prefix, level, next_free, band_hi, &comp, out);
+    }
+  }
+}
+
+void SortedIndex::GapsIntersecting(const DyadicBox& box,
+                                   std::vector<DyadicBox>* out) const {
+  Tuple prefix(k_);
+  GapsIntersectingRec(0, rows_, 0, box, &prefix, out);
 }
 
 std::string SortedIndex::Describe() const {

@@ -6,6 +6,12 @@
 // tuples and returns the *band* gap between the neighbouring keys at that
 // level — exactly the GAO-consistent gap boxes of Minesweeper [50] —
 // dyadically decomposed per Proposition B.14.
+//
+// Storage is one flat row-major uint64_t buffer (stride = arity), sorted
+// lexicographically in index order: level descents are binary searches
+// over a column slice of a contiguous array, and building the index is a
+// single permuted gather from the relation's flat buffer — no per-row
+// heap allocations.
 #ifndef TETRIS_INDEX_SORTED_INDEX_H_
 #define TETRIS_INDEX_SORTED_INDEX_H_
 
@@ -30,27 +36,46 @@ class SortedIndex : public Index {
   void GapsContaining(const Tuple& t,
                       std::vector<DyadicBox>* out) const override;
   void AllGaps(std::vector<DyadicBox>* out) const override;
+  /// Pruned enumeration: descends only into key groups whose value lies
+  /// in `box`'s component at that level and emits only the bands meeting
+  /// it, so the cost tracks the keys under the subcube, not the whole
+  /// relation.
+  void GapsIntersecting(const DyadicBox& box,
+                        std::vector<DyadicBox>* out) const override;
   std::string Describe() const override;
 
   size_t MemoryBytes() const override {
-    return sorted_.size() *
-           (sizeof(Tuple) + static_cast<size_t>(k_) * sizeof(uint64_t));
+    return rows_ * static_cast<size_t>(k_) * sizeof(uint64_t);
   }
 
   const std::vector<int>& order() const { return order_; }
 
  private:
+  uint64_t at(size_t row, int level) const {
+    return sorted_[row * static_cast<size_t>(k_) + level];
+  }
+  // First row in [lo, hi) whose `level` column is >= v (the range shares
+  // a prefix above `level`, so that column slice is sorted).
+  size_t LowerBound(size_t lo, size_t hi, int level, uint64_t v) const;
   // Emits the dyadic decomposition of the band gap [lo_val, hi_val] at
-  // trie `level`, with the probe's unit intervals above it.
+  // trie `level`, with the probe's unit intervals above it. When `clip`
+  // is non-null only cover intervals comparable with it are emitted.
   void EmitBand(const Tuple& permuted_prefix, int level, uint64_t lo_val,
-                uint64_t hi_val, std::vector<DyadicBox>* out) const;
+                uint64_t hi_val, const DyadicInterval* clip,
+                std::vector<DyadicBox>* out) const;
   void AllGapsRec(size_t lo, size_t hi, int level, Tuple* prefix,
                   std::vector<DyadicBox>* out) const;
+  void GapsIntersectingRec(size_t lo, size_t hi, int level,
+                           const DyadicBox& box, Tuple* prefix,
+                           std::vector<DyadicBox>* out) const;
 
   int k_;
   int d_;
-  std::vector<int> order_;       // level -> relation column
-  std::vector<Tuple> sorted_;    // tuples permuted into index order, sorted
+  std::vector<int> order_;  // level -> relation column
+  /// Rows permuted into index order, lexicographically sorted and
+  /// deduplicated; flat row-major, stride k_.
+  std::vector<uint64_t> sorted_;
+  size_t rows_ = 0;
 };
 
 }  // namespace tetris

@@ -32,8 +32,11 @@ void RestrictedOracle::Probe(const DyadicBox& point,
 bool RestrictedOracle::EnumerateAll(std::vector<DyadicBox>* out) const {
   const size_t start = out->size();
   AppendBoxComplement(box_, out);
+  // Only base boxes meeting the subcube can survive the clip below, so
+  // ask for exactly those — a pruned base (materialized store, sorted
+  // index) then skips the rest of its enumeration.
   std::vector<DyadicBox> base_boxes;
-  if (!base_->EnumerateAll(&base_boxes)) {
+  if (!base_->EnumerateIntersecting(box_, &base_boxes)) {
     out->resize(start);  // leave no partial result behind
     return false;
   }

@@ -36,6 +36,20 @@ class BoxOracle {
     return false;
   }
 
+  /// Appends exactly the gap boxes of B that intersect `box` — what a
+  /// Tetris restricted to the subcube `box` preloads. Oracles that can
+  /// prune the enumeration override this; the default filters the full
+  /// set. Returns false iff enumeration is unsupported.
+  virtual bool EnumerateIntersecting(const DyadicBox& box,
+                                     std::vector<DyadicBox>* out) const {
+    std::vector<DyadicBox> all;
+    if (!EnumerateAll(&all)) return false;
+    for (const DyadicBox& b : all) {
+      if (box.Intersects(b)) out->push_back(b);
+    }
+    return true;
+  }
+
   /// Number of Probe calls served (oracle-access accounting, footnote 4).
   int64_t probe_count() const {
     return probe_count_.load(std::memory_order_relaxed);
@@ -70,6 +84,14 @@ class MaterializedOracle : public BoxOracle {
   bool EnumerateAll(std::vector<DyadicBox>* out) const override {
     auto all = store_.AllBoxes();
     out->insert(out->end(), all.begin(), all.end());
+    return true;
+  }
+
+  /// Pruned via the store's comparability walk — only trie paths meeting
+  /// `box` are visited.
+  bool EnumerateIntersecting(const DyadicBox& box,
+                             std::vector<DyadicBox>* out) const override {
+    store_.CollectIntersecting(box, out);
     return true;
   }
 

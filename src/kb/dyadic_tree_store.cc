@@ -1,41 +1,112 @@
 #include "kb/dyadic_tree_store.h"
 
+#include "util/bit_ops.h"
+
 namespace tetris {
+namespace {
+
+// Worst case Insert appends per level: a split node, a suffix leaf, and the
+// next level's root. Reserving this up front lets the hot loop walk a raw
+// Node* without re-fetching nodes_.data() after every append.
+constexpr int kMaxNewNodesPerLevel = 3;
+
+}  // namespace
 
 DyadicTreeStore::DyadicTreeStore(int dims) : dims_(dims) {
-  root_ = NewNode();
+  root_ = NewNode(0, 0);
 }
 
-int32_t DyadicTreeStore::NewNode() {
-  nodes_.emplace_back();
+int32_t DyadicTreeStore::NewNode(uint64_t edge_bits, int edge_len) {
+  Node n;
+  n.edge_bits = edge_bits;
+  n.edge_len = static_cast<uint8_t>(edge_len);
+  nodes_.push_back(n);
   return static_cast<int32_t>(nodes_.size()) - 1;
 }
 
+DyadicBox DyadicTreeStore::MaterializeBox(int32_t id) const {
+  DyadicBox b = DyadicBox::Universal(dims_);
+  const DyadicInterval* comps = &pool_[static_cast<size_t>(id) * dims_];
+  for (int i = 0; i < dims_; ++i) b[i] = comps[i];
+  b.set_output_derived(flags_[id] != 0);
+  return b;
+}
+
 bool DyadicTreeStore::Insert(const DyadicBox& b) {
+  // Grow once per insert so the walk below never invalidates `nodes`.
+  const size_t need =
+      nodes_.size() + static_cast<size_t>(kMaxNewNodesPerLevel) * dims_;
+  if (need > nodes_.capacity()) {
+    size_t cap = nodes_.capacity() < 64 ? 64 : nodes_.capacity() * 2;
+    nodes_.reserve(cap < need ? need : cap);
+  }
+  Node* nodes = nodes_.data();
   int32_t node = root_;
   for (int level = 0; level < dims_; ++level) {
     const DyadicInterval& iv = b[level];
-    for (int i = 0; i < iv.len; ++i) {
-      int bit = static_cast<int>((iv.bits >> (iv.len - 1 - i)) & 1);
-      int32_t next = nodes_[node].child[bit];
+    uint64_t rem_bits = iv.bits;
+    int rem_len = iv.len;
+    while (rem_len > 0) {
+      const int bit = static_cast<int>((rem_bits >> (rem_len - 1)) & 1);
+      int32_t next = nodes[node].child[bit];
       if (next < 0) {
-        next = NewNode();
-        nodes_[node].child[bit] = next;
+        // Fresh path: one node absorbs the whole remaining suffix.
+        next = NewNode(rem_bits, rem_len);
+        nodes[node].child[bit] = next;
+        node = next;
+        rem_len = 0;
+        break;
       }
-      node = next;
+      const uint64_t edge_bits = nodes[next].edge_bits;
+      const int edge_len = nodes[next].edge_len;
+      if (edge_len <= rem_len &&
+          IsBitPrefix(edge_bits, edge_len, rem_bits, rem_len)) {
+        // Whole edge consumed in one word compare.
+        rem_len -= edge_len;
+        rem_bits &= LowMask(rem_len);
+        node = next;
+        continue;
+      }
+      // Partial match: split the edge at the first diverging bit. p >= 1
+      // because the child slot already matched the leading bit.
+      const int m = edge_len < rem_len ? edge_len : rem_len;
+      const int p =
+          FirstDiffBit(edge_bits >> (edge_len - m), rem_bits >> (rem_len - m),
+                       m);
+      const int32_t mid = NewNode(edge_bits >> (edge_len - p), p);
+      Node& old_child = nodes[next];
+      old_child.edge_bits = edge_bits & LowMask(edge_len - p);
+      old_child.edge_len = static_cast<uint8_t>(edge_len - p);
+      const int old_first =
+          static_cast<int>((old_child.edge_bits >> (edge_len - p - 1)) & 1);
+      nodes[mid].child[old_first] = next;
+      nodes[node].child[bit] = mid;
+      node = mid;
+      rem_len -= p;
+      rem_bits &= LowMask(rem_len);
+      if (rem_len > 0) {
+        // The rest of the component diverges from the old edge here.
+        const int rbit = static_cast<int>((rem_bits >> (rem_len - 1)) & 1);
+        const int32_t leaf = NewNode(rem_bits, rem_len);
+        nodes[node].child[rbit] = leaf;
+        node = leaf;
+        rem_len = 0;
+      }
+      break;
     }
     if (level + 1 < dims_) {
-      int32_t next = nodes_[node].next_level;
+      int32_t next = nodes[node].down;
       if (next < 0) {
-        next = NewNode();
-        nodes_[node].next_level = next;
+        next = NewNode(0, 0);
+        nodes[node].down = next;
       }
       node = next;
     }
   }
-  if (nodes_[node].stored >= 0) return false;  // identical box present
-  nodes_[node].stored = static_cast<int32_t>(boxes_.size());
-  boxes_.push_back(b);
+  if (nodes[node].down >= 0) return false;  // identical box present
+  nodes[node].down = static_cast<int32_t>(count_);
+  pool_.insert(pool_.end(), &b[0], &b[0] + dims_);
+  flags_.push_back(b.output_derived() ? 1 : 0);
   ++count_;
   return true;
 }
@@ -43,44 +114,61 @@ bool DyadicTreeStore::Insert(const DyadicBox& b) {
 int32_t DyadicTreeStore::FindRec(int32_t node, const DyadicBox& b,
                                  int level) const {
   const DyadicInterval& iv = b[level];
+  uint64_t rem_bits = iv.bits;
+  int rem_len = iv.len;
   // Walk the prefix path of b's component at this level, from λ downward;
-  // every node on the path is a stored prefix candidate.
-  for (int i = 0;; ++i) {
+  // every explicit node on the path is a stored prefix candidate.
+  for (;;) {
     const Node& nd = nodes_[node];
-    if (level + 1 == dims_) {
-      if (nd.stored >= 0) return nd.stored;
-    } else if (nd.next_level >= 0) {
-      int32_t found = FindRec(nd.next_level, b, level + 1);
+    if (nd.down >= 0) {
+      if (level + 1 == dims_) return nd.down;
+      int32_t found = FindRec(nd.down, b, level + 1);
       if (found >= 0) return found;
     }
-    if (i == iv.len) break;
-    int bit = static_cast<int>((iv.bits >> (iv.len - 1 - i)) & 1);
-    int32_t next = nd.child[bit];
-    if (next < 0) break;
+    if (rem_len == 0) return -1;
+    const int bit = static_cast<int>((rem_bits >> (rem_len - 1)) & 1);
+    const int32_t next = nd.child[bit];
+    if (next < 0) return -1;
+    const Node& c = nodes_[next];
+    // A stored prefix of the component must stay on the component's bit
+    // path: the child's whole edge label must prefix the remaining bits.
+    if (!IsBitPrefix(c.edge_bits, c.edge_len, rem_bits, rem_len)) return -1;
+    rem_len -= c.edge_len;
+    rem_bits &= LowMask(rem_len);
     node = next;
   }
-  return -1;
 }
 
 const DyadicBox* DyadicTreeStore::FindContaining(const DyadicBox& b) const {
   int32_t idx = FindRec(root_, b, 0);
-  return idx >= 0 ? &boxes_[idx] : nullptr;
+  if (idx < 0) return nullptr;
+  thread_local DyadicBox scratch = DyadicBox::Universal(1);
+  scratch = MaterializeBox(idx);
+  return &scratch;
 }
 
 void DyadicTreeStore::CollectRec(int32_t node, const DyadicBox& b, int level,
                                  std::vector<DyadicBox>* out) const {
   const DyadicInterval& iv = b[level];
-  for (int i = 0;; ++i) {
+  uint64_t rem_bits = iv.bits;
+  int rem_len = iv.len;
+  for (;;) {
     const Node& nd = nodes_[node];
-    if (level + 1 == dims_) {
-      if (nd.stored >= 0) out->push_back(boxes_[nd.stored]);
-    } else if (nd.next_level >= 0) {
-      CollectRec(nd.next_level, b, level + 1, out);
+    if (nd.down >= 0) {
+      if (level + 1 == dims_) {
+        out->push_back(MaterializeBox(nd.down));
+      } else {
+        CollectRec(nd.down, b, level + 1, out);
+      }
     }
-    if (i == iv.len) break;
-    int bit = static_cast<int>((iv.bits >> (iv.len - 1 - i)) & 1);
-    int32_t next = nd.child[bit];
-    if (next < 0) break;
+    if (rem_len == 0) return;
+    const int bit = static_cast<int>((rem_bits >> (rem_len - 1)) & 1);
+    const int32_t next = nd.child[bit];
+    if (next < 0) return;
+    const Node& c = nodes_[next];
+    if (!IsBitPrefix(c.edge_bits, c.edge_len, rem_bits, rem_len)) return;
+    rem_len -= c.edge_len;
+    rem_bits &= LowMask(rem_len);
     node = next;
   }
 }
@@ -88,6 +176,71 @@ void DyadicTreeStore::CollectRec(int32_t node, const DyadicBox& b, int level,
 void DyadicTreeStore::CollectContaining(const DyadicBox& b,
                                         std::vector<DyadicBox>* out) const {
   CollectRec(root_, b, 0, out);
+}
+
+void DyadicTreeStore::SubtreeRec(int32_t node, const DyadicBox& b, int level,
+                                 std::vector<DyadicBox>* out) const {
+  const Node& nd = nodes_[node];
+  if (nd.down >= 0) {
+    if (level + 1 == dims_) {
+      out->push_back(MaterializeBox(nd.down));
+    } else {
+      IntersectRec(nd.down, b, level + 1, out);
+    }
+  }
+  for (int bit = 0; bit < 2; ++bit) {
+    if (nd.child[bit] >= 0) SubtreeRec(nd.child[bit], b, level, out);
+  }
+}
+
+void DyadicTreeStore::IntersectRec(int32_t node, const DyadicBox& b,
+                                   int level,
+                                   std::vector<DyadicBox>* out) const {
+  const DyadicInterval& iv = b[level];
+  uint64_t rem_bits = iv.bits;
+  int rem_len = iv.len;
+  // Two dyadic intervals intersect iff comparable: while the walked
+  // prefix is shorter than the component we must stay on its bit path
+  // (stored component ⊇ probe component); once the component is fully
+  // consumed every extension below qualifies (stored ⊆ probe component).
+  for (;;) {
+    const Node& nd = nodes_[node];
+    if (nd.down >= 0) {
+      if (level + 1 == dims_) {
+        out->push_back(MaterializeBox(nd.down));
+      } else {
+        IntersectRec(nd.down, b, level + 1, out);
+      }
+    }
+    if (rem_len == 0) {
+      for (int bit = 0; bit < 2; ++bit) {
+        if (nd.child[bit] >= 0) SubtreeRec(nd.child[bit], b, level, out);
+      }
+      return;
+    }
+    const int bit = static_cast<int>((rem_bits >> (rem_len - 1)) & 1);
+    const int32_t next = nd.child[bit];
+    if (next < 0) return;
+    const Node& c = nodes_[next];
+    if (c.edge_len <= rem_len) {
+      if (!IsBitPrefix(c.edge_bits, c.edge_len, rem_bits, rem_len)) return;
+      rem_len -= c.edge_len;
+      rem_bits &= LowMask(rem_len);
+      node = next;
+      continue;
+    }
+    // Edge runs past the component: the child subtree qualifies iff the
+    // remaining component bits prefix the edge label.
+    if (IsBitPrefix(rem_bits, rem_len, c.edge_bits, c.edge_len)) {
+      SubtreeRec(next, b, level, out);
+    }
+    return;
+  }
+}
+
+void DyadicTreeStore::CollectIntersecting(const DyadicBox& b,
+                                          std::vector<DyadicBox>* out) const {
+  IntersectRec(root_, b, 0, out);
 }
 
 bool DyadicTreeStore::ContainsExact(const DyadicBox& b) const {
@@ -99,25 +252,32 @@ bool DyadicTreeStore::ContainsExact(const DyadicBox& b) const {
   return false;
 }
 
-void DyadicTreeStore::AllRec(int32_t node, std::vector<DyadicBox>* out) const {
+void DyadicTreeStore::AllRec(int32_t node, int level,
+                             std::vector<DyadicBox>* out) const {
   const Node& nd = nodes_[node];
-  if (nd.stored >= 0) out->push_back(boxes_[nd.stored]);
-  if (nd.next_level >= 0) AllRec(nd.next_level, out);
+  if (nd.down >= 0) {
+    if (level + 1 == dims_) {
+      out->push_back(MaterializeBox(nd.down));
+    } else {
+      AllRec(nd.down, level + 1, out);
+    }
+  }
   for (int bit = 0; bit < 2; ++bit) {
-    if (nd.child[bit] >= 0) AllRec(nd.child[bit], out);
+    if (nd.child[bit] >= 0) AllRec(nd.child[bit], level, out);
   }
 }
 
 std::vector<DyadicBox> DyadicTreeStore::AllBoxes() const {
   std::vector<DyadicBox> out;
   out.reserve(count_);
-  AllRec(root_, &out);
+  AllRec(root_, 0, &out);
   return out;
 }
 
 size_t DyadicTreeStore::MemoryBytes() const {
   return nodes_.capacity() * sizeof(Node) +
-         boxes_.capacity() * sizeof(DyadicBox) + sizeof(*this);
+         pool_.capacity() * sizeof(DyadicInterval) + flags_.capacity() +
+         sizeof(*this);
 }
 
 }  // namespace tetris

@@ -1,18 +1,34 @@
-// Multilevel dyadic tree (paper, Appendix C.1, Figure 16).
+// Multilevel dyadic tree (paper, Appendix C.1, Figure 16), stored as a
+// path-compressed, bit-packed flat arena.
 //
 // Stores a set of n-dimensional dyadic boxes so that the two operations
 // Tetris performs constantly are cheap:
 //
-//   * Insert(box)            — O(n·d) pointer walks.
+//   * Insert(box)            — amortized O(n) arena-node visits.
 //   * FindContaining(box)    — is some stored box a superset of `box`?
 //                              Visits only *existing* prefix nodes, so the
 //                              cost is O~(1) per Proposition B.12.
 //   * CollectContaining(box) — all stored supersets (the oracle operation).
+//   * CollectIntersecting(b) — all stored boxes sharing a point with `b`
+//                              (the per-shard preloaded enumeration path).
 //
 // One binary trie per dimension; a trie node that terminates some box's
 // i-th component points to the root of a (i+1)-level trie. Boxes sharing a
 // prefix of components share subtrees. Level order equals component order,
 // so the engine keeps boxes in SAO coordinate order.
+//
+// Arena layout: every node of every per-dimension trie lives in ONE
+// contiguous std::vector<Node>, addressed by int32_t indices — no
+// pointers, no per-node allocation, 24 bytes per node. Edges are
+// path-compressed: a node carries the whole multi-bit label of the edge
+// entering it as a right-aligned (edge_bits, edge_len) prefix, so walking
+// a length-L component costs one word-level prefix comparison
+// (IsBitPrefix / FirstDiffBit from util/bit_ops.h) per *branching* node
+// instead of L single-bit child hops. Stored boxes are bit-packed too: a
+// dims-strided pool of components instead of full (16-slot) DyadicBox
+// copies, so a 3-dimensional box costs 48 pool bytes, not 272. A fresh
+// 3-dimensional box inserts ~5 nodes and touches a few cache lines; the
+// old one-bit-per-node layout allocated and chased sum(len_i) nodes.
 #ifndef TETRIS_KB_DYADIC_TREE_STORE_H_
 #define TETRIS_KB_DYADIC_TREE_STORE_H_
 
@@ -23,7 +39,8 @@
 
 namespace tetris {
 
-/// A pooled-node multilevel dyadic tree over boxes of a fixed dimension.
+/// A path-compressed multilevel dyadic tree over boxes of a fixed
+/// dimension, backed by a flat node arena.
 class DyadicTreeStore {
  public:
   /// Creates an empty store for `dims`-dimensional boxes.
@@ -35,12 +52,22 @@ class DyadicTreeStore {
 
   /// Returns a pointer to some stored box that contains `b`, or nullptr.
   /// Prefers coarser (shorter-prefix) boxes, which tend to cover more of
-  /// the target's siblings on backtracking.
+  /// the target's siblings on backtracking. The pointer stays valid until
+  /// the calling thread's next FindContaining on any store (the box is
+  /// materialized from the component pool into thread-local scratch);
+  /// callers that keep the box copy it, as before.
   const DyadicBox* FindContaining(const DyadicBox& b) const;
 
   /// Appends every stored box that contains `b` to `out`.
   void CollectContaining(const DyadicBox& b,
                          std::vector<DyadicBox>* out) const;
+
+  /// Appends every stored box that intersects `b` (shares at least one
+  /// point — component-wise comparability) to `out`. Walks only the trie
+  /// paths comparable with `b`, so enumerating the boxes meeting a small
+  /// subcube skips the rest of the store.
+  void CollectIntersecting(const DyadicBox& b,
+                           std::vector<DyadicBox>* out) const;
 
   /// True iff an identical box is stored.
   bool ContainsExact(const DyadicBox& b) const;
@@ -57,24 +84,43 @@ class DyadicTreeStore {
   size_t MemoryBytes() const;
 
  private:
+  /// One arena node, 24 bytes. The accumulated prefix of a node is the
+  /// concatenation of edge labels on its path from the level root; only
+  /// explicit nodes can terminate a stored box's component, so lookups
+  /// never stop mid-edge. `down` is the root of the (level+1) trie on
+  /// every level but the last, where it is the stored-box id instead —
+  /// a node never needs both.
   struct Node {
-    int32_t child[2] = {-1, -1};
-    int32_t next_level = -1;  ///< Root node of the (level+1) trie, or -1.
-    int32_t stored = -1;      ///< boxes_ index if a box ends here (last level).
+    uint64_t edge_bits = 0;       ///< label of the edge entering this node
+    int32_t child[2] = {-1, -1};  ///< by first bit after this node's prefix
+    int32_t down = -1;   ///< next-level trie root / stored-box id, or -1
+    uint8_t edge_len = 0;  ///< label length in bits (0 only at roots)
   };
 
-  int32_t NewNode();
+  int32_t NewNode(uint64_t edge_bits, int edge_len);
+  /// Rebuilds stored box `id` from the component pool.
+  DyadicBox MaterializeBox(int32_t id) const;
   // Walks b's component `level` from `node`, recursing into deeper levels;
-  // returns the index of a containing box or -1.
+  // returns the stored-box id of a containing box or -1.
   int32_t FindRec(int32_t node, const DyadicBox& b, int level) const;
   void CollectRec(int32_t node, const DyadicBox& b, int level,
                   std::vector<DyadicBox>* out) const;
-  void AllRec(int32_t node, std::vector<DyadicBox>* out) const;
+  void IntersectRec(int32_t node, const DyadicBox& b, int level,
+                    std::vector<DyadicBox>* out) const;
+  // Collects every terminating node of `node`'s level subtree (all of
+  // whose accumulated prefixes extend a prefix already known comparable
+  // with b's component at `level`).
+  void SubtreeRec(int32_t node, const DyadicBox& b, int level,
+                  std::vector<DyadicBox>* out) const;
+  void AllRec(int32_t node, int level, std::vector<DyadicBox>* out) const;
 
   int dims_;
   size_t count_ = 0;
   std::vector<Node> nodes_;
-  std::vector<DyadicBox> boxes_;
+  /// Stored boxes, dims_ components per box, addressed by stored-box id.
+  std::vector<DyadicInterval> pool_;
+  /// Per stored box: the provenance (output_derived) bit.
+  std::vector<uint8_t> flags_;
   int32_t root_;
 };
 

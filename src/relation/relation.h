@@ -3,22 +3,99 @@
 // Attribute domains are {0,1}^d — equivalently the integers [0, 2^d) — with
 // d logarithmic in the data. A Relation is a named, deduplicated set of
 // arity-k tuples; indexing structures over relations live in src/index.
+//
+// Storage is columnar-era flat: all rows live in ONE contiguous
+// arity-strided uint64_t buffer (row-major, stride = arity), not one heap
+// allocation per row. Row access goes through TupleRef, a non-owning
+// 16-byte proxy over a buffer slice; materializing a std::vector-backed
+// Tuple is explicit (ToTuple) and reserved for boundaries that must own
+// their row (engine outputs, server responses). Scanning a relation walks
+// one linear buffer — sequential prefetch, zero pointer chasing — and
+// building an index over n rows costs one O(n) gather instead of n
+// per-row allocations.
 #ifndef TETRIS_RELATION_RELATION_H_
 #define TETRIS_RELATION_RELATION_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>
 
 namespace tetris {
 
-/// A tuple of attribute values.
+/// A materialized, owning tuple of attribute values. The interchange type
+/// at API boundaries (probe arguments, engine results); bulk row storage
+/// uses Relation's flat buffer instead.
 using Tuple = std::vector<uint64_t>;
+
+/// A non-owning view of one row inside a flat arity-strided buffer.
+/// Valid as long as the owning buffer is neither mutated nor destroyed.
+class TupleRef {
+ public:
+  TupleRef(const uint64_t* p, int k) : p_(p), k_(k) {}
+
+  uint64_t operator[](int i) const { return p_[i]; }
+  int size() const { return k_; }
+  const uint64_t* data() const { return p_; }
+
+  /// Materializes an owning copy.
+  Tuple ToTuple() const { return Tuple(p_, p_ + k_); }
+  operator Tuple() const { return ToTuple(); }
+
+  friend bool operator==(const TupleRef& a, const TupleRef& b) {
+    if (a.k_ != b.k_) return false;
+    for (int i = 0; i < a.k_; ++i) {
+      if (a.p_[i] != b.p_[i]) return false;
+    }
+    return true;
+  }
+  friend bool operator<(const TupleRef& a, const TupleRef& b) {
+    const int m = a.k_ < b.k_ ? a.k_ : b.k_;
+    for (int i = 0; i < m; ++i) {
+      if (a.p_[i] != b.p_[i]) return a.p_[i] < b.p_[i];
+    }
+    return a.k_ < b.k_;
+  }
+
+ private:
+  const uint64_t* p_;
+  int k_;
+};
 
 /// A relation instance: a set of tuples plus the names of its attributes.
 /// Attribute names tie relation columns to query attributes (vars(R)).
 class Relation {
  public:
+  /// Forward iterator over rows, yielding TupleRef proxies.
+  class RowIterator {
+   public:
+    RowIterator(const uint64_t* p, int k) : p_(p), k_(k) {}
+    TupleRef operator*() const { return TupleRef(p_, k_); }
+    RowIterator& operator++() {
+      p_ += k_;
+      return *this;
+    }
+    bool operator!=(const RowIterator& o) const { return p_ != o.p_; }
+
+   private:
+    const uint64_t* p_;
+    int k_;
+  };
+
+  /// An iterable view over all rows: `for (TupleRef t : rel.rows())`.
+  class RowRange {
+   public:
+    RowRange(const uint64_t* begin, const uint64_t* end, int k)
+        : begin_(begin), end_(end), k_(k) {}
+    RowIterator begin() const { return RowIterator(begin_, k_); }
+    RowIterator end() const { return RowIterator(end_, k_); }
+
+   private:
+    const uint64_t* begin_;
+    const uint64_t* end_;
+    int k_;
+  };
+
   Relation(std::string name, std::vector<std::string> attrs)
       : name_(std::move(name)), attrs_(std::move(attrs)) {}
 
@@ -30,11 +107,26 @@ class Relation {
   const std::vector<std::string>& attrs() const { return attrs_; }
   int arity() const { return static_cast<int>(attrs_.size()); }
 
-  const std::vector<Tuple>& tuples() const { return tuples_; }
-  size_t size() const { return tuples_.size(); }
+  size_t size() const { return rows_; }
+  TupleRef row(size_t i) const {
+    return TupleRef(data_.data() + i * attrs_.size(), arity());
+  }
+  RowRange rows() const {
+    return RowRange(data_.data(), data_.data() + data_.size(), arity());
+  }
+  /// The flat row-major buffer, size() * arity() values.
+  const std::vector<uint64_t>& raw() const { return data_; }
+
+  /// Materializes every row as an owning Tuple (boundary use only).
+  std::vector<Tuple> ToTuples() const;
 
   /// Adds a tuple (does not deduplicate; call Canonicalize after bulk adds).
-  void Add(Tuple t) { tuples_.push_back(std::move(t)); }
+  /// `t.size()` must equal arity().
+  void Add(const Tuple& t);
+  /// Adds a row from any contiguous arity()-value span.
+  void AddRow(const uint64_t* v);
+  /// Pre-allocates buffer space for `n` rows.
+  void Reserve(size_t n) { data_.reserve(n * attrs_.size()); }
 
   /// Sorts lexicographically and removes duplicates.
   void Canonicalize();
@@ -51,7 +143,9 @@ class Relation {
  private:
   std::string name_;
   std::vector<std::string> attrs_;
-  std::vector<Tuple> tuples_;
+  /// Row-major flat storage: rows_ * arity() values, stride arity().
+  std::vector<uint64_t> data_;
+  size_t rows_ = 0;
 };
 
 }  // namespace tetris

@@ -3,15 +3,15 @@
 namespace tetris {
 
 size_t RelationView::PayloadBytes() const {
-  return size() *
-         (sizeof(Tuple) +
-          static_cast<size_t>(base_->arity()) * sizeof(uint64_t));
+  // Flat columnar rows: arity values, no per-row header.
+  return size() * static_cast<size_t>(base_->arity()) * sizeof(uint64_t);
 }
 
 Relation RelationView::Materialize() const {
   Relation out(base_->name(), base_->attrs());
   const size_t n = size();
-  for (size_t i = 0; i < n; ++i) out.Add(tuple(i));
+  out.Reserve(n);
+  for (size_t i = 0; i < n; ++i) out.AddRow(tuple(i).data());
   // Base relations are canonical and row lists preserve base order, so
   // this is a cheap no-op pass in practice — but the contract is
   // "canonical", not "canonical if the inputs were".

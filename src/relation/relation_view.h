@@ -27,7 +27,7 @@ class RelationView {
   explicit RelationView(const Relation* base)
       : base_(base), rows_(nullptr) {}
 
-  /// View of the rows in `*rows` (indices into base->tuples(), in base
+  /// View of the rows in `*rows` (row indices into `base`, in base
   /// order, no duplicates).
   RelationView(const Relation* base, const std::vector<size_t>* rows)
       : base_(base), rows_(rows) {}
@@ -38,8 +38,8 @@ class RelationView {
     return rows_ == nullptr ? base_->size() : rows_->size();
   }
 
-  const Tuple& tuple(size_t i) const {
-    return base_->tuples()[rows_ == nullptr ? i : (*rows_)[i]];
+  TupleRef tuple(size_t i) const {
+    return base_->row(rows_ == nullptr ? i : (*rows_)[i]);
   }
 
   /// Bytes a materialized copy of the viewed rows would occupy — the

@@ -102,7 +102,7 @@ size_t JoinService::PredictPeakBytes(const QueryRequest& request) const {
   for (const std::string& name : request.relations) {
     const RelationVersion* v = snap.Find(name);
     if (v == nullptr) continue;  // resolution fails later, with its own error
-    payload += EstimateAtomBytes(v->rel->tuples().size(), v->rel->arity());
+    payload += EstimateAtomBytes(v->rel->size(), v->rel->arity());
   }
   ShardCostModel model;
   model.family = EngineFamilyOf(request.engine);

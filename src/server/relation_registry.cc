@@ -93,9 +93,14 @@ bool RelationRegistry::AppendRows(const std::string& name,
   const bool noop = d.added.empty();
   Relation next("", {});
   if (!noop) {
-    std::vector<Tuple> merged = old.tuples();
-    merged.insert(merged.end(), d.added.begin(), d.added.end());
-    next = Relation::Make(old.name(), old.attrs(), std::move(merged));
+    // Merge on the flat buffer: copy the old rows, append the delta, and
+    // re-canonicalize — no per-row Tuple materialization.
+    Relation merged(old.name(), old.attrs());
+    merged.Reserve(old.size() + d.added.size());
+    for (TupleRef t : old.rows()) merged.AddRow(t.data());
+    for (const Tuple& t : d.added) merged.Add(t);
+    merged.Canonicalize();
+    next = std::move(merged);
   }
   InstallDeltaLocked(it, std::move(next), noop, std::move(d), delta);
   return true;
@@ -125,14 +130,18 @@ bool RelationRegistry::DeleteRows(const std::string& name,
   const bool noop = d.removed.empty();
   Relation next("", {});
   if (!noop) {
-    std::vector<Tuple> kept;
-    kept.reserve(old.size() - d.removed.size());
-    for (const Tuple& t : old.tuples()) {
-      if (!std::binary_search(d.removed.begin(), d.removed.end(), t)) {
-        kept.push_back(t);
+    Relation kept(old.name(), old.attrs());
+    kept.Reserve(old.size() - d.removed.size());
+    for (TupleRef t : old.rows()) {
+      if (!std::binary_search(d.removed.begin(), d.removed.end(),
+                              t.ToTuple())) {
+        kept.AddRow(t.data());
       }
     }
-    next = Relation::Make(old.name(), old.attrs(), std::move(kept));
+    // Old version was canonical and we only dropped rows, but keep the
+    // canonical-form contract explicit.
+    kept.Canonicalize();
+    next = std::move(kept);
   }
   InstallDeltaLocked(it, std::move(next), noop, std::move(d), delta);
   return true;

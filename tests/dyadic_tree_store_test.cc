@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "kb/box_oracle.h"
 #include "util/rng.h"
 
@@ -102,6 +106,17 @@ TEST_P(StoreProperty, AgreesWithLinearScan) {
     if (was_new) ref.push_back(b);
   }
   EXPECT_EQ(store.size(), ref.size());
+
+  // AllBoxes must enumerate exactly the reference set (as a set; the
+  // store's order is tree order, not insertion order).
+  auto sorted_keys = [](const std::vector<DyadicBox>& v) {
+    std::vector<std::string> keys;
+    for (const auto& b : v) keys.push_back(b.ToString());
+    std::sort(keys.begin(), keys.end());
+    return keys;
+  };
+  EXPECT_EQ(sorted_keys(store.AllBoxes()), sorted_keys(ref));
+
   for (int i = 0; i < 300; ++i) {
     DyadicBox probe = random_box();
     std::vector<DyadicBox> got;
@@ -116,6 +131,15 @@ TEST_P(StoreProperty, AgreesWithLinearScan) {
     if (f != nullptr) {
       EXPECT_TRUE(f->Contains(probe));
     }
+    // Differential for the pruned enumeration: CollectIntersecting must
+    // equal the brute-force comparability filter over the box list.
+    std::vector<DyadicBox> inter;
+    store.CollectIntersecting(probe, &inter);
+    std::vector<DyadicBox> inter_ref;
+    for (const auto& r : ref) {
+      if (r.Intersects(probe)) inter_ref.push_back(r);
+    }
+    EXPECT_EQ(sorted_keys(inter), sorted_keys(inter_ref));
   }
 }
 
@@ -123,6 +147,48 @@ INSTANTIATE_TEST_SUITE_P(
     Shapes, StoreProperty,
     ::testing::Values(std::pair{1, 4}, std::pair{2, 3}, std::pair{3, 3},
                       std::pair{4, 2}, std::pair{2, 8}));
+
+// Pins the pre-arena enumeration contract: AllBoxes order depends only on
+// the stored set (DFS over the dyadic tree), never on insertion order —
+// path compression keeps every branch point an explicit node, so the
+// compressed DFS visits terminating prefixes in the same sequence the
+// one-bit-per-node layout did.
+TEST(DyadicTreeStore, AllBoxesOrderIsInsertionIndependent) {
+  Rng rng(99);
+  std::vector<DyadicBox> boxes;
+  for (int i = 0; i < 64; ++i) {
+    DyadicBox b = DyadicBox::Universal(3);
+    for (int c = 0; c < 3; ++c) {
+      int len = static_cast<int>(rng.Below(5));
+      b[c] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+    }
+    boxes.push_back(b);
+  }
+  DyadicTreeStore fwd(3), rev(3);
+  for (const auto& b : boxes) fwd.Insert(b);
+  for (auto it = boxes.rbegin(); it != boxes.rend(); ++it) rev.Insert(*it);
+  EXPECT_EQ(fwd.AllBoxes(), rev.AllBoxes());
+}
+
+// The provenance bit rides along through the component pool.
+TEST(DyadicTreeStore, OutputDerivedBitRoundTrips) {
+  DyadicTreeStore store(2);
+  DyadicBox derived = DyadicBox::Of({Iv(0b0, 1), kLam});
+  derived.set_output_derived(true);
+  DyadicBox plain = DyadicBox::Of({Iv(0b1, 1), kLam});
+  store.Insert(derived);
+  store.Insert(plain);
+  const DyadicBox* f = store.FindContaining(DyadicBox::Point({0, 0}, 2));
+  ASSERT_NE(f, nullptr);
+  EXPECT_TRUE(f->output_derived());
+  std::vector<DyadicBox> out;
+  store.CollectContaining(DyadicBox::Point({3, 0}, 2), &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_FALSE(out[0].output_derived());
+  for (const DyadicBox& b : store.AllBoxes()) {
+    EXPECT_EQ(b.output_derived(), b[0].bits == 0);
+  }
+}
 
 TEST(KeepMaximalBoxes, RemovesDominated) {
   std::vector<DyadicBox> v = {

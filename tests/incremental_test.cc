@@ -204,7 +204,7 @@ MutableInstance TriangleInstance(size_t n, int d, uint64_t seed) {
   uint64_t s = seed;
   for (size_t i = 0; i < 3; ++i) {
     inst.tuples.push_back(
-        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).tuples());
+        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).ToTuples());
   }
   inst.Rebind();
   return inst;
@@ -217,7 +217,7 @@ MutableInstance PathInstance(size_t n, int d, uint64_t seed) {
   uint64_t s = seed;
   for (size_t i = 0; i < 2; ++i) {
     inst.tuples.push_back(
-        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).tuples());
+        RandomRelation(inst.names[i], inst.attrs[i], n, d, ++s).ToTuples());
   }
   inst.Rebind();
   return inst;
@@ -425,7 +425,8 @@ TEST(IncrementalServiceTest, EffectivelyEmptyDeltasKeepCacheEntriesServable) {
   // Append a duplicate of an existing row and delete an absent one:
   // both bump the epoch, neither changes the relation — the cached
   // entry must survive (restamped) and keep serving hits.
-  const Tuple existing = service.registry().Snap().Find("S")->rel->tuples()[0];
+  const Tuple existing =
+      service.registry().Snap().Find("S")->rel->row(0).ToTuple();
   std::string error;
   ASSERT_TRUE(service.AppendRows("S", {existing}, &error)) << error;
   ASSERT_TRUE(service.DeleteRows("S", {{63, 63}}, &error)) << error;
@@ -445,8 +446,8 @@ TEST(IncrementalServiceTest, DeleteEverythingServesTheEmptyJoin) {
   const QueryRequest query = TriangleQuery(EngineKind::kGenericJoin, 5);
   ASSERT_TRUE(service.Execute(query).result->ok);
 
-  const std::vector<Tuple> all = service.registry().Snap().Find("S")->rel
-                                     ->tuples();
+  const std::vector<Tuple> all =
+      service.registry().Snap().Find("S")->rel->ToTuples();
   std::string error;
   ASSERT_TRUE(service.DeleteRows("S", all, &error)) << error;
   QueryResponse resp;
@@ -483,10 +484,11 @@ TEST(IncrementalServiceTest, RandomizedWorkloadAcrossAllEngines) {
         }
         ASSERT_TRUE(service.AppendRows(name, add, &error)) << error;
       } else {
-        const std::vector<Tuple>& rel =
-            service.registry().Snap().Find(name)->rel->tuples();
+        const Relation& rel = *service.registry().Snap().Find(name)->rel;
         std::vector<Tuple> del;
-        if (!rel.empty()) del.push_back(rel[Next(&s) % rel.size()]);
+        if (rel.size() > 0) {
+          del.push_back(rel.row(Next(&s) % rel.size()).ToTuple());
+        }
         ASSERT_TRUE(service.DeleteRows(name, del, &error)) << error;
       }
       const OracleVerdict verdict = ExecuteMatchesScratch(&service, query);
@@ -511,10 +513,12 @@ TEST(IncrementalServiceTest, ConcurrentRowMutationsNeverTearQueries) {
     for (int k = 0; !readers_done.load(); ++k) {
       std::string error;
       if (k % 3 == 2) {
-        const std::vector<Tuple>& rel =
-            service.registry().Snap().Find("S")->rel->tuples();
+        // Snapshot pointer keeps the version alive while we pick a row.
+        const auto snap_rel = service.registry().Snap().Find("S")->rel;
         std::vector<Tuple> del;
-        if (!rel.empty()) del.push_back(rel[Next(&s) % rel.size()]);
+        if (snap_rel->size() > 0) {
+          del.push_back(snap_rel->row(Next(&s) % snap_rel->size()).ToTuple());
+        }
         EXPECT_TRUE(service.DeleteRows("S", del, &error)) << error;
       } else {
         EXPECT_TRUE(service.AppendRows(

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <memory>
+
 #include "index/dyadic_index.h"
 #include "index/kdtree_index.h"
 #include "index/multi_index.h"
@@ -80,8 +83,8 @@ TEST(SortedIndex, ProbeMissingTupleYieldsContainingGap) {
   for (const auto& g : gaps) {
     if (g.ContainsPoint({2, 6}, 3)) contains_probe = true;
     // No gap may cover a real tuple.
-    for (const auto& t : r.tuples()) {
-      EXPECT_FALSE(g.ContainsPoint(t, 3)) << g.ToString();
+    for (TupleRef t : r.rows()) {
+      EXPECT_FALSE(g.ContainsPoint(t.data(), 3)) << g.ToString();
     }
   }
   EXPECT_TRUE(contains_probe);
@@ -153,8 +156,8 @@ TEST(DyadicTreeIndex, ProbeReturnsMaximalEmptyCell) {
   EXPECT_TRUE(gaps[0].ContainsPoint({0, 0}, 3));
   // Maximality: the parent cell (one level up) must be occupied.
   EXPECT_GT(gaps[0][0].len, 0);
-  for (const auto& t : r.tuples()) {
-    EXPECT_FALSE(gaps[0].ContainsPoint(t, 3));
+  for (TupleRef t : r.rows()) {
+    EXPECT_FALSE(gaps[0].ContainsPoint(t.data(), 3));
   }
 }
 
@@ -188,8 +191,8 @@ TEST(KdTreeIndex, ProbeReturnsContainingGap) {
       EXPECT_EQ(gaps.empty(), r.Contains({a, b}));
       for (const auto& g : gaps) {
         EXPECT_TRUE(g.ContainsPoint({a, b}, 3));
-        for (const auto& t : r.tuples()) {
-          EXPECT_FALSE(g.ContainsPoint(t, 3));
+        for (TupleRef t : r.rows()) {
+          EXPECT_FALSE(g.ContainsPoint(t.data(), 3));
         }
       }
     }
@@ -258,8 +261,8 @@ TEST(RTreeIndex, ProbeFindsSingleContainingGap) {
       if (!gaps.empty()) {
         ASSERT_EQ(gaps.size(), 1u);
         EXPECT_TRUE(gaps[0].ContainsPoint({a, b}, 3));
-        for (const auto& t : r.tuples()) {
-          EXPECT_FALSE(gaps[0].ContainsPoint(t, 3));
+        for (TupleRef t : r.rows()) {
+          EXPECT_FALSE(gaps[0].ContainsPoint(t.data(), 3));
         }
       }
     }
@@ -336,8 +339,8 @@ TEST_P(IndexProperty, GapsExactAndProbesConsistent) {
         bool any_contains = false;
         for (const auto& g : probe_gaps) {
           if (g.ContainsPoint(t, d)) any_contains = true;
-          for (const auto& tu : r.tuples()) {
-            ASSERT_FALSE(g.ContainsPoint(tu, d))
+          for (TupleRef tu : r.rows()) {
+            ASSERT_FALSE(g.ContainsPoint(tu.data(), d))
                 << ix->Describe() << " gap covers a tuple";
           }
         }
@@ -353,6 +356,63 @@ INSTANTIATE_TEST_SUITE_P(
                       IndexCase{2, 4, 30, 33}, IndexCase{3, 3, 40, 44},
                       IndexCase{3, 2, 5, 55}, IndexCase{4, 2, 12, 66},
                       IndexCase{2, 5, 1, 77}, IndexCase{2, 3, 0, 88}));
+
+// Differential: the pruned GapsIntersecting enumeration must equal the
+// filtered full enumeration, for every index type (SortedIndex overrides
+// it with a subcube-pruned walk; the others use the default filter) and
+// random probe subcubes of varying coarseness.
+TEST(GapsIntersecting, MatchesFilteredAllGaps) {
+  Rng rng(4242);
+  for (int round = 0; round < 20; ++round) {
+    const int k = 2 + static_cast<int>(rng.Below(2));
+    const int d = 3 + static_cast<int>(rng.Below(2));
+    const int n = static_cast<int>(rng.Below(40));
+    std::vector<Tuple> ts;
+    for (int i = 0; i < n; ++i) {
+      Tuple t(k);
+      for (int c = 0; c < k; ++c) t[c] = rng.Below(uint64_t{1} << d);
+      ts.push_back(std::move(t));
+    }
+    std::vector<std::string> attrs;
+    for (int c = 0; c < k; ++c) attrs.push_back("A" + std::to_string(c));
+    Relation r = Relation::Make("R", attrs, std::move(ts));
+
+    std::vector<std::unique_ptr<Index>> indexes;
+    indexes.push_back(std::make_unique<SortedIndex>(r, d));
+    {
+      std::vector<int> rev(k);
+      for (int c = 0; c < k; ++c) rev[c] = k - 1 - c;
+      indexes.push_back(std::make_unique<SortedIndex>(r, rev, d));
+    }
+    indexes.push_back(std::make_unique<KdTreeIndex>(r, d, 4));
+
+    for (int probe = 0; probe < 8; ++probe) {
+      DyadicBox box = DyadicBox::Universal(k);
+      for (int c = 0; c < k; ++c) {
+        const int len = static_cast<int>(rng.Below(d + 1));
+        box[c] = {rng.Below(uint64_t{1} << len), static_cast<uint8_t>(len)};
+      }
+      for (const auto& ix : indexes) {
+        std::vector<DyadicBox> all;
+        ix->AllGaps(&all);
+        std::vector<DyadicBox> expected;
+        for (const DyadicBox& g : all) {
+          if (box.Intersects(g)) expected.push_back(g);
+        }
+        std::vector<DyadicBox> pruned;
+        ix->GapsIntersecting(box, &pruned);
+        // Order may differ between enumeration strategies; compare sets.
+        auto key = [](const DyadicBox& b) { return b.ToString(); };
+        std::vector<std::string> e, p;
+        for (const auto& b : expected) e.push_back(key(b));
+        for (const auto& b : pruned) p.push_back(key(b));
+        std::sort(e.begin(), e.end());
+        std::sort(p.begin(), p.end());
+        EXPECT_EQ(e, p) << ix->Describe() << " box=" << box.ToString();
+      }
+    }
+  }
+}
 
 }  // namespace
 }  // namespace tetris

@@ -51,8 +51,8 @@ DyadicBox RandomBox2(uint64_t seed) {
 
 Relation Restrict(const Relation& rel, const DyadicBox& box) {
   std::vector<Tuple> ts;
-  for (const Tuple& t : rel.tuples()) {
-    if (box.ContainsPoint(t, kDepth)) ts.push_back(t);
+  for (TupleRef t : rel.rows()) {
+    if (box.ContainsPoint(t.data(), kDepth)) ts.push_back(t.ToTuple());
   }
   return Relation::Make(rel.name(), rel.attrs(), std::move(ts));
 }
@@ -107,8 +107,8 @@ void ExpectViewMatchesMaterialized(const IndexFactory& make,
       bool some_gap_contains_probe = view_gaps.empty();
       for (const DyadicBox& g : view_gaps) {
         if (g.ContainsPoint(t, kDepth)) some_gap_contains_probe = true;
-        for (const Tuple& r : restricted.tuples()) {
-          EXPECT_FALSE(g.ContainsPoint(r, kDepth))
+        for (TupleRef r : restricted.rows()) {
+          EXPECT_FALSE(g.ContainsPoint(r.data(), kDepth))
               << g.ToString() << " covers restricted tuple";
         }
       }
@@ -195,7 +195,7 @@ TEST(IndexViewTest, UniversalBoxViewIsTransparent) {
   base.AllGaps(&base_all);
   // No complement slabs, no clipping: the view is the base.
   EXPECT_EQ(view_all.size(), base_all.size());
-  for (const Tuple& t : rel.tuples()) EXPECT_TRUE(view.Contains(t));
+  for (TupleRef t : rel.rows()) EXPECT_TRUE(view.Contains(t.ToTuple()));
 }
 
 // The kb-level decorator: RestrictedOracle over a materialized box set

@@ -118,9 +118,9 @@ TEST(RelationRegistryTest, SnapshotIsolationUnderConcurrentReplace) {
     RegistrySnapshot snap = reg.Snap();
     const RelationVersion* v = snap.Find("R");
     ASSERT_NE(v, nullptr);
-    const std::vector<Tuple>& tuples = v->rel->tuples();
-    ASSERT_EQ(tuples.size(), 4u);
-    for (const Tuple& t : tuples) EXPECT_EQ(t[0], tuples[0][0]);
+    const Relation& rel = *v->rel;
+    ASSERT_EQ(rel.size(), 4u);
+    for (TupleRef t : rel.rows()) EXPECT_EQ(t[0], rel.row(0)[0]);
     // Epochs only grow across successive snapshots.
     EXPECT_GE(snap.epoch, last_epoch);
     last_epoch = snap.epoch;
@@ -128,7 +128,7 @@ TEST(RelationRegistryTest, SnapshotIsolationUnderConcurrentReplace) {
   }
   writer.join();
   EXPECT_GT(checked, 0u);
-  EXPECT_EQ(reg.Snap().Find("R")->rel->tuples()[0][0], kReplaces);
+  EXPECT_EQ(reg.Snap().Find("R")->rel->row(0)[0], kReplaces);
 
   // With every reader snapshot gone, the retired backlog drains fully.
   reg.PurgeRetired();

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "relation/relation_view.h"
+#include "util/rng.h"
+
 namespace tetris {
 namespace {
 
@@ -9,9 +14,9 @@ TEST(Relation, MakeCanonicalizes) {
   Relation r = Relation::Make("R", {"A", "B"},
                               {{3, 1}, {1, 3}, {3, 1}, {0, 0}});
   EXPECT_EQ(r.size(), 3u);
-  EXPECT_EQ(r.tuples()[0], (Tuple{0, 0}));
-  EXPECT_EQ(r.tuples()[1], (Tuple{1, 3}));
-  EXPECT_EQ(r.tuples()[2], (Tuple{3, 1}));
+  EXPECT_EQ(r.row(0).ToTuple(), (Tuple{0, 0}));
+  EXPECT_EQ(r.row(1).ToTuple(), (Tuple{1, 3}));
+  EXPECT_EQ(r.row(2).ToTuple(), (Tuple{3, 1}));
 }
 
 TEST(Relation, ContainsUsesBinarySearch) {
@@ -45,6 +50,74 @@ TEST(Relation, IncrementalAddThenCanonicalize) {
   r.Canonicalize();
   EXPECT_EQ(r.size(), 2u);
   EXPECT_TRUE(r.Contains({1, 1}));
+}
+
+TEST(Relation, FlatBufferIsRowMajorStrided) {
+  Relation r = Relation::Make("R", {"A", "B", "C"}, {{1, 2, 3}, {4, 5, 6}});
+  ASSERT_EQ(r.raw().size(), 6u);
+  EXPECT_EQ(r.raw(), (std::vector<uint64_t>{1, 2, 3, 4, 5, 6}));
+  EXPECT_EQ(r.row(1)[0], 4u);
+  EXPECT_EQ(r.row(1).data(), r.raw().data() + 3);
+}
+
+TEST(Relation, RowsRangeAndToTuplesRoundTrip) {
+  std::vector<Tuple> in = {{2, 9}, {1, 1}, {7, 0}};
+  Relation r = Relation::Make("R", {"A", "B"}, in);
+  std::sort(in.begin(), in.end());
+  EXPECT_EQ(r.ToTuples(), in);
+  size_t i = 0;
+  for (TupleRef t : r.rows()) {
+    EXPECT_EQ(t.ToTuple(), in[i]);
+    ++i;
+  }
+  EXPECT_EQ(i, in.size());
+}
+
+TEST(Relation, TupleRefComparisons) {
+  Relation r = Relation::Make("R", {"A", "B"}, {{1, 2}, {1, 3}});
+  EXPECT_TRUE(r.row(0) < r.row(1));
+  EXPECT_FALSE(r.row(1) < r.row(0));
+  EXPECT_TRUE(r.row(0) == r.row(0));
+  EXPECT_FALSE(r.row(0) == r.row(1));
+  Tuple owned = r.row(1);  // implicit materialization
+  EXPECT_EQ(owned, (Tuple{1, 3}));
+}
+
+// Differential: flat-buffer canonicalize/Contains against the obvious
+// vector<Tuple> model on random multisets with duplicates.
+TEST(Relation, RandomizedCanonicalizeMatchesTupleModel) {
+  Rng rng(321);
+  for (int round = 0; round < 30; ++round) {
+    const int k = 1 + static_cast<int>(rng.Below(4));
+    const size_t n = rng.Below(60);
+    std::vector<Tuple> model;
+    Relation r("R", std::vector<std::string>(k, "x"));
+    for (size_t i = 0; i < n; ++i) {
+      Tuple t(k);
+      for (int c = 0; c < k; ++c) t[c] = rng.Below(8);  // force duplicates
+      model.push_back(t);
+      r.Add(t);
+    }
+    std::sort(model.begin(), model.end());
+    model.erase(std::unique(model.begin(), model.end()), model.end());
+    r.Canonicalize();
+    EXPECT_EQ(r.ToTuples(), model);
+    for (const Tuple& t : model) EXPECT_TRUE(r.Contains(t));
+    Tuple probe(k, 9);  // outside the value range above
+    EXPECT_FALSE(r.Contains(probe));
+  }
+}
+
+TEST(RelationView, MaterializeGathersRowsFromFlatBase) {
+  Relation base =
+      Relation::Make("R", {"A", "B"}, {{0, 1}, {2, 3}, {4, 5}, {6, 7}});
+  std::vector<size_t> rows = {1, 3};
+  RelationView view(&base, &rows);
+  EXPECT_EQ(view.size(), 2u);
+  EXPECT_EQ(view.tuple(0).ToTuple(), (Tuple{2, 3}));
+  Relation m = view.Materialize();
+  EXPECT_EQ(m.ToTuples(), (std::vector<Tuple>{{2, 3}, {6, 7}}));
+  EXPECT_EQ(view.PayloadBytes(), 2u * 2u * sizeof(uint64_t));
 }
 
 }  // namespace

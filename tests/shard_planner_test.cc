@@ -27,13 +27,13 @@ void ExpectShardsCoverAtoms(const QueryInstance& q, const ShardPlan& plan) {
     std::set<Tuple> seen;
     for (const Shard& shard : plan.shards) {
       MaterializedShard ms = MaterializeShard(q.query, plan, shard.id);
-      for (const Tuple& t : ms.query.atoms()[a].rel->tuples()) {
-        seen.insert(t);
+      for (TupleRef t : ms.query.atoms()[a].rel->rows()) {
+        seen.insert(t.ToTuple());
       }
     }
-    const auto& original = q.query.atoms()[a].rel->tuples();
+    const Relation& original = *q.query.atoms()[a].rel;
     EXPECT_EQ(seen.size(), original.size());
-    for (const Tuple& t : original) EXPECT_TRUE(seen.count(t));
+    for (TupleRef t : original.rows()) EXPECT_TRUE(seen.count(t.ToTuple()));
   }
 }
 
@@ -52,8 +52,8 @@ TEST(ShardPlannerTest, DefaultPlanIsOneUniversalShard) {
   }
   MaterializedShard ms = MaterializeShard(q.query, plan, 0);
   for (size_t a = 0; a < q.query.atoms().size(); ++a) {
-    EXPECT_EQ(ms.query.atoms()[a].rel->tuples(),
-              q.query.atoms()[a].rel->tuples());
+    EXPECT_EQ(ms.query.atoms()[a].rel->raw(),
+              q.query.atoms()[a].rel->raw());
   }
 }
 

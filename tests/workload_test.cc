@@ -53,7 +53,7 @@ TEST(Generators, CliqueOnRandomGraphSymmetric) {
   QueryInstance qi = CliqueOnRandomGraph(3, 8, 12, 5);
   EXPECT_EQ(qi.storage.size(), 3u);
   for (const auto& r : qi.storage) {
-    for (const Tuple& t : r->tuples()) {
+    for (TupleRef t : r->rows()) {
       EXPECT_TRUE(r->Contains({t[1], t[0]}));
       EXPECT_NE(t[0], t[1]);
     }
