@@ -283,7 +283,12 @@ int main(int argc, char** argv) {
     }
 
     // A real one-row append must be served by a patch, and the patched
-    // answer must match the cache-bypassing scratch run.
+    // answer must match the cache-bypassing scratch run. It must also be
+    // rebuild-free: cached indexes are PROMOTED to the new epoch with a
+    // delta overlay (index/sorted_index.h), never rebuilt — gated here
+    // so the claim is measured, not just asserted in tests.
+    const IndexCache& ix = service.registry().index_cache();
+    const size_t builds_before_append = ix.builds();
     if (!service.AppendRows("S", {{3, 5}}, &error)) {
       rep.Error("!! append failed: %s", error.c_str());
       return 1;
@@ -308,6 +313,20 @@ int main(int argc, char** argv) {
                           static_cast<double>(patched_resp.shards_total)
                     : 1.0,
                 "shards re-run by the serving patch (reported)");
+
+    // Rebuild-free gate: the append plus the patched AND scratch
+    // re-serves above performed zero full SortedIndex builds.
+    const size_t rebuilds = ix.builds() - builds_before_append;
+    rep.Summary("index_rebuilds", static_cast<double>(rebuilds),
+                "acceptance: 0 (1-row delta promotes cached indexes)");
+    rep.Summary("index_promotes", static_cast<double>(ix.promotes()),
+                "acceptance: >= 1 (append carried the cached entries)");
+    if (rebuilds != 0 || ix.promotes() < 1) {
+      rep.Error("!! REBUILD-FREE ACCEPTANCE MISSED: %zu builds, %zu "
+                "promotes after a 1-row append",
+                rebuilds, ix.promotes());
+      ok = false;
+    }
   }
 
   // --- 3. one insert+delete round through every engine --------------

@@ -129,6 +129,41 @@ void BM_SortedIndexProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_SortedIndexProbe)->Arg(1024)->Arg(65536);
 
+// The rebuild-free append path: promote a shared base index across
+// `overlay` 1-row epochs (delta overlays, no rebuild), then measure
+// GapsContaining latency through the overlay. Arg = overlay rows;
+// Arg 0 is the pure permutation view, the baseline the overlay's probe
+// cost is compared against (perf_smoke gates Arg 0 and Arg 16).
+void BM_SortedIndexAppendProbe(benchmark::State& state) {
+  const int d = 16;
+  const size_t overlay = static_cast<size_t>(state.range(0));
+  Rng rng(29);
+  auto version = std::make_shared<const Relation>(
+      RandomRelation("R", {"A", "B"}, 4096, d, 23));
+  auto ix = std::make_shared<const SortedIndex>(*version, d);
+  for (size_t i = 0; i < overlay; ++i) {
+    Tuple row = {rng.Below(1 << d), rng.Below(1 << d)};
+    if (version->Contains(row)) continue;  // keep the delta effective
+    Relation next(version->name(), version->attrs());
+    next.Reserve(version->size() + 1);
+    for (TupleRef t : version->rows()) next.AddRow(t.data());
+    next.Add(row);
+    next.Canonicalize();
+    auto next_version = std::make_shared<const Relation>(std::move(next));
+    ix = SortedIndex::Promote(ix, version, *next_version, {row}, {});
+    version = next_version;
+  }
+  Rng prng(17);
+  std::vector<DyadicBox> out;
+  for (auto _ : state) {
+    out.clear();
+    Tuple t = {prng.Below(1 << d), prng.Below(1 << d)};
+    ix->GapsContaining(t, &out);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_SortedIndexAppendProbe)->Arg(0)->Arg(16)->Arg(256);
+
 void BM_DyadicCover(benchmark::State& state) {
   Rng rng(19);
   const int d = 32;

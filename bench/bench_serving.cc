@@ -309,5 +309,66 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- 4. index residency & overlay promotion -----------------------
+  // Operator visibility for the index-cache lifecycle: resident bytes
+  // under the permutation-view layout, and the rebuild-free mutation
+  // path (a row append must promote cached indexes, not rebuild them).
+  rep.Section("index cache residency & promotion");
+  {
+    JoinService service;
+    if (!RegisterPool(&service, tuples, d, seed + 29, &rep)) return 1;
+    QueryRequest query;
+    query.relations = {"R", "S", "T"};
+    query.engine = opts.engines.front();
+    service.Execute(query);  // warm: builds the three base indexes
+    const IndexCache& ix = service.registry().index_cache();
+    const size_t builds_cold = ix.builds();
+    std::string error;
+    const uint64_t dom = uint64_t{1} << d;
+    // Pick a row S definitely lacks so the append is an effective delta.
+    Tuple fresh_row{dom - 1, dom - 1};
+    {
+      const auto snap = service.registry().Snap();
+      while (snap.Find("S")->rel->Contains(fresh_row) && fresh_row[1] > 0) {
+        --fresh_row[1];
+      }
+    }
+    if (!service.AppendRows("S", {fresh_row}, &error)) {
+      rep.Error("!! append failed: %s", error.c_str());
+      ok = false;
+    }
+    QueryRequest miss = query;
+    miss.use_cache = false;
+    const QueryResponse after = service.Execute(miss);
+    if (!after.result->ok) {
+      rep.Error("!! post-append query failed: %s",
+                after.result->error.c_str());
+      ok = false;
+    }
+    const size_t rebuilds = ix.builds() - builds_cold;
+    rep.Summary("index_entries", static_cast<double>(ix.entries()), "");
+    rep.Summary("index_builds", static_cast<double>(ix.builds()), "");
+    rep.Summary("index_hits", static_cast<double>(ix.hits()), "");
+    rep.Summary("index_promotes", static_cast<double>(ix.promotes()),
+                "acceptance: >= 1 (append carries cached indexes)");
+    rep.Summary("index_compactions", static_cast<double>(ix.compactions()),
+                "");
+    rep.Summary("index_bytes", static_cast<double>(ix.MemoryBytes()),
+                "rows*4 permutation view + overlay");
+    rep.Summary("append_index_rebuilds", static_cast<double>(rebuilds),
+                "acceptance: 0 (1-row append is rebuild-free)");
+    if (ix.promotes() < 1) {
+      rep.Error("!! PROMOTION ACCEPTANCE MISSED: append promoted no "
+                "cached index");
+      ok = false;
+    }
+    if (rebuilds != 0) {
+      rep.Error("!! REBUILD-FREE ACCEPTANCE MISSED: %zu index builds "
+                "after a 1-row append",
+                rebuilds);
+      ok = false;
+    }
+  }
+
   return ok && rep.AllAgreed() ? 0 : 1;
 }

@@ -114,7 +114,8 @@ def collect(build_dir, cal):
         "--benchmark_filter="
         "BM_OrderedResolve|BM_KbInsert|BM_KbFindContaining/1024|"
         "BM_DyadicCover|BM_SortedIndexBuild/4096|"
-        "BM_SortedIndexProbe/1024|BM_RunJoin",
+        "BM_SortedIndexProbe/1024|BM_SortedIndexAppendProbe/0|"
+        "BM_SortedIndexAppendProbe/16|BM_RunJoin",
         "--benchmark_format=json",
         # A plain double keeps old google-benchmark happy (newer
         # releases want a "0.05s" suffix but still accept the double
@@ -250,6 +251,18 @@ def collect(build_dir, cal):
                 "direction": "higher"}
         elif metric == "engines_incremental_verified":
             metrics["bench_incremental.engines_verified"] = {
+                "value": row.get("value", 0.0), "unit": "count",
+                "direction": "higher"}
+        elif metric == "index_rebuilds":
+            # Gated through exit_ok: the bench exits nonzero when a
+            # 1-row delta rebuilds any index instead of promoting it
+            # (compare() skips the ratio at a 0 baseline, so the hard
+            # gate is the bench's own acceptance check).
+            metrics["bench_incremental.index_rebuilds"] = {
+                "value": row.get("value", 0.0), "unit": "count",
+                "direction": "lower"}
+        elif metric == "index_promotes":
+            metrics["bench_incremental.index_promotes"] = {
                 "value": row.get("value", 0.0), "unit": "count",
                 "direction": "higher"}
     return metrics

@@ -49,6 +49,44 @@ size_t IndexCache::EvictRelation(const Relation* rel) {
   return removed;
 }
 
+size_t IndexCache::Promote(const std::shared_ptr<const Relation>& old_version,
+                           const Relation* new_rel,
+                           const std::vector<Tuple>& added,
+                           const std::vector<Tuple>& removed) {
+  const Relation* old_rel = old_version.get();
+  // Extract the retired version's entries under the lock, promote them
+  // outside it (a promotion is O(delta·log) overlay work, but a
+  // threshold crossing rebuilds), then re-key under the new version.
+  std::vector<std::pair<IndexLayout, std::shared_ptr<const SortedIndex>>>
+      carried;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.lower_bound(Key{old_rel, IndexLayout{}});
+    while (it != entries_.end() && it->first.first == old_rel) {
+      bytes_ -= it->second->MemoryBytes();
+      carried.emplace_back(it->first.second, std::move(it->second));
+      it = entries_.erase(it);
+    }
+  }
+  if (carried.empty()) return 0;
+  size_t compacted_count = 0;
+  for (auto& [layout, index] : carried) {
+    bool compacted = false;
+    index = SortedIndex::Promote(index, old_version, *new_rel, added, removed,
+                                 &compacted);
+    if (compacted) ++compacted_count;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [layout, index] : carried) {
+    auto [it, inserted] =
+        entries_.emplace(Key{new_rel, std::move(layout)}, std::move(index));
+    if (inserted) bytes_ += it->second->MemoryBytes();
+  }
+  promotes_ += carried.size();
+  compactions_ += compacted_count;
+  return carried.size();
+}
+
 void IndexCache::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
   entries_.clear();
@@ -68,6 +106,16 @@ size_t IndexCache::builds() const {
 size_t IndexCache::hits() const {
   std::lock_guard<std::mutex> lock(mu_);
   return hits_;
+}
+
+size_t IndexCache::promotes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return promotes_;
+}
+
+size_t IndexCache::compactions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
 }
 
 size_t IndexCache::MemoryBytes() const {

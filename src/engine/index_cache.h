@@ -11,12 +11,18 @@
 // (the server's RelationRegistry, src/server/relation_registry.h) holds
 // the cache for the lifetime of its registered relations.
 //
+// Row-level mutations don't evict: Promote carries a retired version's
+// entries to the new version with the effective delta folded into each
+// index's overlay (SortedIndex::Promote) — a 1-row append costs
+// O(log n) per cached layout instead of a rebuild, and the promoted
+// index pins the retired version's buffer alive via shared_ptr.
+//
 // Lifetime contract: entries are keyed by Relation address, so every
 // relation passed to Get must stay alive until its entries are removed
 // with EvictRelation (or the cache is destroyed). Batch-local caches
-// satisfy this trivially; the RelationRegistry evicts a version's
-// entries whenever a mutation retires it, and re-evicts after in-flight
-// queries that may have re-inserted stale entries finish
+// satisfy this trivially; the RelationRegistry promotes or evicts a
+// version's entries whenever a mutation retires it, and re-evicts after
+// in-flight queries that may have re-inserted stale entries finish
 // (src/server/join_service.cc), so a recycled heap address can never
 // resurrect another relation's index.
 #ifndef TETRIS_ENGINE_INDEX_CACHE_H_
@@ -69,6 +75,19 @@ class IndexCache {
   /// relation dies. Returns the number of entries removed.
   size_t EvictRelation(const Relation* rel);
 
+  /// Carries every cached entry of `old_version` across a registry
+  /// epoch: each index is re-keyed under `new_rel` with the effective
+  /// delta (`added`/`removed`) folded into its overlay via
+  /// SortedIndex::Promote — no rebuild, the promoted index pins
+  /// `old_version` alive. Entries whose overlay crossed the compaction
+  /// threshold are rebuilt over `new_rel` instead (counted in
+  /// compactions(), not builds()). Returns the number of entries
+  /// carried. Call BEFORE the new version becomes visible to readers so
+  /// no concurrent Get can race a fresh build for `new_rel`.
+  size_t Promote(const std::shared_ptr<const Relation>& old_version,
+                 const Relation* new_rel, const std::vector<Tuple>& added,
+                 const std::vector<Tuple>& removed);
+
   /// Drops everything.
   void Clear();
 
@@ -77,6 +96,10 @@ class IndexCache {
   /// since construction.
   size_t builds() const;
   size_t hits() const;
+  /// Entries carried across an epoch by Promote (overlay or compacted)
+  /// / the subset that compacted into a fresh base permutation.
+  size_t promotes() const;
+  size_t compactions() const;
   /// Summed MemoryBytes() of the resident entries.
   size_t MemoryBytes() const;
 
@@ -87,6 +110,8 @@ class IndexCache {
   std::map<Key, std::shared_ptr<const SortedIndex>> entries_;
   size_t builds_ = 0;
   size_t hits_ = 0;
+  size_t promotes_ = 0;
+  size_t compactions_ = 0;
   size_t bytes_ = 0;
 };
 

@@ -163,7 +163,10 @@ std::string HumanBytes(size_t b) {
 }  // namespace
 
 size_t EstimateAtomBytes(size_t tuples, int arity) {
-  // Flat columnar rows: arity values per tuple, no per-row header.
+  // Flat columnar rows: arity values per tuple, no per-row header. This
+  // is the shard's row-payload proxy; the SortedIndex itself is now a
+  // rows·4 permutation view on top of it (see index/sorted_index.h), so
+  // the estimate upper-bounds index residency rather than equalling it.
   return tuples * static_cast<size_t>(arity) * sizeof(uint64_t);
 }
 

@@ -22,62 +22,59 @@ SortedIndex::SortedIndex(const Relation& rel, std::vector<int> order,
                          int depth)
     : k_(rel.arity()), d_(depth), order_(std::move(order)) {
   assert(static_cast<int>(order_.size()) == k_);
+  ord_ = order_.data();
+  base_ = rel.raw().data();
   const size_t n = rel.size();
   const size_t k = static_cast<size_t>(k_);
-  // Gather rows permuted into index order, then sort a row permutation
-  // and gather once more — same flat-buffer discipline as
-  // Relation::Canonicalize.
-  std::vector<uint64_t> permuted(n * k);
-  for (size_t i = 0; i < n; ++i) {
-    TupleRef t = rel.row(i);
-    for (int level = 0; level < k_; ++level) {
-      permuted[i * k + level] = t[order_[level]];
+  // Build = sort the row ids by permuted-lex order over the relation's
+  // own buffer — no gather. A canonical relation under the identity
+  // layout is already sorted, so the is_sorted fast path makes the
+  // common server build a single linear scan.
+  auto perm = std::make_shared<std::vector<uint32_t>>(n);
+  std::iota(perm->begin(), perm->end(), 0u);
+  const uint64_t* d = base_;
+  const int* ord = ord_;
+  auto less = [d, k, ord](uint32_t a, uint32_t b) {
+    const uint64_t* ra = d + static_cast<size_t>(a) * k;
+    const uint64_t* rb = d + static_cast<size_t>(b) * k;
+    for (size_t l = 0; l < k; ++l) {
+      const uint64_t va = ra[ord[l]];
+      const uint64_t vb = rb[ord[l]];
+      if (va != vb) return va < vb;
     }
+    return false;
+  };
+  if (!std::is_sorted(perm->begin(), perm->end(), less)) {
+    std::sort(perm->begin(), perm->end(), less);
   }
-  const uint64_t* d = permuted.data();
-  std::vector<uint32_t> perm(n);
-  std::iota(perm.begin(), perm.end(), 0u);
-  std::sort(perm.begin(), perm.end(), [d, k](uint32_t a, uint32_t b) {
-    return std::lexicographical_compare(d + a * k, d + a * k + k, d + b * k,
-                                        d + b * k + k);
-  });
-  sorted_.reserve(n * k);
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t* src = d + static_cast<size_t>(perm[i]) * k;
-    if (rows_ > 0 &&
-        std::equal(src, src + k, sorted_.data() + (rows_ - 1) * k)) {
-      continue;
-    }
-    sorted_.insert(sorted_.end(), src, src + k);
-    ++rows_;
-  }
+  // Full-row equality is permutation-invariant, so dedup compares the
+  // rows in relation order directly.
+  auto eq = [d, k](uint32_t a, uint32_t b) {
+    return std::equal(d + static_cast<size_t>(a) * k,
+                      d + static_cast<size_t>(a) * k + k,
+                      d + static_cast<size_t>(b) * k);
+  };
+  perm->erase(std::unique(perm->begin(), perm->end(), eq), perm->end());
+  rows_ = perm->size();
+  perm_ = std::move(perm);
+  perm_data_ = perm_->data();
 }
 
 SortedIndex::SortedIndex(const Relation& rel, int depth)
     : SortedIndex(rel, IdentityOrder(rel.arity()), depth) {}
 
-bool SortedIndex::Contains(const Tuple& t) const {
-  const size_t k = static_cast<size_t>(k_);
-  size_t lo = 0, hi = rows_;
-  while (lo < hi) {
-    const size_t mid = lo + (hi - lo) / 2;
-    const uint64_t* r = sorted_.data() + mid * k;
-    int cmp = 0;
-    for (int level = 0; level < k_; ++level) {
-      const uint64_t v = t[order_[level]];
-      if (r[level] != v) {
-        cmp = r[level] < v ? -1 : 1;
-        break;
-      }
-    }
-    if (cmp == 0) return true;
-    if (cmp < 0) {
-      lo = mid + 1;
-    } else {
-      hi = mid;
-    }
-  }
-  return false;
+SortedIndex::SortedIndex(const SortedIndex& o)
+    : k_(o.k_),
+      d_(o.d_),
+      order_(o.order_),
+      base_(o.base_),
+      perm_(o.perm_),
+      perm_data_(o.perm_data_),
+      rows_(o.rows_),
+      pin_(o.pin_),
+      added_(o.added_),
+      removed_(o.removed_) {
+  ord_ = order_.data();
 }
 
 size_t SortedIndex::LowerBound(size_t lo, size_t hi, int level,
@@ -91,6 +88,142 @@ size_t SortedIndex::LowerBound(size_t lo, size_t hi, int level,
     }
   }
   return lo;
+}
+
+size_t SortedIndex::AddedLowerBound(size_t alo, size_t ahi, int level,
+                                    uint64_t v) const {
+  while (alo < ahi) {
+    const size_t mid = alo + (ahi - alo) / 2;
+    if (added_at(mid, level) < v) {
+      alo = mid + 1;
+    } else {
+      ahi = mid;
+    }
+  }
+  return alo;
+}
+
+size_t SortedIndex::RemovedIn(size_t lo, size_t hi) const {
+  if (removed_.empty()) return 0;
+  auto b = std::lower_bound(removed_.begin(), removed_.end(),
+                            static_cast<uint32_t>(lo));
+  auto e = std::lower_bound(b, removed_.end(), static_cast<uint32_t>(hi));
+  return static_cast<size_t>(e - b);
+}
+
+bool SortedIndex::IsRemoved(size_t rank) const {
+  return !removed_.empty() &&
+         std::binary_search(removed_.begin(), removed_.end(),
+                            static_cast<uint32_t>(rank));
+}
+
+bool SortedIndex::FindBaseRank(const uint64_t* key, size_t* rank) const {
+  const size_t k = static_cast<size_t>(k_);
+  size_t lo = 0, hi = rows_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const uint64_t* r = base_ + static_cast<size_t>(perm_data_[mid]) * k;
+    int cmp = 0;
+    for (int level = 0; level < k_; ++level) {
+      const uint64_t rv = r[ord_[level]];
+      if (rv != key[level]) {
+        cmp = rv < key[level] ? -1 : 1;
+        break;
+      }
+    }
+    if (cmp == 0) {
+      *rank = mid;
+      return true;
+    }
+    if (cmp < 0) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return false;
+}
+
+size_t SortedIndex::AddedLowerBoundFull(const uint64_t* key) const {
+  const size_t k = static_cast<size_t>(k_);
+  size_t lo = 0, hi = added_count();
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    const uint64_t* r = added_.data() + mid * k;
+    if (std::lexicographical_compare(r, r + k, key, key + k)) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool SortedIndex::Contains(const Tuple& t) const {
+  Tuple p(k_);
+  for (int level = 0; level < k_; ++level) p[level] = t[ord_[level]];
+  size_t rank;
+  if (FindBaseRank(p.data(), &rank)) return !IsRemoved(rank);
+  if (added_.empty()) return false;
+  const size_t a = AddedLowerBoundFull(p.data());
+  const size_t k = static_cast<size_t>(k_);
+  return a < added_count() &&
+         std::equal(p.data(), p.data() + k, added_.data() + a * k);
+}
+
+bool SortedIndex::PredLiveValue(size_t lo, size_t bpos, size_t alo,
+                                size_t apos, int level, uint64_t* v) const {
+  bool have = false;
+  uint64_t best = 0;
+  // Base side: walk value groups right-to-left; each skipped group is
+  // fully tombstoned, so the walk is bounded by the tombstone count.
+  size_t hi = bpos;
+  while (hi > lo) {
+    const uint64_t g = at(hi - 1, level);
+    const size_t glo = LowerBound(lo, hi, level, g);
+    if (RemovedIn(glo, hi) < hi - glo) {
+      have = true;
+      best = g;
+      break;
+    }
+    hi = glo;
+  }
+  if (apos > alo) {
+    const uint64_t a = added_at(apos - 1, level);
+    if (!have || a > best) {
+      have = true;
+      best = a;
+    }
+  }
+  if (have) *v = best;
+  return have;
+}
+
+bool SortedIndex::SuccLiveValue(size_t bpos, size_t hi, size_t apos,
+                                size_t ahi, int level, uint64_t* v) const {
+  const uint64_t dom_max = (uint64_t{1} << d_) - 1;
+  bool have = false;
+  uint64_t best = 0;
+  size_t lo = bpos;
+  while (lo < hi) {
+    const uint64_t g = at(lo, level);
+    const size_t ghi = g == dom_max ? hi : LowerBound(lo, hi, level, g + 1);
+    if (RemovedIn(lo, ghi) < ghi - lo) {
+      have = true;
+      best = g;
+      break;
+    }
+    lo = ghi;
+  }
+  if (apos < ahi) {
+    const uint64_t a = added_at(apos, level);
+    if (!have || a < best) {
+      have = true;
+      best = a;
+    }
+  }
+  if (have) *v = best;
+  return have;
 }
 
 void SortedIndex::EmitBand(const Tuple& permuted_prefix, int level,
@@ -111,45 +244,80 @@ void SortedIndex::EmitBand(const Tuple& permuted_prefix, int level,
 void SortedIndex::GapsContaining(const Tuple& t,
                                  std::vector<DyadicBox>* out) const {
   Tuple p(k_);
-  for (int level = 0; level < k_; ++level) p[level] = t[order_[level]];
+  for (int level = 0; level < k_; ++level) p[level] = t[ord_[level]];
 
   const uint64_t dom_max = (uint64_t{1} << d_) - 1;
   size_t lo = 0, hi = rows_;
+  size_t alo = 0, ahi = added_count();
   for (int level = 0; level < k_; ++level) {
     const uint64_t v = p[level];
     const size_t sub_lo = LowerBound(lo, hi, level, v);
     const size_t sub_hi =
         v == dom_max ? hi : LowerBound(sub_lo, hi, level, v + 1);
-    if (sub_lo == sub_hi) {
-      // Probe value absent at this level: the band between the neighbour
-      // keys is tuple-free (this is the unique maximal GAO-consistent gap
-      // containing the probe).
-      uint64_t band_lo = sub_lo > lo ? at(sub_lo - 1, level) + 1 : 0;
-      uint64_t band_hi = sub_hi < hi ? at(sub_hi, level) - 1 : dom_max;
+    const size_t asub_lo = AddedLowerBound(alo, ahi, level, v);
+    const size_t asub_hi =
+        v == dom_max ? ahi : AddedLowerBound(asub_lo, ahi, level, v + 1);
+    const size_t live =
+        (sub_hi - sub_lo) - RemovedIn(sub_lo, sub_hi) + (asub_hi - asub_lo);
+    if (live == 0) {
+      // Probe value has no live row at this level: the band between the
+      // neighbouring LIVE keys is tuple-free (fully-tombstoned groups in
+      // between belong to the band — exactly what a fresh rebuild over
+      // the live set would report as neighbours).
+      uint64_t band_lo = 0;
+      uint64_t band_hi = dom_max;
+      uint64_t nb;
+      if (PredLiveValue(lo, sub_lo, alo, asub_lo, level, &nb)) {
+        band_lo = nb + 1;
+      }
+      if (SuccLiveValue(sub_hi, hi, asub_hi, ahi, level, &nb)) {
+        band_hi = nb - 1;
+      }
       EmitBand(p, level, band_lo, band_hi, nullptr, out);
       return;
     }
     lo = sub_lo;
     hi = sub_hi;
+    alo = asub_lo;
+    ahi = asub_hi;
   }
   // Probe present: no gap.
 }
 
-void SortedIndex::AllGapsRec(size_t lo, size_t hi, int level, Tuple* prefix,
+void SortedIndex::AllGapsRec(size_t lo, size_t hi, size_t alo, size_t ahi,
+                             int level, Tuple* prefix,
                              std::vector<DyadicBox>* out) const {
   if (level == k_) return;
   const uint64_t dom_max = (uint64_t{1} << d_) - 1;
   uint64_t next_free = 0;  // lowest value not yet covered by key or gap
-  size_t i = lo;
-  while (i < hi) {
-    uint64_t v = at(i, level);
-    if (v > next_free) EmitBand(*prefix, level, next_free, v - 1, nullptr, out);
+  size_t i = lo, a = alo;
+  // Merged walk over the distinct values of the base range and the
+  // overlay range; a fully-tombstoned group is skipped WITHOUT advancing
+  // next_free, so the surrounding band absorbs it.
+  while (i < hi || a < ahi) {
+    uint64_t v;
+    if (i < hi && a < ahi) {
+      v = std::min(at(i, level), added_at(a, level));
+    } else if (i < hi) {
+      v = at(i, level);
+    } else {
+      v = added_at(a, level);
+    }
     size_t j = i;
     while (j < hi && at(j, level) == v) ++j;
-    (*prefix)[level] = v;
-    AllGapsRec(i, j, level + 1, prefix, out);
-    next_free = v + 1;
+    size_t b = a;
+    while (b < ahi && added_at(b, level) == v) ++b;
+    const size_t live = (j - i) - RemovedIn(i, j) + (b - a);
+    if (live > 0) {
+      if (v > next_free) {
+        EmitBand(*prefix, level, next_free, v - 1, nullptr, out);
+      }
+      (*prefix)[level] = v;
+      AllGapsRec(i, j, a, b, level + 1, prefix, out);
+      next_free = v + 1;
+    }
     i = j;
+    a = b;
   }
   if (next_free <= dom_max) {
     EmitBand(*prefix, level, next_free, dom_max, nullptr, out);
@@ -158,43 +326,62 @@ void SortedIndex::AllGapsRec(size_t lo, size_t hi, int level, Tuple* prefix,
 
 void SortedIndex::AllGaps(std::vector<DyadicBox>* out) const {
   Tuple prefix(k_);
-  AllGapsRec(0, rows_, 0, &prefix, out);
+  AllGapsRec(0, rows_, 0, added_count(), 0, &prefix, out);
 }
 
-void SortedIndex::GapsIntersectingRec(size_t lo, size_t hi, int level,
+void SortedIndex::GapsIntersectingRec(size_t lo, size_t hi, size_t alo,
+                                      size_t ahi, int level,
                                       const DyadicBox& box, Tuple* prefix,
                                       std::vector<DyadicBox>* out) const {
   if (level == k_) return;
   const uint64_t dom_max = (uint64_t{1} << d_) - 1;
   // Value range of the box's component at this level. Bands and key
   // groups entirely outside it produce gaps whose component is disjoint
-  // from the box, so the scan starts at the last key below the range
-  // (which bounds the band overlapping its left edge) and stops past its
-  // right edge.
+  // from the box, so the scan starts at the last live key below the
+  // range (which bounds the band overlapping its left edge) and stops
+  // past its right edge.
   const DyadicInterval& comp = box[order_[level]];
   const int shift = comp.len >= d_ ? 0 : d_ - comp.len;
   const uint64_t blo = comp.bits << shift;
   const uint64_t bhi = blo + ((uint64_t{1} << shift) - 1);
 
   size_t i = LowerBound(lo, hi, level, blo);
-  uint64_t next_free = i > lo ? at(i - 1, level) + 1 : 0;
-  while (i < hi && at(i, level) <= bhi) {
-    uint64_t v = at(i, level);
-    if (v > next_free) {
-      EmitBand(*prefix, level, next_free, v - 1, &comp, out);
+  size_t a = AddedLowerBound(alo, ahi, level, blo);
+  uint64_t next_free = 0;
+  uint64_t nb;
+  if (PredLiveValue(lo, i, alo, a, level, &nb)) next_free = nb + 1;
+  while (i < hi || a < ahi) {
+    uint64_t v;
+    if (i < hi && a < ahi) {
+      v = std::min(at(i, level), added_at(a, level));
+    } else if (i < hi) {
+      v = at(i, level);
+    } else {
+      v = added_at(a, level);
     }
+    if (v > bhi) break;
     size_t j = i;
     while (j < hi && at(j, level) == v) ++j;
-    (*prefix)[level] = v;
-    GapsIntersectingRec(i, j, level + 1, box, prefix, out);
-    next_free = v + 1;
+    size_t b = a;
+    while (b < ahi && added_at(b, level) == v) ++b;
+    const size_t live = (j - i) - RemovedIn(i, j) + (b - a);
+    if (live > 0) {
+      if (v > next_free) {
+        EmitBand(*prefix, level, next_free, v - 1, &comp, out);
+      }
+      (*prefix)[level] = v;
+      GapsIntersectingRec(i, j, a, b, level + 1, box, prefix, out);
+      next_free = v + 1;
+    }
     i = j;
+    a = b;
   }
-  // Trailing band: runs from the last in-range key to the next key after
-  // the range (or the domain end) — it still intersects the box whenever
-  // it starts within the range.
+  // Trailing band: runs from the last in-range live key to the next
+  // live key after the range (or the domain end) — it still intersects
+  // the box whenever it starts within the range.
   if (next_free <= bhi) {
-    const uint64_t band_hi = i < hi ? at(i, level) - 1 : dom_max;
+    uint64_t band_hi = dom_max;
+    if (SuccLiveValue(i, hi, a, ahi, level, &nb)) band_hi = nb - 1;
     if (band_hi >= next_free) {
       EmitBand(*prefix, level, next_free, band_hi, &comp, out);
     }
@@ -204,7 +391,73 @@ void SortedIndex::GapsIntersectingRec(size_t lo, size_t hi, int level,
 void SortedIndex::GapsIntersecting(const DyadicBox& box,
                                    std::vector<DyadicBox>* out) const {
   Tuple prefix(k_);
-  GapsIntersectingRec(0, rows_, 0, box, &prefix, out);
+  GapsIntersectingRec(0, rows_, 0, added_count(), 0, box, &prefix, out);
+}
+
+void SortedIndex::ApplyDelta(const std::vector<Tuple>& added,
+                             const std::vector<Tuple>& removed) {
+  const size_t k = static_cast<size_t>(k_);
+  Tuple p(k_);
+  for (const Tuple& t : removed) {
+    for (int level = 0; level < k_; ++level) p[level] = t[ord_[level]];
+    // Removing an overlay row un-adds it; removing a base row
+    // tombstones its rank.
+    const size_t a = AddedLowerBoundFull(p.data());
+    if (a < added_count() &&
+        std::equal(p.data(), p.data() + k, added_.data() + a * k)) {
+      added_.erase(added_.begin() + static_cast<ptrdiff_t>(a * k),
+                   added_.begin() + static_cast<ptrdiff_t>((a + 1) * k));
+      continue;
+    }
+    size_t rank;
+    if (FindBaseRank(p.data(), &rank)) {
+      auto it = std::lower_bound(removed_.begin(), removed_.end(),
+                                 static_cast<uint32_t>(rank));
+      if (it == removed_.end() || *it != static_cast<uint32_t>(rank)) {
+        removed_.insert(it, static_cast<uint32_t>(rank));
+      }
+    }
+  }
+  for (const Tuple& t : added) {
+    for (int level = 0; level < k_; ++level) p[level] = t[ord_[level]];
+    size_t rank;
+    if (FindBaseRank(p.data(), &rank)) {
+      // Re-adding a base row clears its tombstone (if any).
+      auto it = std::lower_bound(removed_.begin(), removed_.end(),
+                                 static_cast<uint32_t>(rank));
+      if (it != removed_.end() && *it == static_cast<uint32_t>(rank)) {
+        removed_.erase(it);
+      }
+      continue;
+    }
+    const size_t a = AddedLowerBoundFull(p.data());
+    if (a < added_count() &&
+        std::equal(p.data(), p.data() + k, added_.data() + a * k)) {
+      continue;
+    }
+    added_.insert(added_.begin() + static_cast<ptrdiff_t>(a * k), p.begin(),
+                  p.end());
+  }
+}
+
+std::shared_ptr<const SortedIndex> SortedIndex::Promote(
+    const std::shared_ptr<const SortedIndex>& base,
+    std::shared_ptr<const Relation> old_version, const Relation& new_version,
+    const std::vector<Tuple>& added, const std::vector<Tuple>& removed,
+    bool* compacted) {
+  if (compacted != nullptr) *compacted = false;
+  assert(base != nullptr && new_version.arity() == base->k_);
+  std::shared_ptr<SortedIndex> next(new SortedIndex(*base));
+  // Chained promotions keep pinning the ORIGINAL base version — that is
+  // the buffer the shared permutation indexes into.
+  if (next->pin_ == nullptr) next->pin_ = std::move(old_version);
+  next->ApplyDelta(added, removed);
+  if (ShouldCompact(next->overlay_rows(), new_version.size())) {
+    if (compacted != nullptr) *compacted = true;
+    return std::make_shared<const SortedIndex>(new_version, base->order_,
+                                               base->d_);
+  }
+  return next;
 }
 
 std::string SortedIndex::Describe() const {
@@ -214,6 +467,10 @@ std::string SortedIndex::Describe() const {
     s += "c" + std::to_string(order_[i]);
   }
   s += ")";
+  if (overlay_rows() > 0) {
+    s += "+ovl{" + std::to_string(added_count()) + "a," +
+         std::to_string(removed_.size()) + "r}";
+  }
   return s;
 }
 

@@ -7,13 +7,37 @@
 // level — exactly the GAO-consistent gap boxes of Minesweeper [50] —
 // dyadically decomposed per Proposition B.14.
 //
-// Storage is one flat row-major uint64_t buffer (stride = arity), sorted
-// lexicographically in index order: level descents are binary searches
-// over a column slice of a contiguous array, and building the index is a
-// single permuted gather from the relation's flat buffer — no per-row
-// heap allocations.
+// Storage is a *permutation view*: instead of materializing its own
+// sorted rows × arity × 8-byte copy, the index keeps a uint32_t row
+// permutation over the relation's flat buffer, lexicographically sorted
+// in index order and deduplicated. Level descents are binary searches
+// that read the base buffer through the permutation, building is a sort
+// of row ids with no gather (a no-op sort when the relation is canonical
+// and the layout is the identity order), and MemoryBytes() is rows·4
+// instead of rows·arity·8 — every layout of a relation shares the one
+// canonical buffer.
+//
+// On top of the base permutation sits a *delta overlay*: a small sorted
+// side-structure of added rows (flat, permuted into index order) and
+// removed base ranks, fed by the registry's RelationDelta through
+// Promote(). Every probe entry point merges the overlay at
+// band-enumeration time — a value group is live iff it has a base row
+// that is not tombstoned or an overlay row, and bands run between *live*
+// neighbours — so a promoted index answers exactly as a fresh rebuild
+// over the new version would, without paying the rebuild. Once the
+// overlay exceeds a fraction of the live rows (ShouldCompact), Promote
+// folds it into a fresh base permutation over the new version.
+//
+// Lifetime contract: the index references the relation's raw() buffer;
+// the relation must stay alive and unmutated (no Add/Canonicalize, which
+// may reallocate) for the index's lifetime. Moving the Relation is safe
+// (the heap buffer transfers). A promoted index pins the retired base
+// version via shared_ptr (`pin()`), riding the registry's
+// retired-version parking until compaction or eviction releases it.
 #ifndef TETRIS_INDEX_SORTED_INDEX_H_
 #define TETRIS_INDEX_SORTED_INDEX_H_
+
+#include <memory>
 
 #include "index/index.h"
 
@@ -44,38 +68,116 @@ class SortedIndex : public Index {
                         std::vector<DyadicBox>* out) const override;
   std::string Describe() const override;
 
+  /// Permutation (rows·4) plus overlay footprint; the base row payload
+  /// belongs to the relation, not the index.
   size_t MemoryBytes() const override {
-    return rows_ * static_cast<size_t>(k_) * sizeof(uint64_t);
+    return rows_ * sizeof(uint32_t) + added_.size() * sizeof(uint64_t) +
+           removed_.size() * sizeof(uint32_t);
   }
 
   const std::vector<int>& order() const { return order_; }
 
- private:
-  uint64_t at(size_t row, int level) const {
-    return sorted_[row * static_cast<size_t>(k_) + level];
+  /// Distinct live rows the index answers for: base rows minus overlay
+  /// tombstones plus overlay additions.
+  size_t rows() const { return rows_ - removed_.size() + added_count(); }
+  /// Overlay rows riding on the base permutation (added + removed).
+  size_t overlay_rows() const { return added_count() + removed_.size(); }
+  /// The retired relation version a promoted index keeps alive (null
+  /// for a fresh build over a live version).
+  const std::shared_ptr<const Relation>& pin() const { return pin_; }
+
+  /// Overlay compaction policy: fold the overlay into a fresh base
+  /// permutation once it exceeds 1/kCompactDenominator of the live rows
+  /// (plus slack so tiny relations tolerate a few overlay rows).
+  static constexpr size_t kCompactDenominator = 8;
+  static constexpr size_t kCompactSlack = 8;
+  static bool ShouldCompact(size_t overlay_rows, size_t live_rows) {
+    return overlay_rows > live_rows / kCompactDenominator + kCompactSlack;
   }
-  // First row in [lo, hi) whose `level` column is >= v (the range shares
-  // a prefix above `level`, so that column slice is sorted).
+
+  /// Carries `base` across one registry epoch: returns an index over
+  /// `new_version`'s tuple set that shares the base permutation and
+  /// absorbs the effective delta (`added`/`removed`, relation column
+  /// order) into the overlay — no rebuild. The result pins
+  /// `old_version` (or base's original pin, for chained promotions) so
+  /// the referenced buffer outlives it. When the grown overlay crosses
+  /// ShouldCompact, returns a fresh build over `new_version` instead
+  /// (releasing the pin) and sets *compacted.
+  static std::shared_ptr<const SortedIndex> Promote(
+      const std::shared_ptr<const SortedIndex>& base,
+      std::shared_ptr<const Relation> old_version,
+      const Relation& new_version, const std::vector<Tuple>& added,
+      const std::vector<Tuple>& removed, bool* compacted = nullptr);
+
+ private:
+  SortedIndex(const SortedIndex& o);
+
+  size_t added_count() const {
+    return k_ > 0 ? added_.size() / static_cast<size_t>(k_) : 0;
+  }
+  // Base row `i` (permutation rank) read at trie `level`.
+  uint64_t at(size_t i, int level) const {
+    return base_[static_cast<size_t>(perm_data_[i]) * k_ + ord_[level]];
+  }
+  // Overlay row `a` at trie `level` (overlay rows are stored permuted).
+  uint64_t added_at(size_t a, int level) const {
+    return added_[a * static_cast<size_t>(k_) + level];
+  }
+  // First base rank in [lo, hi) whose `level` value is >= v (the range
+  // shares a prefix above `level`, so that column slice is sorted).
   size_t LowerBound(size_t lo, size_t hi, int level, uint64_t v) const;
+  // Same over the overlay rows [alo, ahi).
+  size_t AddedLowerBound(size_t alo, size_t ahi, int level, uint64_t v) const;
+  // Tombstoned base ranks within [lo, hi).
+  size_t RemovedIn(size_t lo, size_t hi) const;
+  bool IsRemoved(size_t rank) const;
+  // Base rank of the permuted key, if present.
+  bool FindBaseRank(const uint64_t* key, size_t* rank) const;
+  // First overlay row >= the permuted key (full-row lex order).
+  size_t AddedLowerBoundFull(const uint64_t* key) const;
+  // Largest live value below the probe group: base groups in [lo, bpos)
+  // scanned right-to-left skipping fully-tombstoned ones (bounded by the
+  // tombstone count), merged with the last overlay row in [alo, apos).
+  bool PredLiveValue(size_t lo, size_t bpos, size_t alo, size_t apos,
+                     int level, uint64_t* v) const;
+  // Smallest live value above: mirror of PredLiveValue.
+  bool SuccLiveValue(size_t bpos, size_t hi, size_t apos, size_t ahi,
+                     int level, uint64_t* v) const;
   // Emits the dyadic decomposition of the band gap [lo_val, hi_val] at
   // trie `level`, with the probe's unit intervals above it. When `clip`
   // is non-null only cover intervals comparable with it are emitted.
   void EmitBand(const Tuple& permuted_prefix, int level, uint64_t lo_val,
                 uint64_t hi_val, const DyadicInterval* clip,
                 std::vector<DyadicBox>* out) const;
-  void AllGapsRec(size_t lo, size_t hi, int level, Tuple* prefix,
-                  std::vector<DyadicBox>* out) const;
-  void GapsIntersectingRec(size_t lo, size_t hi, int level,
-                           const DyadicBox& box, Tuple* prefix,
+  void AllGapsRec(size_t lo, size_t hi, size_t alo, size_t ahi, int level,
+                  Tuple* prefix, std::vector<DyadicBox>* out) const;
+  void GapsIntersectingRec(size_t lo, size_t hi, size_t alo, size_t ahi,
+                           int level, const DyadicBox& box, Tuple* prefix,
                            std::vector<DyadicBox>* out) const;
+  // Folds `added`/`removed` (relation column order) into the overlay:
+  // removals of overlay rows un-add, removals of base rows tombstone,
+  // re-adds of tombstoned base rows un-remove. Build-time only — probes
+  // never mutate.
+  void ApplyDelta(const std::vector<Tuple>& added,
+                  const std::vector<Tuple>& removed);
 
   int k_;
   int d_;
-  std::vector<int> order_;  // level -> relation column
-  /// Rows permuted into index order, lexicographically sorted and
-  /// deduplicated; flat row-major, stride k_.
-  std::vector<uint64_t> sorted_;
-  size_t rows_ = 0;
+  std::vector<int> order_;          // level -> relation column
+  const int* ord_ = nullptr;        // order_.data()
+  const uint64_t* base_ = nullptr;  // relation's flat buffer, stride k_
+  /// Sorted deduplicated base row ids, shared across promoted copies.
+  std::shared_ptr<const std::vector<uint32_t>> perm_;
+  const uint32_t* perm_data_ = nullptr;
+  size_t rows_ = 0;  // perm_->size()
+  /// Keeps the base buffer's owning (retired) version alive once the
+  /// index outlives the registry epoch it was built under.
+  std::shared_ptr<const Relation> pin_;
+  /// Overlay additions: flat row-major, stride k_, permuted into index
+  /// order, lex sorted, disjoint from the base rows.
+  std::vector<uint64_t> added_;
+  /// Overlay tombstones: sorted base permutation ranks.
+  std::vector<uint32_t> removed_;
 };
 
 }  // namespace tetris

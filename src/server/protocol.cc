@@ -455,6 +455,7 @@ ServeSessionStats RunServeSession(std::istream& in, JoinService* service,
           "\"cache_evictions\":%zu,\"cache_invalidations\":%zu,"
           "\"cache_survivals\":%zu,\"cache_patch_bases\":%zu,"
           "\"index_entries\":%zu,\"index_builds\":%zu,\"index_hits\":%zu,"
+          "\"index_promotes\":%zu,\"index_compactions\":%zu,"
           "\"index_bytes\":%zu,\"admitted\":%llu,\"rejected\":%llu,"
           "\"queued\":%llu,\"shed\":%llu,\"patched\":%llu,"
           "\"inflight\":%zu}\n",
@@ -462,7 +463,7 @@ ServeSessionStats RunServeSession(std::istream& in, JoinService* service,
           reg.retired(), cache.entries(), cache.bytes(), cache.hits(),
           cache.misses(), cache.evictions(), cache.invalidations(),
           cache.survivals(), cache.patch_bases(), ix.entries(), ix.builds(),
-          ix.hits(), ix.MemoryBytes(),
+          ix.hits(), ix.promotes(), ix.compactions(), ix.MemoryBytes(),
           static_cast<unsigned long long>(service->admitted()),
           static_cast<unsigned long long>(service->rejected()),
           static_cast<unsigned long long>(service->queued()),

@@ -153,8 +153,18 @@ void RelationRegistry::InstallDeltaLocked(
   delta.name = it->first;
   delta.from_epoch = it->second.epoch;
   if (!reuse_old_version) {
-    RetireLocked(std::move(it->second.rel));
-    it->second.rel = std::make_shared<const Relation>(std::move(next));
+    std::shared_ptr<const Relation> next_version =
+        std::make_shared<const Relation>(std::move(next));
+    // Row-level mutation with a known effective delta: carry the old
+    // version's cached indexes to the new version as overlay promotions
+    // instead of evicting them (engine/index_cache.h). This runs before
+    // the new version is visible to Snap(), so no concurrent Get can
+    // race a fresh build for it. The promoted indexes pin the old
+    // version, which parks in retired_ until they compact or die.
+    index_cache_.Promote(it->second.rel, next_version.get(), delta.added,
+                         delta.removed);
+    retired_.push_back(std::move(it->second.rel));
+    it->second.rel = std::move(next_version);
   }
   // An effectively empty delta reuses the old version's storage: the
   // tuple set is unchanged, so its index-cache entries stay valid and
@@ -235,9 +245,10 @@ size_t RelationRegistry::PurgeRetired() {
   size_t freed = 0;
   for (size_t i = 0; i < retired_.size();) {
     // use_count == 1 means only the parked pointer remains: no snapshot
-    // pins this version, so no in-flight query can re-insert index
-    // entries for it, and new snapshots only see live_ — the eviction
-    // below is final and the version can die.
+    // pins this version (so no in-flight query can re-insert index
+    // entries for it) and no promoted index still reads its buffer
+    // through SortedIndex::pin() — the eviction below is final and the
+    // version can die.
     if (retired_[i].use_count() == 1) {
       index_cache_.EvictRelation(retired_[i].get());
       retired_[i] = std::move(retired_.back());

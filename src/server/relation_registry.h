@@ -21,12 +21,18 @@
 //
 // The registry also owns the (relation, layout) IndexCache
 // (engine/index_cache.h) that RunBatch calls share across queries.
-// Mutations evict the retired version's entries immediately; because an
-// in-flight query holding the old snapshot may legally RE-insert
-// entries for the retired version while it runs, retired versions are
-// parked and PurgeRetired() re-evicts and frees each one once no
-// snapshot pins it (use_count == 1) — so a recycled heap address can
-// never resurrect another relation's index.
+// Replace/Drop evict the retired version's entries immediately, but
+// row-level mutations PROMOTE them instead: the effective delta is
+// folded into each cached index's overlay (SortedIndex::Promote) and
+// the entry is re-keyed under the new version — a 1-row append costs
+// O(log n) per cached layout, not a rebuild. The promoted index pins
+// the retired version's buffer via shared_ptr, riding the parking
+// below. Because an in-flight query holding the old snapshot may
+// legally RE-insert entries for the retired version while it runs,
+// retired versions are parked and PurgeRetired() re-evicts and frees
+// each one once nothing pins it (use_count == 1 — neither a snapshot
+// nor a promoted index's pin) — so a recycled heap address can never
+// resurrect another relation's index.
 //
 // Row-level mutations (AppendRows / DeleteRows) additionally record the
 // *effective* tuple delta — the set difference against the old version,

@@ -548,6 +548,12 @@ TEST(IncrementalServiceTest, ConcurrentRowMutationsNeverTearQueries) {
   readers_done.store(true);
   writer.join();
   EXPECT_EQ(service.inflight(), 0u);
+  // Row mutations promote cached indexes instead of evicting them, and
+  // a promoted index pins its base version (SortedIndex::pin()), so
+  // retired versions may legally outlive the purge while their overlay
+  // entries stay cached. Dropping the entries releases every pin and
+  // the parked versions drain fully.
+  service.registry().index_cache().Clear();
   service.registry().PurgeRetired();
   EXPECT_EQ(service.registry().retired(), 0u);
 }

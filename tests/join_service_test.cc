@@ -360,6 +360,65 @@ TEST(JoinServiceTest, ZeroCacheBytesDisablesCaching) {
   EXPECT_EQ(service.cache().entries(), 0u);
 }
 
+TEST(JoinServiceTest, OneRowAppendPromotesIndexesWithZeroRebuilds) {
+  // The rebuild-free maintenance contract (index/sorted_index.h): a
+  // 1-row append promotes every cached index of the mutated relation to
+  // the new epoch with a delta overlay — re-serving a cache-miss query
+  // afterwards performs ZERO full SortedIndex builds.
+  JoinService service;
+  RegisterRandomTriangle(&service, /*tuples=*/60, /*d=*/5, /*seed=*/11);
+  QueryRequest query = Triangle(EngineKind::kTetrisPreloaded);
+  query.depth = 6;  // stable across the append
+
+  const QueryResponse cold = service.Execute(query);
+  ASSERT_TRUE(cold.result->ok) << cold.result->error;
+  const IndexCache& ix = service.registry().index_cache();
+  const size_t builds_before = ix.builds();
+  const size_t promotes_before = ix.promotes();
+  EXPECT_GT(builds_before, 0u);
+
+  // Append one genuinely new row to S (an effective, non-noop delta).
+  Tuple row{31, 31};
+  {
+    const auto snap = service.registry().Snap();
+    while (snap.Find("S")->rel->Contains(row)) --row[1];
+  }
+  std::string error;
+  ASSERT_TRUE(service.AppendRows("S", {row}, &error)) << error;
+
+  // The mutation itself performed no builds, only promotions (S had at
+  // least its default-layout index cached).
+  EXPECT_EQ(ix.builds(), builds_before);
+  EXPECT_GE(ix.promotes(), promotes_before + 1);
+  EXPECT_EQ(ix.compactions(), 0u);  // 1 overlay row is far below threshold
+  // The promoted index pins the retired version's buffer: it survives
+  // the purge until its cache entry dies.
+  service.registry().PurgeRetired();
+  EXPECT_GE(service.registry().retired(), 1u);
+
+  // Re-serve as a cache miss (use_cache=false forces the full engine
+  // path through RunBatch and the index cache): still zero builds — R
+  // and T hit their unchanged entries, S hits its promoted overlay.
+  QueryRequest miss = query;
+  miss.use_cache = false;
+  const QueryResponse reserved = service.Execute(miss);
+  ASSERT_TRUE(reserved.result->ok) << reserved.result->error;
+  EXPECT_FALSE(reserved.cache_hit);
+  EXPECT_EQ(ix.builds(), builds_before);
+
+  // And the overlay-served result agrees with the service's own
+  // cached/patched answer for the new epoch.
+  const QueryResponse patched = service.Execute(query);
+  ASSERT_TRUE(patched.result->ok) << patched.result->error;
+  EXPECT_EQ(reserved.result->tuples, patched.result->tuples);
+
+  // Dropping the promoted entries releases the pin and the retired
+  // version drains.
+  service.registry().index_cache().Clear();
+  service.registry().PurgeRetired();
+  EXPECT_EQ(service.registry().retired(), 0u);
+}
+
 TEST(JoinServiceTest, SnapshotsStayConsistentUnderConcurrentMutations) {
   // A writer alternates replace/append on S while readers execute
   // cached and uncached triangle queries: every admitted query must

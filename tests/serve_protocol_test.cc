@@ -107,6 +107,10 @@ TEST(ServeProtocolTest, SessionRegistersQueriesAndHitsTheCache) {
   EXPECT_NE(out.find("\"cache_hit\":1"), std::string::npos) << out;
   EXPECT_NE(out.find("\"row_type\":\"stats\""), std::string::npos) << out;
   EXPECT_NE(out.find("\"cache_hits\":1"), std::string::npos) << out;
+  // Index-cache promotion counters are part of the stats row (no
+  // mutation in this session, so both are zero).
+  EXPECT_NE(out.find("\"index_promotes\":0"), std::string::npos) << out;
+  EXPECT_NE(out.find("\"index_compactions\":0"), std::string::npos) << out;
   EXPECT_NE(out.find("\"row_type\":\"ack\",\"op\":\"shutdown\""),
             std::string::npos)
       << out;
